@@ -1,0 +1,514 @@
+// Package bench contains the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (run with `go test -bench .`),
+// plus ablation benchmarks for the design choices called out in
+// DESIGN.md. Each BenchmarkTableN / BenchmarkFigureN times the complete
+// analysis behind that exhibit on a shared suite of datasets; the suite
+// itself (topology generation, route convergence, and all eight
+// measurement campaigns) is timed once in BenchmarkSuiteBuild.
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"pathsel/internal/core"
+	"pathsel/internal/dataset"
+	"pathsel/internal/experiments"
+	"pathsel/internal/measure"
+	"pathsel/internal/netsim"
+	"pathsel/internal/stats"
+	"pathsel/internal/tcpmodel"
+	"pathsel/internal/topology"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.Build(experiments.Config{Seed: 1, Preset: experiments.Quick})
+	})
+	if suiteErr != nil {
+		b.Fatalf("Build: %v", suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkSuiteBuild times the full pipeline that feeds every other
+// benchmark: topology + IGP + BGP + congestion model + all campaigns.
+func BenchmarkSuiteBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Build(experiments.Config{Seed: 1, Preset: experiments.Quick})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.UW3.Paths) == 0 {
+			b.Fatal("empty UW3")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(s)
+		if len(rows) != 8 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+func benchSeries(b *testing.B, fn func(*experiments.Suite) ([]experiments.Series, error)) {
+	b.Helper()
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := fn(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B)  { benchSeries(b, experiments.Figure1) }
+func BenchmarkFigure2(b *testing.B)  { benchSeries(b, experiments.Figure2) }
+func BenchmarkFigure3(b *testing.B)  { benchSeries(b, experiments.Figure3) }
+func BenchmarkFigure4(b *testing.B)  { benchSeries(b, experiments.Figure4) }
+func BenchmarkFigure5(b *testing.B)  { benchSeries(b, experiments.Figure5) }
+func BenchmarkFigure6(b *testing.B)  { benchSeries(b, experiments.Figure6) }
+func BenchmarkFigure9(b *testing.B)  { benchSeries(b, experiments.Figure9) }
+func BenchmarkFigure10(b *testing.B) { benchSeries(b, experiments.Figure10) }
+func BenchmarkFigure11(b *testing.B) { benchSeries(b, experiments.Figure11) }
+func BenchmarkFigure15(b *testing.B) { benchSeries(b, experiments.Figure15) }
+
+func BenchmarkFigure7(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure12(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Removed) == 0 {
+			b.Fatal("nothing removed")
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := experiments.Figure13(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sr.CDF.N() == 0 {
+			b.Fatal("empty CDF")
+		}
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts, err := experiments.Figure14(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(counts) == 0 {
+			b.Fatal("no AS counts")
+		}
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decs, err := experiments.Figure16(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(decs) == 0 {
+			b.Fatal("no decompositions")
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationLossComposition compares the two ways of composing
+// loss along a synthetic path: maximum-of-hops (optimistic) versus
+// independence (pessimistic).
+func BenchmarkAblationLossComposition(b *testing.B) {
+	s := benchSuite(b)
+	model := tcpmodel.Default()
+	for _, mode := range []core.BandwidthMode{core.Optimistic, core.Pessimistic} {
+		b.Run(mode.String(), func(b *testing.B) {
+			a := core.NewAnalyzer(s.N2)
+			for i := 0; i < b.N; i++ {
+				if _, err := a.BestBandwidthAlternates(model, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHopLimit compares alternate-path search with one
+// intermediate host (the paper's bandwidth restriction), a small bound,
+// and unrestricted Dijkstra.
+func BenchmarkAblationHopLimit(b *testing.B) {
+	s := benchSuite(b)
+	for _, bc := range []struct {
+		name   string
+		maxVia int
+	}{{"one-hop", 1}, {"two-hop", 2}, {"unrestricted", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			a := core.NewAnalyzer(s.UW3)
+			for i := 0; i < b.N; i++ {
+				results, err := a.BestAlternates(core.MetricRTT, bc.maxVia)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMedian compares the cheap mean-based comparison with
+// the median-by-convolution robustness check of Section 6.1.
+func BenchmarkAblationMedian(b *testing.B) {
+	s := benchSuite(b)
+	b.Run("mean", func(b *testing.B) {
+		a := core.NewAnalyzer(s.D2NA)
+		for i := 0; i < b.N; i++ {
+			if _, err := a.BestAlternates(core.MetricRTT, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("median-convolution", func(b *testing.B) {
+		a := core.NewAnalyzer(s.D2NA)
+		for i := 0; i < b.N; i++ {
+			if _, err := a.BestMedianAlternates(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPropagationEstimator compares the paper's
+// tenth-percentile propagation estimate against the raw minimum.
+func BenchmarkAblationPropagationEstimator(b *testing.B) {
+	s := benchSuite(b)
+	keys := s.UW3.PairKeys()
+	for _, bc := range []struct {
+		name string
+		q    float64
+	}{{"minimum", 0}, {"p10", core.PropagationQuantile}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got := 0
+				for _, k := range keys {
+					if _, ok := s.UW3.PropagationDelay(k, bc.q); ok {
+						got++
+					}
+				}
+				if got == 0 {
+					b.Fatal("no estimates")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares the two probe schedulers the paper
+// used (UW1's per-server uniform vs UW3's exponential pairs) on a short
+// campaign over the already-built measurement plane.
+func BenchmarkAblationScheduler(b *testing.B) {
+	s := benchSuite(b)
+	top, prober := s.UWPlane()
+	var hosts []topology.HostID
+	for _, h := range s.UW3.Hosts {
+		hosts = append(hosts, h)
+	}
+	for _, bc := range []struct {
+		name  string
+		sched measure.Scheduler
+	}{{"per-server-uniform", measure.PerServerUniform}, {"exponential-pairs", measure.ExponentialPairs}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds, err := measure.Run(top, prober, measure.Spec{
+					Name: "ablation", Hosts: hosts,
+					Method: measure.MethodTraceroute, Scheduler: bc.sched,
+					MeanIntervalSec: 600, DurationSec: 86400, Seed: 11,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds.Paths) == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks for the hot paths under everything above ---
+
+func BenchmarkTopologyGenerate(b *testing.B) {
+	cfg := topology.DefaultConfig(topology.Era1999)
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProbeTraceroute(b *testing.B) {
+	s := benchSuite(b)
+	_, prober := s.UWPlane()
+	src, dst := s.UW3.Hosts[0], s.UW3.Hosts[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prober.Traceroute(src, dst, netsim.Time(i%86400)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetAggregation(b *testing.B) {
+	s := benchSuite(b)
+	keys := s.UW3.PairKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var acc stats.Accum
+		for _, k := range keys {
+			if sum, ok := s.UW3.MeanRTT(k); ok {
+				acc.Add(sum.Mean)
+			}
+		}
+		if acc.N() == 0 {
+			b.Fatal("no summaries")
+		}
+	}
+}
+
+func BenchmarkDatasetSaveLoad(b *testing.B) {
+	s := benchSuite(b)
+	dir := b.TempDir()
+	path := dir + "/uw4b.gob.gz"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.UW4B.Save(path); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataset.Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProberEcho(b *testing.B) {
+	s := benchSuite(b)
+	_, prober := s.UWPlane()
+	src, dst := s.UW3.Hosts[2], s.UW3.Hosts[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prober.Ping(src, dst, netsim.Time(i%86400)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension experiments (validation the paper could not run) ---
+
+// BenchmarkValidationConservativity times the source-routing validation
+// of the paper's conservativity claim (see EXPERIMENTS.md, Extensions).
+func BenchmarkValidationConservativity(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ValidateConservativity(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Pairs == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkAblationEgress times the hot-potato vs cold-potato routing
+// comparison (two full mini-campaigns per iteration).
+func BenchmarkAblationEgress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblateEgress(experiments.Config{Seed: 1, Preset: experiments.Quick})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 2 {
+			b.Fatal("bad result count")
+		}
+	}
+}
+
+// BenchmarkTriangulation times the IDMaps-style host-distance
+// triangulation over UW3.
+func BenchmarkTriangulation(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Triangulation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkRouteDynamics times the failure-timeline construction and the
+// Paxson-style route-dominance census over the UW topology.
+func BenchmarkRouteDynamics(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := experiments.RouteDynamics(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Pairs == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkPathInflation times the optimal-routing comparison: global
+// router-level Dijkstra bounds versus default and alternate paths.
+func BenchmarkPathInflation(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sum, err := experiments.PathInflation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Pairs == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkTCPModelValidation times the Mathis-versus-simulated-Reno
+// comparison over the N2 dataset.
+func BenchmarkTCPModelValidation(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ValidateTCPModel(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Pairs == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkCauseAblation times the six-variant mechanism decomposition.
+func BenchmarkCauseAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CauseAblation(experiments.Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 6 {
+			b.Fatal("bad variant count")
+		}
+	}
+}
+
+// BenchmarkSeedSensitivity times the cross-seed robustness check.
+func BenchmarkSeedSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fracs, err := experiments.SeedSensitivity(1, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fracs) != 3 {
+			b.Fatal("bad seed count")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Command altpath runs the paper's alternate-path analysis over a saved
+// dataset: for every measured host pair it finds the best synthetic
+// alternate path for the chosen metric and reports the improvement CDF,
+// the 95% confidence verdict table, and an ASCII plot.
+//
+// Usage:
+//
+//	altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-plot] [-episodes] dataset.gob.gz
+//
+// The bw metric needs a dataset with TCP transfer measurements (pathsim
+// -method transfer); -episodes needs one collected with the episodes
+// scheduler.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathsel/internal/core"
+	"pathsel/internal/dataset"
+	"pathsel/internal/report"
+	"pathsel/internal/stats"
+	"pathsel/internal/tcpmodel"
+)
+
+func main() {
+	metricStr := flag.String("metric", "rtt", "metric: rtt, loss, prop or bw")
+	maxVia := flag.Int("maxvia", 0, "max intermediate hosts per alternate (0 = unlimited)")
+	plot := flag.Bool("plot", false, "draw an ASCII CDF")
+	episodes := flag.Bool("episodes", false, "run the simultaneous-episode analysis instead")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-plot] [-episodes] dataset.gob.gz")
+		os.Exit(2)
+	}
+	if err := run(*metricStr, *maxVia, *plot, *episodes, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "altpath:", err)
+		os.Exit(1)
+	}
+}
+
+func run(metricStr string, maxVia int, plot, episodes bool, path string) error {
+	ds, err := dataset.Load(path)
+	if err != nil {
+		return err
+	}
+	c := ds.Characteristics()
+	fmt.Printf("dataset %s: %d hosts, %d measurements, %.0f%% coverage\n",
+		c.Name, c.Hosts, c.Measurements, c.PercentCovered)
+	analyzer := core.NewAnalyzer(ds)
+
+	if episodes {
+		return runEpisodes(analyzer)
+	}
+	if metricStr == "bw" {
+		return runBandwidth(analyzer)
+	}
+
+	var metric core.Metric
+	switch metricStr {
+	case "rtt":
+		metric = core.MetricRTT
+	case "loss":
+		metric = core.MetricLoss
+	case "prop":
+		metric = core.MetricPropDelay
+	default:
+		return fmt.Errorf("unknown metric %q", metricStr)
+	}
+	results, err := analyzer.BestAlternates(metric, maxVia)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no comparable pairs in dataset")
+	}
+	cdf := core.ImprovementCDF(results)
+	fmt.Printf("\n%s improvement (default - best alternate): %s\n", metric, report.CDFSummary(cdf))
+
+	verdicts := core.ClassifyVerdicts(results, 0.95)
+	b, i, w, z := verdicts.Percent()
+	fmt.Printf("at 95%% confidence: better %.0f%%, indeterminate %.0f%%, worse %.0f%%", b, i, w)
+	if verdicts.BothZero > 0 {
+		fmt.Printf(", both zero %.0f%%", z)
+	}
+	fmt.Println()
+
+	// The five best wins, with their relay hosts.
+	top := results
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].Improvement() > top[i].Improvement() {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	n := 5
+	if n > len(top) {
+		n = len(top)
+	}
+	fmt.Println("\nlargest improvements:")
+	for _, r := range top[:n] {
+		fmt.Printf("  %v: %.3g -> %.3g via %v\n", r.Key, r.DefaultValue, r.AltValue, r.Via)
+	}
+
+	if plot {
+		lo, _ := cdf.Quantile(0.02)
+		hi, _ := cdf.Quantile(0.98)
+		if hi > lo {
+			fmt.Println()
+			fmt.Print(report.AsciiCDF(cdf, lo, hi, 12, 64))
+		}
+	}
+	return nil
+}
+
+// runBandwidth runs the one-hop Mathis-model bandwidth comparison under
+// both loss-composition modes.
+func runBandwidth(analyzer *core.Analyzer) error {
+	model := tcpmodel.Default()
+	for _, mode := range []core.BandwidthMode{core.Pessimistic, core.Optimistic} {
+		results, err := analyzer.BestBandwidthAlternates(model, mode)
+		if err != nil {
+			return err
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("no transfer measurements in dataset (collect with -method transfer)")
+		}
+		vals := make([]float64, len(results))
+		better := 0
+		for i, r := range results {
+			vals[i] = r.Improvement()
+			if r.Improvement() > 0 {
+				better++
+			}
+		}
+		cdf := stats.NewCDF(vals)
+		fmt.Printf("\nbandwidth improvement, %s composition: %s\n", mode, report.CDFSummary(cdf))
+		fmt.Printf("  %d of %d pairs have a better-bandwidth relay (%.0f%%)\n",
+			better, len(results), 100*float64(better)/float64(len(results)))
+	}
+	return nil
+}
+
+// runEpisodes runs the simultaneous-measurement analysis.
+func runEpisodes(analyzer *core.Analyzer) error {
+	res, err := analyzer.AnalyzeEpisodes()
+	if err != nil {
+		return err
+	}
+	pa := stats.NewCDF(res.PairAveraged)
+	raw := stats.NewCDF(res.Unaveraged)
+	fmt.Printf("\npair-averaged episode improvement: %s\n", report.CDFSummary(pa))
+	fmt.Printf("unaveraged episode improvement:    %s\n", report.CDFSummary(raw))
+	if len(res.RelayChurn) > 0 {
+		sum := 0.0
+		for _, c := range res.RelayChurn {
+			sum += c
+		}
+		fmt.Printf("best-relay churn between consecutive episodes: %.0f%% mean\n",
+			100*sum/float64(len(res.RelayChurn)))
+	}
+	return nil
+}

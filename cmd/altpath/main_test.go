@@ -1,0 +1,101 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pathsel/internal/dataset"
+	"pathsel/internal/netsim"
+	"pathsel/internal/topology"
+)
+
+// writeTestDataset builds a small hand-made dataset on disk.
+func writeTestDataset(t *testing.T) string {
+	t.Helper()
+	ds := dataset.New("cli-test", []topology.HostID{0, 1, 2})
+	add := func(src, dst int, rtt float64, n int) {
+		k := dataset.PairKey{Src: topology.HostID(src), Dst: topology.HostID(dst)}
+		for i := 0; i < n; i++ {
+			ds.RecordEcho(k, netsim.Time(i), []float64{rtt + float64(i%5)}, []bool{false}, nil, 1)
+		}
+	}
+	add(0, 1, 100, 40)
+	add(0, 2, 20, 40)
+	add(2, 1, 20, 40)
+	path := filepath.Join(t.TempDir(), "ds.gob.gz")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMetrics(t *testing.T) {
+	path := writeTestDataset(t)
+	for _, metric := range []string{"rtt", "loss", "prop"} {
+		if err := run(metric, 0, true, false, path); err != nil {
+			t.Errorf("metric %s: %v", metric, err)
+		}
+	}
+}
+
+func TestRunOneHop(t *testing.T) {
+	path := writeTestDataset(t)
+	if err := run("rtt", 1, false, false, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestDataset(t)
+	if err := run("bogus", 0, false, false, path); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if err := run("rtt", 0, false, false, filepath.Join(t.TempDir(), "missing.gob.gz")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A dataset with no comparable pairs must error cleanly.
+	empty := dataset.New("empty", []topology.HostID{0, 1})
+	p := filepath.Join(t.TempDir(), "empty.gob.gz")
+	if err := empty.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("rtt", 0, false, false, p); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestRunBandwidthAndEpisodes(t *testing.T) {
+	// Bandwidth needs transfers; episodes need episode data.
+	ds := dataset.New("bw", []topology.HostID{0, 1, 2})
+	for i := 0; i < 3; i++ {
+		ds.RecordTransfer(dataset.PairKey{Src: 0, Dst: 1},
+			dataset.TransferSample{MeanRTTMs: 200, LossRate: 0.03, Packets: 100})
+		ds.RecordTransfer(dataset.PairKey{Src: 0, Dst: 2},
+			dataset.TransferSample{MeanRTTMs: 50, LossRate: 0.01, Packets: 100})
+		ds.RecordTransfer(dataset.PairKey{Src: 2, Dst: 1},
+			dataset.TransferSample{MeanRTTMs: 50, LossRate: 0.01, Packets: 100})
+	}
+	ds.AddEpisode(&dataset.Episode{At: 0, RTTMs: map[dataset.PairKey]float64{
+		{Src: 0, Dst: 1}: 100, {Src: 0, Dst: 2}: 20, {Src: 2, Dst: 1}: 20,
+	}})
+	p := filepath.Join(t.TempDir(), "bw.gob.gz")
+	if err := ds.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bw", 0, false, false, p); err != nil {
+		t.Errorf("bandwidth run: %v", err)
+	}
+	if err := run("rtt", 0, false, true, p); err != nil {
+		t.Errorf("episodes run: %v", err)
+	}
+	// A dataset without transfers fails the bw metric cleanly.
+	empty := dataset.New("no-transfers", []topology.HostID{0, 1})
+	empty.RecordEcho(dataset.PairKey{Src: 0, Dst: 1}, 0, []float64{1}, []bool{false}, nil, 1)
+	p2 := filepath.Join(t.TempDir(), "nt.gob.gz")
+	if err := empty.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bw", 0, false, false, p2); err == nil {
+		t.Error("bw on transfer-less dataset should error")
+	}
+}

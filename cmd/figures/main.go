@@ -1,0 +1,378 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation on the synthetic Internet: it builds the eight datasets of
+// Table 1 and runs the alternate-path analysis behind Figures 1-16 and
+// Tables 2-3, printing a text report and optionally dumping each CDF as
+// tab-separated data for plotting.
+//
+// Usage:
+//
+//	figures [-preset quick|full] [-seed N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pathsel/internal/core"
+	"pathsel/internal/experiments"
+	"pathsel/internal/report"
+)
+
+func main() {
+	preset := flag.String("preset", "full", "campaign scale: quick or full")
+	seed := flag.Int64("seed", 1, "master seed for topology, network and campaigns")
+	out := flag.String("out", "", "directory for per-figure CDF data files (optional)")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	switch *preset {
+	case "quick":
+		cfg.Preset = experiments.Quick
+	case "full":
+		cfg.Preset = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown preset %q (want quick or full)\n", *preset)
+		os.Exit(2)
+	}
+	if err := run(cfg, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, outDir string) error {
+	fmt.Printf("building %s suite (seed %d)...\n", cfg.Preset, cfg.Seed)
+	s, err := experiments.Build(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n== Table 1: dataset characteristics ==")
+	rows := [][]string{{"Dataset", "Hosts", "Measurements", "Paths covered"}}
+	for _, c := range experiments.Table1(s) {
+		rows = append(rows, []string{
+			c.Name, fmt.Sprint(c.Hosts), fmt.Sprint(c.Measurements),
+			fmt.Sprintf("%.0f%%", c.PercentCovered),
+		})
+	}
+	if err := report.Table(os.Stdout, rows); err != nil {
+		return err
+	}
+
+	type seriesFig struct {
+		id    string
+		title string
+		fn    func(*experiments.Suite) ([]experiments.Series, error)
+	}
+	for _, fig := range []seriesFig{
+		{"figure1", "Figure 1: CDF of mean RTT difference (default - best alternate)", experiments.Figure1},
+		{"figure2", "Figure 2: CDF of RTT ratio (default / best alternate)", experiments.Figure2},
+		{"figure3", "Figure 3: CDF of mean loss-rate difference", experiments.Figure3},
+		{"figure4", "Figure 4: CDF of bandwidth difference (one-hop alternates)", experiments.Figure4},
+		{"figure5", "Figure 5: CDF of bandwidth ratio", experiments.Figure5},
+		{"figure6", "Figure 6: mean vs median RTT improvement (one-hop, D2-NA)", experiments.Figure6},
+		{"figure9", "Figure 9: RTT improvement by time of day (UW3)", experiments.Figure9},
+		{"figure10", "Figure 10: loss improvement by time of day (UW3)", experiments.Figure10},
+		{"figure11", "Figure 11: long-term average vs simultaneous episodes (UW4)", experiments.Figure11},
+		{"figure15", "Figure 15: propagation delay vs mean RTT improvement (UW3)", experiments.Figure15},
+	} {
+		series, err := fig.fn(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fig.id, err)
+		}
+		fmt.Printf("\n== %s ==\n", fig.title)
+		for _, sr := range series {
+			fmt.Printf("  %-26s %s\n", sr.Name, report.CDFSummary(sr.CDF))
+			if outDir != "" {
+				if err := dumpSeries(outDir, fig.id, sr); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for id, fn := range map[string]func(*experiments.Suite) ([]core.CIPoint, error){
+		"figure7": experiments.Figure7, "figure8": experiments.Figure8,
+	} {
+		pts, err := fn(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		wide := 0
+		for _, p := range pts {
+			if p.HalfWidth > 0 {
+				wide++
+			}
+		}
+		fmt.Printf("\n== %s: %d pairs, %d with nonzero 95%% confidence half-widths ==\n", id, len(pts), wide)
+		if outDir != "" {
+			if err := dumpCIPoints(outDir, id, pts); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, tab := range []struct {
+		id    string
+		title string
+		fn    func(*experiments.Suite) ([]experiments.VerdictRow, error)
+	}{
+		{"table2", "Table 2: mean RTT at 95% confidence", experiments.Table2},
+		{"table3", "Table 3: mean loss rate at 95% confidence", experiments.Table3},
+	} {
+		vrows, err := tab.fn(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tab.id, err)
+		}
+		fmt.Printf("\n== %s ==\n", tab.title)
+		trows := [][]string{{"Alternate is", "UW1", "UW3", "D2-NA", "D2"}}
+		kinds := []string{"Better", "Indeterminate", "Worse", "Is zero"}
+		for ki, kind := range kinds {
+			row := []string{kind}
+			for _, vr := range vrows {
+				b, i, w, z := vr.Counts.Percent()
+				v := []float64{b, i, w, z}[ki]
+				row = append(row, fmt.Sprintf("%.0f%%", v))
+			}
+			trows = append(trows, row)
+		}
+		if err := report.Table(os.Stdout, trows); err != nil {
+			return err
+		}
+	}
+
+	res12, err := experiments.Figure12(s)
+	if err != nil {
+		return fmt.Errorf("figure12: %w", err)
+	}
+	fmt.Println("\n== Figure 12: greedy removal of most influential hosts (UW3) ==")
+	fmt.Printf("  %-26s %s\n", res12.All.Name, report.CDFSummary(res12.All.CDF))
+	fmt.Printf("  %-26s %s\n", res12.Without.Name, report.CDFSummary(res12.Without.CDF))
+	fmt.Print("  removed:")
+	for _, st := range res12.Removed {
+		fmt.Printf(" %d", st.Removed)
+	}
+	fmt.Println()
+	if outDir != "" {
+		if err := dumpSeries(outDir, "figure12", res12.All); err != nil {
+			return err
+		}
+		if err := dumpSeries(outDir, "figure12", res12.Without); err != nil {
+			return err
+		}
+	}
+
+	sr13, err := experiments.Figure13(s)
+	if err != nil {
+		return fmt.Errorf("figure13: %w", err)
+	}
+	fmt.Println("\n== Figure 13: per-host normalized improvement contribution (UW3) ==")
+	fmt.Printf("  %s\n", report.CDFSummary(sr13.CDF))
+	if outDir != "" {
+		if err := dumpSeries(outDir, "figure13", sr13); err != nil {
+			return err
+		}
+	}
+
+	counts14, err := experiments.Figure14(s)
+	if err != nil {
+		return fmt.Errorf("figure14: %w", err)
+	}
+	fmt.Printf("\n== Figure 14: AS appearances in default vs alternate paths (UW1): %d ASes ==\n", len(counts14))
+	{
+		xs := make([]float64, len(counts14))
+		ys := make([]float64, len(counts14))
+		for i, c := range counts14 {
+			xs[i], ys[i] = float64(c.Direct), float64(c.Alternate)
+		}
+		if plot := report.AsciiScatter(xs, ys, 12, 56); plot != "" {
+			fmt.Print(plot)
+			fmt.Println("  (x: default paths through AS, y: alternate paths through AS)")
+		}
+	}
+	if outDir != "" {
+		var b strings.Builder
+		for _, c := range counts14 {
+			fmt.Fprintf(&b, "%d\t%d\t%d\n", c.AS, c.Direct, c.Alternate)
+		}
+		if err := os.WriteFile(filepath.Join(outDir, "figure14.dat"), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	decs, err := experiments.Figure16(s)
+	if err != nil {
+		return fmt.Errorf("figure16: %w", err)
+	}
+	census := core.GroupCensus(decs)
+	fmt.Printf("\n== Figure 16: propagation vs queuing decomposition (UW3, %d pairs) ==\n", len(decs))
+	for g := core.Group1; g <= core.Group6; g++ {
+		fmt.Printf("  group %d: %d\n", int(g), census[g])
+	}
+	{
+		xs := make([]float64, len(decs))
+		ys := make([]float64, len(decs))
+		for i, d := range decs {
+			xs[i], ys[i] = d.TotalDiff, d.PropDiff
+		}
+		if plot := report.AsciiScatter(xs, ys, 12, 56); plot != "" {
+			fmt.Print(plot)
+			fmt.Println("  (x: mean-RTT difference, y: propagation-delay difference)")
+		}
+	}
+	if outDir != "" {
+		var b strings.Builder
+		for _, d := range decs {
+			fmt.Fprintf(&b, "%g\t%g\t%d\n", d.TotalDiff, d.PropDiff, int(d.Group))
+		}
+		if err := os.WriteFile(filepath.Join(outDir, "figure16.dat"), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	// Extension experiments (see EXPERIMENTS.md, Extensions): analyses
+	// the original study could not run on the real Internet.
+	cons, err := experiments.ValidateConservativity(s)
+	if err != nil {
+		return fmt.Errorf("conservativity: %w", err)
+	}
+	fmt.Println("\n== Extension: source-routing validation of the conservativity claim ==")
+	fmt.Printf("  pairs %d, predicted better %d, confirmed by source routing %.0f%%, estimate conservative %.0f%%\n",
+		cons.Pairs, cons.PredictedBetter, 100*cons.ConfirmationFraction(), 100*cons.ConservativeFraction())
+
+	tri, err := experiments.Triangulation(s)
+	if err != nil {
+		return fmt.Errorf("triangulation: %w", err)
+	}
+	viol := 0
+	for _, r := range tri {
+		if r.ViolatesTriangle() {
+			viol++
+		}
+	}
+	fmt.Println("\n== Extension: host-distance triangulation (FJP+99-style) ==")
+	fmt.Printf("  triangle-inequality violations: %d of %d pairs (%.0f%%)\n",
+		viol, len(tri), 100*float64(viol)/float64(len(tri)))
+
+	dyn, err := experiments.RouteDynamics(s, cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("route dynamics: %w", err)
+	}
+	fmt.Println("\n== Extension: route dynamics (Paxson-style dominance census) ==")
+	fmt.Printf("  %d routing epochs; %d of %d pairs dominated by one route (mean dominance %.2f, max %d routes)\n",
+		dyn.Epochs, dyn.DominatedPairs, dyn.Pairs, dyn.MeanDominantFraction, dyn.MaxDistinctRoutes)
+
+	_, infl, err := experiments.PathInflation(s)
+	if err != nil {
+		return fmt.Errorf("path inflation: %w", err)
+	}
+	ep, err := core.NewAnalyzer(s.UW4A).AnalyzeEpisodes()
+	if err != nil {
+		return fmt.Errorf("episode churn: %w", err)
+	}
+	if len(ep.RelayChurn) > 0 {
+		sum := 0.0
+		for _, c := range ep.RelayChurn {
+			sum += c
+		}
+		fmt.Println("\n== Extension: best-relay churn across UW4-A episodes ==")
+		fmt.Printf("  mean churn %.0f%%: consecutive episodes pick a different best relay for the\n",
+			100*sum/float64(len(ep.RelayChurn)))
+		fmt.Println("  same pair that often (Section 6.4's \"different alternate paths being")
+		fmt.Println("  selected as best in each episode\")")
+	}
+
+	tcpv, err := experiments.ValidateTCPModel(s, cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("tcp model validation: %w", err)
+	}
+	fmt.Println("\n== Extension: Mathis-model validation against simulated TCP Reno ==")
+	fmt.Printf("  %d N2 paths: rank correlation %.3f, median sim/model ratio %.2f, %.0f%% within 2x\n",
+		tcpv.Pairs, tcpv.RankCorrelation, tcpv.MedianRatio, 100*tcpv.WithinFactor2)
+
+	fmt.Println("\n== Extension: path inflation vs the policy-free optimum ==")
+	fmt.Printf("  median inflation %.2fx, p90 %.2fx; %.0f%% of pairs inflated >=20%%;\n",
+		infl.MedianInflation, infl.P90Inflation, 100*infl.InflatedFraction)
+	fmt.Printf("  alternates recover a mean %.0f%% of the gap (>=half the gap for %.0f%% of inflated pairs)\n",
+		100*infl.MeanRecovery, 100*infl.HalfRecoveredFraction)
+
+	cross, err := experiments.CrossMetrics(s)
+	if err != nil {
+		return fmt.Errorf("cross metrics: %w", err)
+	}
+	fmt.Println("\n== Extension: cross-metric agreement of best alternates ==")
+	fmt.Printf("  RTT-best alternates that also improve loss: %d of %d (%.0f%%)\n",
+		cross.RTTAlsoLoss, cross.RTTWinners, 100*float64(cross.RTTAlsoLoss)/float64(cross.RTTWinners))
+	fmt.Printf("  loss-best alternates that also improve RTT: %d of %d (%.0f%%)\n",
+		cross.LossAlsoRTT, cross.LossWinners, 100*float64(cross.LossAlsoRTT)/float64(cross.LossWinners))
+
+	causes, err := experiments.CauseAblation(experiments.Config{Seed: cfg.Seed})
+	if err != nil {
+		return fmt.Errorf("cause ablation: %w", err)
+	}
+	fmt.Println("\n== Extension: mechanism ablation (one modeled cause removed at a time) ==")
+	crows := [][]string{{"Variant", "Alt better", "Median gain (ms)", "Mean default RTT (ms)"}}
+	for _, r := range causes {
+		crows = append(crows, []string{
+			r.Variant,
+			fmt.Sprintf("%.0f%%", 100*r.BetterFraction),
+			fmt.Sprintf("%.1f", r.MedianImprovement),
+			fmt.Sprintf("%.1f", r.MeanDefaultRTT),
+		})
+	}
+	if err := report.Table(os.Stdout, crows); err != nil {
+		return err
+	}
+
+	fracs, err := experiments.SeedSensitivity(cfg.Seed, 5)
+	if err != nil {
+		return fmt.Errorf("seed sensitivity: %w", err)
+	}
+	fmt.Print("\n== Extension: seed sensitivity of the headline fraction ==\n  better-alternate fraction across 5 topology seeds:")
+	for _, f := range fracs {
+		fmt.Printf(" %.0f%%", 100*f)
+	}
+	fmt.Println()
+	return nil
+}
+
+func dumpSeries(dir, figID string, sr experiments.Series) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-%s.dat", figID, sanitize(sr.Name))
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.DumpCDF(f, sr.CDF, 500)
+}
+
+func dumpCIPoints(dir, figID string, pts []core.CIPoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for i, p := range pts {
+		frac := float64(i+1) / float64(len(pts))
+		fmt.Fprintf(&b, "%g\t%.4f\t%g\n", p.Improvement, frac, p.HalfWidth)
+	}
+	return os.WriteFile(filepath.Join(dir, figID+".dat"), []byte(b.String()), 0o644)
+}
+
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+	return strings.Trim(s, "-")
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathsel/internal/experiments"
+)
+
+func TestRunQuickWritesAllFigureData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full quick suite and runs every analysis")
+	}
+	dir := t.TempDir()
+	if err := run(experiments.Config{Seed: 1, Preset: experiments.Quick}, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name()] = true
+	}
+	// Every figure must have dumped at least one data file.
+	for _, fig := range []string{
+		"figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+		"figure7", "figure8", "figure9", "figure10", "figure11",
+		"figure12", "figure13", "figure14", "figure15", "figure16",
+	} {
+		found := false
+		for n := range names {
+			if strings.HasPrefix(n, fig+".") || strings.HasPrefix(n, fig+"-") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no data file for %s (have %v)", fig, names)
+		}
+	}
+	// Data files are tab-separated numbers.
+	b, err := os.ReadFile(filepath.Join(dir, "figure14.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) < 5 {
+		t.Errorf("figure14.dat too short: %d lines", len(lines))
+	}
+	for _, ln := range lines {
+		if len(strings.Split(ln, "\t")) != 3 {
+			t.Errorf("figure14.dat line %q not 3 columns", ln)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"UW3":               "uw3",
+		"N2 pessimistic":    "n2-pessimistic",
+		"all UW3 hosts":     "all-uw3-hosts",
+		"without 'top ten'": "without--top-ten",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathsel/internal/dataset"
+	"pathsel/internal/trace"
+)
+
+func TestRunSavesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.gob.gz")
+	err := run("1999", "na", 8, 1, 1.0, 60, "pairs", "traceroute", 10, out, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Paths) == 0 {
+		t.Error("saved dataset has no paths")
+	}
+	c := ds.Characteristics()
+	if c.Hosts < 2 || c.Measurements == 0 {
+		t.Errorf("characteristics %+v", c)
+	}
+}
+
+func TestRunTransfer(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "n2.gob.gz")
+	if err := run("1995", "world", 8, 2, 1.0, 120, "pairs", "transfer", 0, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range ds.PairKeys() {
+		if len(ds.Paths[k].Transfers) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transfer campaign recorded no transfers")
+	}
+}
+
+func TestRunEpisodes(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ep.gob.gz")
+	if err := run("1999", "na", 6, 3, 0.5, 7200, "episodes", "traceroute", 0, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Episodes) == 0 {
+		t.Error("episode campaign recorded no episodes")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.gob.gz")
+	cases := []struct {
+		era, region, sched, method string
+	}{
+		{"2024", "na", "pairs", "traceroute"},
+		{"1999", "mars", "pairs", "traceroute"},
+		{"1999", "na", "bogus", "traceroute"},
+		{"1999", "na", "pairs", "bogus"},
+	}
+	for _, c := range cases {
+		if err := run(c.era, c.region, 8, 1, 1, 60, c.sched, c.method, 0, out, ""); err == nil {
+			t.Errorf("bad flags %+v accepted", c)
+		}
+	}
+}
+
+func TestRunWithTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.gob.gz")
+	tr := filepath.Join(dir, "traces.txt")
+	if err := run("1999", "na", 6, 4, 0.5, 120, "pairs", "traceroute", 0, out, tr); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 50 {
+		t.Fatalf("only %d trace records", len(recs))
+	}
+	for _, r := range recs[:10] {
+		if len(r.Hops) < 2 || len(r.Samples) == 0 {
+			t.Fatalf("thin record %+v", r)
+		}
+	}
+}

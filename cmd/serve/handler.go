@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"sync"
+
+	"pathsel/internal/core"
+	"pathsel/internal/experiments"
+	"pathsel/internal/stats"
+)
+
+// handler serves the suite's analyses. Figure computations are memoized
+// per figure (they are deterministic), so repeated requests are cheap;
+// the mutex keeps the memoization safe under concurrent requests.
+type handler struct {
+	suite *experiments.Suite
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	figures map[string][]experiments.Series
+}
+
+func newHandler(s *experiments.Suite) http.Handler {
+	h := &handler{suite: s, mux: http.NewServeMux(), figures: map[string][]experiments.Series{}}
+	h.mux.HandleFunc("GET /{$}", h.index)
+	h.mux.HandleFunc("GET /api/table1", h.table1)
+	h.mux.HandleFunc("GET /api/table/{n}", h.verdictTable)
+	h.mux.HandleFunc("GET /api/figure/{n}", h.figure)
+	h.mux.HandleFunc("GET /api/cdf/{fig}/{series}", h.cdf)
+	return h.mux
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// seriesFigures maps figure numbers to their drivers. Figures with
+// non-series output (7, 8, 12, 13, 14, 16) are adapted below.
+var seriesFigures = map[string]func(*experiments.Suite) ([]experiments.Series, error){
+	"1": experiments.Figure1, "2": experiments.Figure2, "3": experiments.Figure3,
+	"4": experiments.Figure4, "5": experiments.Figure5, "6": experiments.Figure6,
+	"9": experiments.Figure9, "10": experiments.Figure10, "11": experiments.Figure11,
+	"15": experiments.Figure15,
+}
+
+// series returns (memoized) curves for a figure number, including the
+// adapted non-series figures.
+func (h *handler) series(n string) ([]experiments.Series, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s, ok := h.figures[n]; ok {
+		return s, nil
+	}
+	var out []experiments.Series
+	var err error
+	switch n {
+	case "7", "8":
+		fn := experiments.Figure7
+		if n == "8" {
+			fn = experiments.Figure8
+		}
+		var pts []core.CIPoint
+		pts, err = fn(h.suite)
+		if err == nil {
+			vals := make([]float64, len(pts))
+			for i, p := range pts {
+				vals[i] = p.Improvement
+			}
+			out = []experiments.Series{{Name: "improvement", CDF: stats.NewCDF(vals)}}
+		}
+	case "12":
+		var res experiments.Figure12Result
+		res, err = experiments.Figure12(h.suite)
+		if err == nil {
+			out = []experiments.Series{res.All, res.Without}
+		}
+	case "13":
+		var sr experiments.Series
+		sr, err = experiments.Figure13(h.suite)
+		if err == nil {
+			out = []experiments.Series{sr}
+		}
+	case "14":
+		var counts []core.ASCount
+		counts, err = experiments.Figure14(h.suite)
+		if err == nil {
+			direct := make([]float64, len(counts))
+			alt := make([]float64, len(counts))
+			for i, c := range counts {
+				direct[i] = float64(c.Direct)
+				alt[i] = float64(c.Alternate)
+			}
+			out = []experiments.Series{
+				{Name: "direct", CDF: stats.NewCDF(direct)},
+				{Name: "alternate", CDF: stats.NewCDF(alt)},
+			}
+		}
+	case "16":
+		var decs []core.DelayDecomposition
+		decs, err = experiments.Figure16(h.suite)
+		if err == nil {
+			total := make([]float64, len(decs))
+			prop := make([]float64, len(decs))
+			for i, d := range decs {
+				total[i] = d.TotalDiff
+				prop[i] = d.PropDiff
+			}
+			out = []experiments.Series{
+				{Name: "total", CDF: stats.NewCDF(total)},
+				{Name: "propagation", CDF: stats.NewCDF(prop)},
+			}
+		}
+	default:
+		fn, ok := seriesFigures[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown figure %q", n)
+		}
+		out, err = fn(h.suite)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h.figures[n] = out
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (h *handler) table1(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, experiments.Table1(h.suite))
+}
+
+type verdictJSON struct {
+	Dataset       string  `json:"dataset"`
+	Better        float64 `json:"betterPct"`
+	Indeterminate float64 `json:"indeterminatePct"`
+	Worse         float64 `json:"worsePct"`
+	BothZero      float64 `json:"bothZeroPct"`
+}
+
+func (h *handler) verdictTable(w http.ResponseWriter, r *http.Request) {
+	var rows []experiments.VerdictRow
+	var err error
+	switch r.PathValue("n") {
+	case "2":
+		rows, err = experiments.Table2(h.suite)
+	case "3":
+		rows, err = experiments.Table3(h.suite)
+	default:
+		http.Error(w, "unknown table (want 2 or 3)", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out := make([]verdictJSON, len(rows))
+	for i, row := range rows {
+		b, ind, wo, z := row.Counts.Percent()
+		out[i] = verdictJSON{Dataset: row.Dataset, Better: b, Indeterminate: ind, Worse: wo, BothZero: z}
+	}
+	writeJSON(w, out)
+}
+
+type seriesJSON struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Median      float64 `json:"median"`
+	P90         float64 `json:"p90"`
+	FracAbove0  float64 `json:"fracAboveZero"`
+	CDFEndpoint string  `json:"cdf"`
+}
+
+func (h *handler) figure(w http.ResponseWriter, r *http.Request) {
+	n := r.PathValue("n")
+	series, err := h.series(n)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	out := make([]seriesJSON, 0, len(series))
+	for _, sr := range series {
+		med, _ := sr.CDF.Quantile(0.5)
+		p90, _ := sr.CDF.Quantile(0.9)
+		out = append(out, seriesJSON{
+			Name: sr.Name, N: sr.CDF.N(), Median: med, P90: p90,
+			FracAbove0:  sr.CDF.FractionAbove(0),
+			CDFEndpoint: fmt.Sprintf("/api/cdf/%s/%s", n, slug(sr.Name)),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (h *handler) cdf(w http.ResponseWriter, r *http.Request) {
+	series, err := h.series(r.PathValue("fig"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	want := r.PathValue("series")
+	for _, sr := range series {
+		if slug(sr.Name) != want {
+			continue
+		}
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		for _, p := range sr.CDF.Points() {
+			fmt.Fprintf(w, "%g\t%.4f\n", p.X, p.Frac)
+		}
+		return
+	}
+	http.Error(w, "unknown series", http.StatusNotFound)
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>pathsel results</title></head><body>
+<h1>The End-to-End Effects of Internet Path Selection — reproduction</h1>
+<p>Suite: {{.Preset}} preset, seed {{.Seed}}.</p>
+<ul>
+<li><a href="/api/table1">Table 1: dataset characteristics</a></li>
+<li><a href="/api/table/2">Table 2: RTT verdicts</a> · <a href="/api/table/3">Table 3: loss verdicts</a></li>
+{{range .Figures}}<li><a href="/api/figure/{{.}}">Figure {{.}}</a></li>
+{{end}}</ul>
+</body></html>`))
+
+func (h *handler) index(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	figures := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16"}
+	err := indexTmpl.Execute(w, map[string]any{
+		"Preset":  h.suite.Config.Preset.String(),
+		"Seed":    h.suite.Config.Seed,
+		"Figures": figures,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// slug normalizes a series name for URLs.
+func slug(s string) string {
+	s = strings.ToLower(s)
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pathsel/internal/experiments"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	suiteErr  error
+)
+
+func testHandler(t *testing.T) http.Handler {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = experiments.Build(experiments.Config{Seed: 1, Preset: experiments.Quick})
+	})
+	if suiteErr != nil {
+		t.Fatalf("Build: %v", suiteErr)
+	}
+	return newHandler(suite)
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndex(t *testing.T) {
+	h := testHandler(t)
+	rec := get(t, h, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "Figure 16") || !strings.Contains(body, "Table 1") {
+		t.Errorf("index missing links:\n%s", body)
+	}
+}
+
+func TestTable1JSON(t *testing.T) {
+	h := testHandler(t)
+	rec := get(t, h, "/api/table1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var rows []struct {
+		Name         string
+		Hosts        int
+		Measurements int
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Name != "D2-NA" || rows[0].Hosts == 0 {
+		t.Errorf("unexpected first row %+v", rows[0])
+	}
+}
+
+func TestVerdictTables(t *testing.T) {
+	h := testHandler(t)
+	for _, n := range []string{"2", "3"} {
+		rec := get(t, h, "/api/table/"+n)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("table %s: status %d", n, rec.Code)
+		}
+		var rows []struct {
+			Dataset       string  `json:"dataset"`
+			Better        float64 `json:"betterPct"`
+			Indeterminate float64 `json:"indeterminatePct"`
+			Worse         float64 `json:"worsePct"`
+			BothZero      float64 `json:"bothZeroPct"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+			t.Fatalf("table %s: bad JSON: %v", n, err)
+		}
+		if len(rows) != 4 {
+			t.Fatalf("table %s: %d rows", n, len(rows))
+		}
+		sum := rows[0].Better + rows[0].Indeterminate + rows[0].Worse + rows[0].BothZero
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("table %s: percentages sum to %f", n, sum)
+		}
+	}
+	if rec := get(t, h, "/api/table/9"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown table gave status %d", rec.Code)
+	}
+}
+
+func TestEveryFigureServes(t *testing.T) {
+	h := testHandler(t)
+	for _, n := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16"} {
+		rec := get(t, h, "/api/figure/"+n)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("figure %s: status %d: %s", n, rec.Code, rec.Body.String())
+		}
+		var series []struct {
+			Name string `json:"name"`
+			N    int    `json:"n"`
+			CDF  string `json:"cdf"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &series); err != nil {
+			t.Fatalf("figure %s: bad JSON: %v", n, err)
+		}
+		if len(series) == 0 {
+			t.Fatalf("figure %s: no series", n)
+		}
+		for _, sr := range series {
+			if sr.N == 0 {
+				t.Errorf("figure %s series %s empty", n, sr.Name)
+			}
+		}
+	}
+	if rec := get(t, h, "/api/figure/99"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown figure gave status %d", rec.Code)
+	}
+}
+
+func TestCDFEndpoint(t *testing.T) {
+	h := testHandler(t)
+	// Discover a series name from figure 1's JSON.
+	rec := get(t, h, "/api/figure/1")
+	var series []struct {
+		CDF string `json:"cdf"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &series); err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, h, series[0].CDF)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cdf endpoint %s: status %d", series[0].CDF, rec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d CDF lines", len(lines))
+	}
+	for _, ln := range lines {
+		if len(strings.Split(ln, "\t")) != 2 {
+			t.Fatalf("line %q not 2 columns", ln)
+		}
+	}
+	// Final fraction reaches 1.
+	if !strings.HasSuffix(lines[len(lines)-1], "1.0000") {
+		t.Errorf("last line %q should reach 1.0", lines[len(lines)-1])
+	}
+	if rec := get(t, h, "/api/cdf/1/el-chupacabra"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown series gave status %d", rec.Code)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	h := testHandler(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := []string{"1", "3", "9", "15"}[i%4]
+			rec := get(t, h, "/api/figure/"+n)
+			if rec.Code != http.StatusOK {
+				t.Errorf("figure %s: status %d", n, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

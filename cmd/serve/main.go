@@ -1,0 +1,81 @@
+// Command serve exposes the reproduction's results over HTTP: it builds
+// the dataset suite once and serves the tables, figure CDFs, and
+// extension summaries as JSON and TSV, with a small HTML index. Useful
+// for plugging the reproduction into plotting notebooks or dashboards
+// without touching Go.
+//
+// Usage:
+//
+//	serve [-addr :8410] [-preset quick|full] [-seed N]
+//
+// Endpoints:
+//
+//	GET /                   HTML index
+//	GET /api/table1         dataset characteristics (JSON)
+//	GET /api/table/{2|3}    verdict tables (JSON)
+//	GET /api/figure/{1..16} figure series (JSON)
+//	GET /api/cdf/{fig}/{series}  one curve as x<TAB>fraction lines
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"pathsel/internal/experiments"
+)
+
+func main() {
+	addr := flag.String("addr", ":8410", "listen address")
+	preset := flag.String("preset", "quick", "campaign scale: quick or full")
+	seed := flag.Int64("seed", 1, "suite seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	switch *preset {
+	case "quick":
+		cfg.Preset = experiments.Quick
+	case "full":
+		cfg.Preset = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	log.Printf("building %s suite (seed %d)...", cfg.Preset, cfg.Seed)
+	start := time.Now()
+	suite, err := experiments.Build(cfg)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("suite ready in %v", time.Since(start).Round(time.Millisecond))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(suite),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful shutdown on interrupt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("serve: shutdown: %v", err)
+		}
+	}
+}

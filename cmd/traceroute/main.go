@@ -1,0 +1,135 @@
+// Command traceroute generates a synthetic Internet and runs a simulated
+// traceroute between two of its measurement hosts, printing the
+// router-level forward path with per-hop AS, location, and cumulative
+// delay — a direct view of the policy-routed default paths whose quality
+// the rest of the toolchain analyzes.
+//
+// Usage:
+//
+//	traceroute [-era 1995|1999] [-seed N] [-hour H] [src dst]
+//
+// Without arguments it lists the available hosts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/forward"
+	"pathsel/internal/igp"
+	"pathsel/internal/netsim"
+	"pathsel/internal/probe"
+	"pathsel/internal/topology"
+)
+
+func main() {
+	eraStr := flag.String("era", "1999", "infrastructure era: 1995 or 1999")
+	seed := flag.Int64("seed", 1, "topology seed")
+	hour := flag.Float64("hour", 13, "simulated time of day (PST hours, Wednesday)")
+	flag.Parse()
+
+	if err := run(*eraStr, *seed, *hour, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "traceroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run(eraStr string, seed int64, hour float64, args []string) error {
+	var era topology.Era
+	switch eraStr {
+	case "1995":
+		era = topology.Era1995
+	case "1999":
+		era = topology.Era1999
+	default:
+		return fmt.Errorf("unknown era %q", eraStr)
+	}
+	cfg := topology.DefaultConfig(era)
+	cfg.Seed = seed
+	top, err := topology.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	if len(args) == 0 {
+		fmt.Println("hosts:")
+		for _, h := range top.Hosts {
+			fmt.Printf("  %-16s AS%-5d %v\n", h.Name, h.AS, h.Loc)
+		}
+		fmt.Println("\nusage: traceroute [flags] <src-host> <dst-host>")
+		return nil
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("need exactly two host names, have %d", len(args))
+	}
+	src := top.HostByName(args[0])
+	dst := top.HostByName(args[1])
+	if src == nil {
+		return fmt.Errorf("unknown host %q (run without arguments to list)", args[0])
+	}
+	if dst == nil {
+		return fmt.Errorf("unknown host %q (run without arguments to list)", args[1])
+	}
+
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		return err
+	}
+	fwd := forward.New(top, g, table)
+	netCfg := netsim.ConfigFor(era)
+	netCfg.Seed = seed + 101
+	net := netsim.New(top, netCfg)
+
+	path, err := fwd.HostPath(src.ID, dst.ID)
+	if err != nil {
+		return err
+	}
+	at := netsim.Time(2*86400 + hour*3600) // Wednesday
+
+	fmt.Printf("traceroute %s -> %s (%d hops, Wednesday %02.0f:00 PST)\n",
+		src.Name, dst.Name, path.Hops(), hour)
+	cum := 0.0
+	for i, r := range path.Routers {
+		router := top.Router(r)
+		if i > 0 {
+			lid := path.Links[i-1]
+			cum += net.LinkDelayMs(lid, at)
+		}
+		marker := " "
+		if router.Border {
+			marker = "*"
+		}
+		fmt.Printf("%3d%s  router%-4d AS%-5d %v  %7.2f ms  util %.2f\n",
+			i+1, marker, r, router.AS, router.Loc, cum, hopUtil(net, path, i, at))
+	}
+	fmt.Printf("\nAS path: %v\n", path.ASPath(top))
+
+	// Three echo samples like the real tool.
+	prb := probe.New(top, fwd, net, probe.Config{Seed: seed + 201, TransferPackets: 100})
+	res, err := prb.Traceroute(src.ID, dst.ID, at)
+	if err != nil {
+		return err
+	}
+	fmt.Print("echo samples:")
+	for _, s := range res.Samples {
+		if s.Lost {
+			fmt.Print("  *")
+		} else {
+			fmt.Printf("  %.1f ms", s.RTTMs)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// hopUtil returns the utilization of the link leading into hop i (0 for
+// the first hop).
+func hopUtil(net *netsim.Network, path forward.Path, i int, at netsim.Time) float64 {
+	if i == 0 {
+		return 0
+	}
+	return net.Utilization(path.Links[i-1], at)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"pathsel/internal/topology"
+)
+
+func hostNames(t *testing.T) (string, string) {
+	t.Helper()
+	top, err := topology.Generate(topology.DefaultConfig(topology.Era1999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top.Hosts[0].Name, top.Hosts[3].Name
+}
+
+func TestRunListsHosts(t *testing.T) {
+	if err := run("1999", 1, 13, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceroute(t *testing.T) {
+	a, b := hostNames(t)
+	if err := run("1999", 1, 13, []string{a, b}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRun1995(t *testing.T) {
+	if err := run("1995", 2, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	a, b := hostNames(t)
+	if err := run("1823", 1, 13, []string{a, b}); err == nil {
+		t.Error("bad era accepted")
+	}
+	if err := run("1999", 1, 13, []string{a}); err == nil {
+		t.Error("single host accepted")
+	}
+	if err := run("1999", 1, 13, []string{"nope", b}); err == nil {
+		t.Error("unknown src accepted")
+	}
+	if err := run("1999", 1, 13, []string{a, "nope"}); err == nil {
+		t.Error("unknown dst accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Diurnal: reproduce the paper's Section 6.3 time-of-day analysis as a
+// standalone study — run a one-week measurement campaign, split the
+// samples into the paper's weekend and six-hour weekday buckets, and see
+// when alternate paths help most.
+//
+// Run with: go run ./examples/diurnal
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/core"
+	"pathsel/internal/dataset"
+	"pathsel/internal/forward"
+	"pathsel/internal/igp"
+	"pathsel/internal/measure"
+	"pathsel/internal/netsim"
+	"pathsel/internal/probe"
+	"pathsel/internal/report"
+	"pathsel/internal/topology"
+)
+
+func main() {
+	topCfg := topology.DefaultConfig(topology.Era1999)
+	topCfg.NumHosts = 14
+	top, err := topology.Generate(topCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fwd := forward.New(top, g, table)
+	net := netsim.New(top, netsim.ConfigFor(topology.Era1999))
+	prb := probe.New(top, fwd, net, probe.DefaultConfig())
+
+	var hosts []topology.HostID
+	for _, h := range top.Hosts {
+		hosts = append(hosts, h.ID)
+	}
+	fmt.Println("running a one-week campaign (UW3-style)...")
+	ds, err := measure.Run(top, prb, measure.Spec{
+		Name:            "diurnal",
+		Hosts:           hosts,
+		Method:          measure.MethodTraceroute,
+		Scheduler:       measure.ExponentialPairs,
+		MeanIntervalSec: 30,
+		DurationSec:     7 * 86400,
+		RateLimit:       measure.FilterHosts,
+		MinMeasurements: dataset.MinMeasurementsPerPath,
+		Seed:            3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := ds.Characteristics()
+	fmt.Printf("  %d hosts, %d traceroutes\n\n", c.Hosts, c.Measurements)
+
+	analyzer := core.NewAnalyzer(ds)
+	rows := [][]string{{"Bucket", "Pairs", "Alt better", "Mean gain (ms)", "p90 gain (ms)"}}
+	for _, b := range netsim.Buckets() {
+		results, err := analyzer.BucketResults(core.MetricRTT, b, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cdf := core.ImprovementCDF(results)
+		if cdf.N() == 0 {
+			rows = append(rows, []string{b.String(), "0", "-", "-", "-"})
+			continue
+		}
+		mean := 0.0
+		for _, v := range cdf.Values() {
+			mean += v
+		}
+		mean /= float64(cdf.N())
+		p90, _ := cdf.Quantile(0.90)
+		rows = append(rows, []string{
+			b.String(),
+			fmt.Sprint(cdf.N()),
+			fmt.Sprintf("%.0f%%", 100*cdf.FractionAbove(0)),
+			fmt.Sprintf("%.1f", mean),
+			fmt.Sprintf("%.1f", p90),
+		})
+	}
+	if err := report.Table(os.Stdout, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe paper's finding: benefit is largest during peak working hours")
+	fmt.Println("(congestion creates opportunities) and smallest on the weekend.")
+}

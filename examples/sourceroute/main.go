@@ -1,0 +1,60 @@
+// Sourceroute: validate the paper's conservativity claim with the one
+// mechanism its authors lacked.
+//
+// The study estimated alternate-path quality by composing host-to-host
+// measurements, which double-charges every relay's access link; the
+// authors argued the estimates were therefore conservative, but the real
+// Internet gave them no way to check (loose source routing was widely
+// disabled). Our synthetic Internet can evaluate the true router-level
+// source-routed path through the same relay, so this example asks: when
+// the paper's methodology predicts a better alternate, how does the real
+// detour compare?
+//
+// Run with: go run ./examples/sourceroute
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathsel/internal/experiments"
+)
+
+func main() {
+	fmt.Println("building the measurement suite (quick preset)...")
+	s, err := experiments.Build(experiments.Config{Seed: 1, Preset: experiments.Quick})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := experiments.ValidateConservativity(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npairs with a one-hop synthetic alternate:      %d\n", res.Pairs)
+	fmt.Printf("alternate predicted better than default:       %d\n", res.PredictedBetter)
+	fmt.Printf("confirmed better when actually source-routed:  %d (%.0f%%)\n",
+		res.ConfirmedBetter, 100*res.ConfirmationFraction())
+	fmt.Printf("true detour at least as good as the estimate:  %d (%.0f%%)\n",
+		res.SourceRouteBeatsEstimate, 100*res.ConservativeFraction())
+
+	fmt.Println("\nreading: the synthetic-composition methodology is conservative —")
+	fmt.Println("router-level detours are usually even better than it predicts,")
+	fmt.Println("because they skip the relay host's access network entirely.")
+
+	// Bonus: the triangulation view of the same phenomenon.
+	tri, err := experiments.Triangulation(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	violations := 0
+	for _, r := range tri {
+		if r.ViolatesTriangle() {
+			violations++
+		}
+	}
+	fmt.Printf("\ntriangle-inequality violations in delay space: %d of %d pairs (%.0f%%)\n",
+		violations, len(tri), 100*float64(violations)/float64(len(tri)))
+	fmt.Println("(relayed propagation beating the direct path is exactly the")
+	fmt.Println("default-path inflation the paper set out to measure)")
+}

@@ -1,0 +1,3 @@
+module pathsel
+
+go 1.22

@@ -1,0 +1,24 @@
+package bgp
+
+import (
+	"testing"
+
+	"pathsel/internal/topology"
+)
+
+func BenchmarkCompute(b *testing.B) {
+	for _, era := range []topology.Era{topology.Era1995, topology.Era1999} {
+		b.Run(era.String(), func(b *testing.B) {
+			top, err := topology.Generate(topology.DefaultConfig(era))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(top); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,301 @@
+// Package bgp computes inter-AS routes with a BGP-style decision process.
+//
+// As the paper's Section 3 describes, BGP does not minimize a global
+// performance metric. Route selection here follows the standard policy
+// model: routes learned from customers are preferred over routes learned
+// from peers, which are preferred over routes learned from providers
+// (Gao–Rexford local preference); ties are broken by AS-path length and
+// then lowest neighbor ASN. Per-AS LocalPrefBias perturbs preference
+// within a relationship class, modeling contract- and cost-driven
+// policies that ignore performance. Export filtering is valley-free:
+// routes learned from a peer or provider are re-advertised only to
+// customers.
+//
+// The computation is a synchronous path-vector iteration to fixpoint,
+// with AS-path loop prevention. Under Gao–Rexford preferences and an
+// acyclic provider graph (both guaranteed by the topology generator) the
+// iteration converges.
+package bgp
+
+import (
+	"fmt"
+
+	"pathsel/internal/topology"
+)
+
+// RouteClass records how a route was learned, which determines both its
+// local preference and whether it is exported to non-customers.
+type RouteClass int
+
+const (
+	// ViaProvider routes were learned from a provider (lowest pref).
+	ViaProvider RouteClass = iota
+	// ViaPeer routes were learned from a settlement-free peer.
+	ViaPeer
+	// ViaCustomer routes were learned from a customer (highest pref,
+	// since customer traffic is revenue).
+	ViaCustomer
+	// Own is the AS's route to itself.
+	Own
+)
+
+// String implements fmt.Stringer.
+func (c RouteClass) String() string {
+	switch c {
+	case ViaProvider:
+		return "via-provider"
+	case ViaPeer:
+		return "via-peer"
+	case ViaCustomer:
+		return "via-customer"
+	case Own:
+		return "own"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Route is a converged BGP route from an AS to a destination AS.
+type Route struct {
+	// Path is the AS path, starting at the route's owner and ending at
+	// the destination.
+	Path []topology.ASN
+	// Class is how the first hop of the path was learned.
+	Class RouteClass
+}
+
+// NextAS returns the next AS on the path, or the destination itself for
+// the trivial route.
+func (r *Route) NextAS() topology.ASN {
+	if len(r.Path) >= 2 {
+		return r.Path[1]
+	}
+	return r.Path[0]
+}
+
+// Table holds converged routes for all (source AS, destination AS) pairs.
+type Table struct {
+	top    *topology.Topology
+	routes map[topology.ASN]map[topology.ASN]*Route // [src][dst]
+	// Rounds is the number of synchronous iterations needed to converge,
+	// maximized over destinations (exported for tests and diagnostics).
+	Rounds int
+}
+
+// Compute runs the path-vector protocol to convergence over the AS graph.
+func Compute(top *topology.Topology) (*Table, error) {
+	return ComputeExcluding(top, nil)
+}
+
+// AdjacencyKey identifies an undirected AS adjacency, with the lower ASN
+// first.
+type AdjacencyKey [2]topology.ASN
+
+// MakeAdjacencyKey normalizes an AS pair into an AdjacencyKey.
+func MakeAdjacencyKey(a, b topology.ASN) AdjacencyKey {
+	if a > b {
+		a, b = b, a
+	}
+	return AdjacencyKey{a, b}
+}
+
+// ComputeExcluding converges the protocol with the given AS adjacencies
+// treated as down (failed BGP sessions); the dynamics package uses this
+// to model reconvergence after link failures. Routes to destinations
+// that become unreachable are simply absent from the table.
+func ComputeExcluding(top *topology.Topology, failed map[AdjacencyKey]bool) (*Table, error) {
+	t := &Table{
+		top:    top,
+		routes: make(map[topology.ASN]map[topology.ASN]*Route, len(top.ASList)),
+	}
+	for _, as := range top.ASList {
+		t.routes[as.ASN] = make(map[topology.ASN]*Route, len(top.ASList))
+	}
+	// neighbors[A] lists (neighbor, relationship-of-neighbor-to-A) pairs
+	// in deterministic order: the relationship is from A's perspective
+	// (what the neighbor is to A).
+	type neigh struct {
+		asn   topology.ASN
+		class RouteClass // class a route learned from this neighbor gets
+	}
+	up := func(a, b topology.ASN) bool {
+		return failed == nil || !failed[MakeAdjacencyKey(a, b)]
+	}
+	neighbors := map[topology.ASN][]neigh{}
+	for _, as := range top.ASList {
+		var ns []neigh
+		for _, c := range as.Customers {
+			if up(as.ASN, c) {
+				ns = append(ns, neigh{c, ViaCustomer})
+			}
+		}
+		for _, p := range as.Peers {
+			if up(as.ASN, p) {
+				ns = append(ns, neigh{p, ViaPeer})
+			}
+		}
+		for _, p := range as.Providers {
+			if up(as.ASN, p) {
+				ns = append(ns, neigh{p, ViaProvider})
+			}
+		}
+		neighbors[as.ASN] = ns
+	}
+
+	maxRounds := 4 * len(top.ASList)
+	for _, dest := range top.ASList {
+		d := dest.ASN
+		t.routes[d][d] = &Route{Path: []topology.ASN{d}, Class: Own}
+		converged := false
+		for round := 0; round < maxRounds; round++ {
+			changed := false
+			for _, as := range top.ASList {
+				a := as.ASN
+				if a == d {
+					continue
+				}
+				// Recompute the selection from scratch so that a
+				// neighbor changing its route cascades correctly; at
+				// the fixpoint every rib path therefore matches the
+				// hop-by-hop forwarding path.
+				var best *Route
+				for _, n := range neighbors[a] {
+					nr := t.routes[n.asn][d]
+					if nr == nil {
+						continue
+					}
+					if !exports(nr.Class, n.class) {
+						continue
+					}
+					if containsAS(nr.Path, a) {
+						continue // loop prevention
+					}
+					cand := &Route{Path: prepend(a, nr.Path), Class: n.class}
+					if better(top.AS(a), cand, best) {
+						best = cand
+					}
+				}
+				if !sameRoute(best, t.routes[a][d]) {
+					t.routes[a][d] = best
+					changed = true
+				}
+			}
+			if !changed {
+				converged = true
+				if round > t.Rounds {
+					t.Rounds = round
+				}
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("bgp: no convergence for destination AS %d after %d rounds", d, maxRounds)
+		}
+	}
+	return t, nil
+}
+
+// exports reports whether a route of class routeClass is advertised to a
+// neighbor that regards the advertiser as neighborIs (valley-free rule:
+// everything goes to customers; only own and customer routes go to peers
+// and providers).
+//
+// neighborIs is the class a route learned from the advertiser would have
+// at the receiver: ViaCustomer means the receiver is the advertiser's
+// provider (the advertiser is the receiver's customer), and so on.
+func exports(routeClass, neighborIs RouteClass) bool {
+	// If the receiver learns routes from the advertiser as ViaCustomer
+	// or ViaPeer, the advertiser is sending to a provider or peer: only
+	// own/customer routes may flow. If the receiver learns them as
+	// ViaProvider, the advertiser is sending to its customer: all routes
+	// flow.
+	if neighborIs == ViaProvider {
+		return true
+	}
+	return routeClass == Own || routeClass == ViaCustomer
+}
+
+// better reports whether candidate should replace current for owner.
+func better(owner *topology.AS, cand, cur *Route) bool {
+	if cur == nil {
+		return true
+	}
+	cp, xp := pref(owner, cand), pref(owner, cur)
+	if cp != xp {
+		return cp > xp
+	}
+	if len(cand.Path) != len(cur.Path) {
+		return len(cand.Path) < len(cur.Path)
+	}
+	return cand.NextAS() < cur.NextAS()
+}
+
+// pref computes local preference: relationship class dominates, with the
+// per-neighbor policy bias adjusting within a class.
+func pref(owner *topology.AS, r *Route) int {
+	base := 0
+	switch r.Class {
+	case ViaCustomer:
+		base = 30
+	case ViaPeer:
+		base = 20
+	case ViaProvider:
+		base = 10
+	case Own:
+		base = 100
+	}
+	return base + owner.LocalPrefBias[r.NextAS()]
+}
+
+func containsAS(path []topology.ASN, a topology.ASN) bool {
+	for _, p := range path {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+func prepend(a topology.ASN, path []topology.ASN) []topology.ASN {
+	out := make([]topology.ASN, 0, len(path)+1)
+	out = append(out, a)
+	out = append(out, path...)
+	return out
+}
+
+func sameRoute(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Class != b.Class || len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Route returns the converged route from src to dst, or nil if none.
+func (t *Table) Route(src, dst topology.ASN) *Route { return t.routes[src][dst] }
+
+// NextAS returns the next AS on the path from src to dst.
+func (t *Table) NextAS(src, dst topology.ASN) (topology.ASN, bool) {
+	r := t.routes[src][dst]
+	if r == nil {
+		return 0, false
+	}
+	return r.NextAS(), true
+}
+
+// ASPath returns the full AS path from src to dst (starting with src,
+// ending with dst), or nil if unreachable.
+func (t *Table) ASPath(src, dst topology.ASN) []topology.ASN {
+	r := t.routes[src][dst]
+	if r == nil {
+		return nil
+	}
+	return r.Path
+}

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pathsel/internal/dataset"
+	"pathsel/internal/stats"
+	"pathsel/internal/tcpmodel"
+	"pathsel/internal/topology"
+)
+
+// PairResult compares one default path with its best synthetic alternate.
+type PairResult struct {
+	Key dataset.PairKey
+	// Default and Alternate are the metric summaries (mean in natural
+	// units, with variance information for confidence intervals).
+	Default, Alternate stats.Summary
+	// DefaultValue and AltValue are the metric values in natural units.
+	DefaultValue, AltValue float64
+	// Via lists the intermediate hosts of the best alternate, in order.
+	Via []topology.HostID
+}
+
+// Improvement is default minus alternate: positive when the alternate
+// path is superior for cost metrics (RTT, loss, propagation delay).
+func (r PairResult) Improvement() float64 { return r.DefaultValue - r.AltValue }
+
+// Ratio is default over alternate: above 1 when the alternate is
+// superior (the paper's Figure 2).
+func (r PairResult) Ratio() float64 {
+	if r.AltValue == 0 {
+		return math.Inf(1)
+	}
+	return r.DefaultValue / r.AltValue
+}
+
+// Analyzer runs the paper's comparisons over one dataset.
+type Analyzer struct {
+	ds *dataset.Dataset
+}
+
+// NewAnalyzer wraps a dataset.
+func NewAnalyzer(ds *dataset.Dataset) *Analyzer { return &Analyzer{ds: ds} }
+
+// Dataset returns the underlying dataset.
+func (a *Analyzer) Dataset() *dataset.Dataset { return a.ds }
+
+// BestAlternates compares every measured default path against its best
+// synthetic alternate for the given metric. maxVia limits alternate
+// length in intermediate hosts (0 = unlimited). Pairs without a measured
+// default path or without any alternate are skipped. Results are in
+// deterministic (PairKeys) order.
+func (a *Analyzer) BestAlternates(metric Metric, maxVia int) ([]PairResult, error) {
+	g, err := buildGraph(a.ds, metric)
+	if err != nil {
+		return nil, err
+	}
+	return a.bestAlternatesOn(g, metric, maxVia, nil)
+}
+
+// bestAlternatesOn runs the comparison on a prebuilt graph, optionally
+// excluding hosts (used by the greedy-removal analysis).
+func (a *Analyzer) bestAlternatesOn(g *graph, metric Metric, maxVia int, excluded []bool) ([]PairResult, error) {
+	var out []PairResult
+	for _, k := range a.ds.PairKeys() {
+		si, ok1 := g.index[k.Src]
+		di, ok2 := g.index[k.Dst]
+		if !ok1 || !ok2 {
+			continue
+		}
+		if excluded != nil && (excluded[si] || excluded[di]) {
+			continue
+		}
+		direct, found := g.directEdge(si, di)
+		if !found {
+			continue
+		}
+		path, found := g.shortestAlternate(si, di, maxVia, excluded)
+		if !found {
+			continue
+		}
+		altValue, altSum, err := g.composePath(metric, path)
+		if err != nil {
+			return nil, err
+		}
+		res := PairResult{
+			Key:          k,
+			Default:      direct.summary,
+			Alternate:    altSum,
+			DefaultValue: direct.value,
+			AltValue:     altValue,
+		}
+		for _, v := range path[1 : len(path)-1] {
+			res.Via = append(res.Via, g.hosts[v])
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ImprovementCDF builds the CDF of default-minus-alternate differences
+// from pair results (the paper's Figures 1, 3, 15).
+func ImprovementCDF(results []PairResult) stats.CDF {
+	vals := make([]float64, len(results))
+	for i, r := range results {
+		vals[i] = r.Improvement()
+	}
+	return stats.NewCDF(vals)
+}
+
+// RatioCDF builds the CDF of default-over-alternate ratios (Figure 2).
+func RatioCDF(results []PairResult) stats.CDF {
+	var vals []float64
+	for _, r := range results {
+		if v := r.Ratio(); !math.IsInf(v, 0) && !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	return stats.NewCDF(vals)
+}
+
+// BandwidthMode selects how loss rates compose along a synthetic path
+// for the bandwidth analysis (Section 5, Figures 4-5).
+type BandwidthMode int
+
+const (
+	// Optimistic uses the maximum hop loss rate: the sending TCP is
+	// assumed responsible for all observed loss, so the worst hop is
+	// the bottleneck.
+	Optimistic BandwidthMode = iota
+	// Pessimistic composes hop losses as independent: none of the
+	// observed loss is caused by the sender.
+	Pessimistic
+)
+
+// String implements fmt.Stringer.
+func (m BandwidthMode) String() string {
+	switch m {
+	case Optimistic:
+		return "optimistic"
+	case Pessimistic:
+		return "pessimistic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// BandwidthResult compares Mathis-model bandwidth of default and best
+// one-hop alternate paths.
+type BandwidthResult struct {
+	Key dataset.PairKey
+	// DefaultKBs and AltKBs are modeled throughputs in kB/s.
+	DefaultKBs, AltKBs float64
+	// Via is the intermediate host of the best alternate.
+	Via topology.HostID
+}
+
+// Improvement is alternate minus default: positive when the alternate
+// offers more bandwidth (Figure 4 plots this difference).
+func (r BandwidthResult) Improvement() float64 { return r.AltKBs - r.DefaultKBs }
+
+// Ratio is alternate over default (Figure 5).
+func (r BandwidthResult) Ratio() float64 {
+	if r.DefaultKBs == 0 {
+		return math.Inf(1)
+	}
+	return r.AltKBs / r.DefaultKBs
+}
+
+// BestBandwidthAlternates runs the N2-style bandwidth comparison: each
+// path's RTT and loss come from its TCP transfer measurements, alternate
+// paths are one hop ("to be computationally tractable, we only consider
+// alternate paths of length one hop"), RTTs add, losses compose per the
+// mode, and throughput follows the Mathis model.
+func (a *Analyzer) BestBandwidthAlternates(model tcpmodel.Model, mode BandwidthMode) ([]BandwidthResult, error) {
+	type pathStat struct{ rtt, loss float64 }
+	st := map[dataset.PairKey]pathStat{}
+	for _, k := range a.ds.PairKeys() {
+		rtt, loss, ok := a.ds.TransferMeans(k)
+		if !ok {
+			continue
+		}
+		st[k] = pathStat{rtt: rtt.Mean, loss: loss.Mean}
+	}
+	var out []BandwidthResult
+	for _, k := range a.ds.PairKeys() {
+		direct, ok := st[k]
+		if !ok {
+			continue
+		}
+		defBW, err := model.BandwidthKBs(direct.rtt, direct.loss)
+		if err != nil {
+			return nil, fmt.Errorf("core: default bandwidth for %v: %w", k, err)
+		}
+		bestBW := math.Inf(-1)
+		bestVia := topology.HostID(-1)
+		for _, via := range a.ds.Hosts {
+			if via == k.Src || via == k.Dst {
+				continue
+			}
+			s1, ok1 := st[dataset.PairKey{Src: k.Src, Dst: via}]
+			s2, ok2 := st[dataset.PairKey{Src: via, Dst: k.Dst}]
+			if !ok1 || !ok2 {
+				continue
+			}
+			rtt := s1.rtt + s2.rtt
+			var loss float64
+			switch mode {
+			case Optimistic:
+				loss = math.Max(s1.loss, s2.loss)
+			case Pessimistic:
+				loss = 1 - (1-s1.loss)*(1-s2.loss)
+			default:
+				return nil, fmt.Errorf("core: unknown bandwidth mode %v", mode)
+			}
+			bw, err := model.BandwidthKBs(rtt, loss)
+			if err != nil {
+				return nil, fmt.Errorf("core: alternate bandwidth for %v via %d: %w", k, via, err)
+			}
+			if bw > bestBW {
+				bestBW, bestVia = bw, via
+			}
+		}
+		if bestVia == -1 {
+			continue
+		}
+		out = append(out, BandwidthResult{Key: k, DefaultKBs: defBW, AltKBs: bestBW, Via: bestVia})
+	}
+	return out, nil
+}
+
+// MedianResult compares medians (composed by convolution) alongside
+// means for the same pair, both restricted to one-hop alternates
+// (Section 6.1, Figure 6).
+type MedianResult struct {
+	Key dataset.PairKey
+	// MeanImprovement is default mean minus best-alternate mean.
+	MeanImprovement float64
+	// MedianImprovement is default median minus best-alternate median,
+	// where the alternate's distribution is the convolution of its two
+	// hops' sample distributions.
+	MedianImprovement float64
+}
+
+// BestMedianAlternates runs the mean-versus-median robustness check on
+// round-trip time. Both statistics use one-hop alternates "to keep the
+// computational costs reasonable"; each statistic selects its own best
+// alternate.
+func (a *Analyzer) BestMedianAlternates() ([]MedianResult, error) {
+	g, err := buildGraph(a.ds, MetricRTT)
+	if err != nil {
+		return nil, err
+	}
+	// Precompute per-path distributions.
+	dists := map[dataset.PairKey]stats.Dist{}
+	medians := map[dataset.PairKey]float64{}
+	for _, k := range a.ds.PairKeys() {
+		d, ok := a.ds.RTTDist(k)
+		if !ok {
+			continue
+		}
+		m, err := d.Median()
+		if err != nil {
+			continue
+		}
+		dists[k] = d
+		medians[k] = m
+	}
+	var out []MedianResult
+	for _, k := range a.ds.PairKeys() {
+		si, ok1 := g.index[k.Src]
+		di, ok2 := g.index[k.Dst]
+		if !ok1 || !ok2 {
+			continue
+		}
+		direct, found := g.directEdge(si, di)
+		if !found {
+			continue
+		}
+		directDist, ok := dists[k]
+		if !ok {
+			continue
+		}
+		// Best one-hop alternate by mean.
+		meanPath, foundMean := g.shortestAlternate(si, di, 1, nil)
+		if !foundMean {
+			continue
+		}
+		meanVal, _, err := g.composePath(MetricRTT, meanPath)
+		if err != nil {
+			return nil, err
+		}
+		// Best one-hop alternate by median: enumerate intermediates and
+		// convolve.
+		bestMedian := math.Inf(1)
+		foundMedian := false
+		for _, via := range a.ds.Hosts {
+			if via == k.Src || via == k.Dst {
+				continue
+			}
+			d1, ok1 := dists[dataset.PairKey{Src: k.Src, Dst: via}]
+			d2, ok2 := dists[dataset.PairKey{Src: via, Dst: k.Dst}]
+			if !ok1 || !ok2 {
+				continue
+			}
+			conv, err := d1.Convolve(d2)
+			if err != nil {
+				continue
+			}
+			m, err := conv.Median()
+			if err != nil {
+				continue
+			}
+			if m < bestMedian {
+				bestMedian = m
+				foundMedian = true
+			}
+		}
+		if !foundMedian {
+			continue
+		}
+		directMedian, err := directDist.Median()
+		if err != nil {
+			continue
+		}
+		out = append(out, MedianResult{
+			Key:               k,
+			MeanImprovement:   direct.value - meanVal,
+			MedianImprovement: directMedian - bestMedian,
+		})
+	}
+	return out, nil
+}
+
+// EpisodeAnalysis is the UW4-A simultaneous-measurement comparison
+// (Section 6.4, Figure 11).
+type EpisodeAnalysis struct {
+	// PairAveraged has, per pair, the mean across episodes of
+	// (default - best alternate) within each episode.
+	PairAveraged []float64
+	// Unaveraged has one entry per (pair, episode).
+	Unaveraged []float64
+	// RelayChurn is, per pair with at least two episode observations,
+	// the fraction of consecutive episodes whose best alternate used a
+	// different first relay — quantifying the paper's observation that
+	// "not only are different alternate paths being selected as best in
+	// each episode, the difference ... is highly variable".
+	RelayChurn []float64
+}
+
+// AnalyzeEpisodes computes, within each episode, the best alternate path
+// using only that episode's simultaneous measurements, and aggregates the
+// per-episode differences both pair-averaged and raw.
+func (a *Analyzer) AnalyzeEpisodes() (EpisodeAnalysis, error) {
+	if len(a.ds.Episodes) == 0 {
+		return EpisodeAnalysis{}, fmt.Errorf("core: dataset %q has no episodes", a.ds.Name)
+	}
+	index := map[topology.HostID]int{}
+	var hosts []topology.HostID
+	for _, h := range a.ds.Hosts {
+		index[h] = len(hosts)
+		hosts = append(hosts, h)
+	}
+	perPair := map[dataset.PairKey]*stats.Accum{}
+	relaySeq := map[dataset.PairKey][]topology.HostID{}
+	var unaveraged []float64
+	for _, ep := range a.ds.Episodes {
+		g := &graph{hosts: hosts, index: index, adj: make([][]edge, len(hosts))}
+		// Deterministic edge insertion order.
+		keys := make([]dataset.PairKey, 0, len(ep.RTTMs))
+		for k := range ep.RTTMs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Src != keys[j].Src {
+				return keys[i].Src < keys[j].Src
+			}
+			return keys[i].Dst < keys[j].Dst
+		})
+		for _, k := range keys {
+			v := ep.RTTMs[k]
+			si, di := index[k.Src], index[k.Dst]
+			g.adj[si] = append(g.adj[si], edge{to: di, weight: v, value: v})
+		}
+		for _, k := range keys {
+			si, di := index[k.Src], index[k.Dst]
+			path, found := g.shortestAlternate(si, di, 0, nil)
+			if !found {
+				continue
+			}
+			altVal, _, err := g.composePath(MetricRTT, path)
+			if err != nil {
+				return EpisodeAnalysis{}, err
+			}
+			diff := ep.RTTMs[k] - altVal
+			unaveraged = append(unaveraged, diff)
+			acc, ok := perPair[k]
+			if !ok {
+				acc = &stats.Accum{}
+				perPair[k] = acc
+			}
+			acc.Add(diff)
+			relaySeq[k] = append(relaySeq[k], hosts[path[1]])
+		}
+	}
+	var pairAveraged []float64
+	pairKeys := make([]dataset.PairKey, 0, len(perPair))
+	for k := range perPair {
+		pairKeys = append(pairKeys, k)
+	}
+	sort.Slice(pairKeys, func(i, j int) bool {
+		if pairKeys[i].Src != pairKeys[j].Src {
+			return pairKeys[i].Src < pairKeys[j].Src
+		}
+		return pairKeys[i].Dst < pairKeys[j].Dst
+	})
+	var churn []float64
+	for _, k := range pairKeys {
+		pairAveraged = append(pairAveraged, perPair[k].Mean())
+		seq := relaySeq[k]
+		if len(seq) < 2 {
+			continue
+		}
+		changes := 0
+		for i := 1; i < len(seq); i++ {
+			if seq[i] != seq[i-1] {
+				changes++
+			}
+		}
+		churn = append(churn, float64(changes)/float64(len(seq)-1))
+	}
+	return EpisodeAnalysis{PairAveraged: pairAveraged, Unaveraged: unaveraged, RelayChurn: churn}, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsel/internal/dataset"
+	"pathsel/internal/netsim"
+	"pathsel/internal/topology"
+)
+
+// benchDataset builds a dense random measurement graph of n hosts.
+func benchDataset(n int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(2))
+	hosts := make([]topology.HostID, n)
+	for i := range hosts {
+		hosts[i] = topology.HostID(i)
+	}
+	ds := dataset.New("bench", hosts)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || rng.Float64() < 0.1 {
+				continue
+			}
+			k := dataset.PairKey{Src: topology.HostID(i), Dst: topology.HostID(j)}
+			base := 20 + rng.Float64()*180
+			for s := 0; s < 40; s++ {
+				rtt := base + rng.ExpFloat64()*30
+				lost := rng.Float64() < 0.02
+				if lost {
+					rtt = 0
+				}
+				ds.RecordEcho(k, netsim.Time(s*600), []float64{rtt}, []bool{lost}, nil, 1)
+			}
+		}
+	}
+	return ds
+}
+
+func BenchmarkBestAlternates(b *testing.B) {
+	ds := benchDataset(40)
+	a := NewAnalyzer(ds)
+	for _, bc := range []struct {
+		name   string
+		metric Metric
+		maxVia int
+	}{
+		{"rtt-unrestricted", MetricRTT, 0},
+		{"rtt-onehop", MetricRTT, 1},
+		{"loss-unrestricted", MetricLoss, 0},
+		{"prop-unrestricted", MetricPropDelay, 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := a.BestAlternates(bc.metric, bc.maxVia)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	ds := benchDataset(40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := buildGraph(ds, MetricRTT); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShortestAlternate(b *testing.B) {
+	ds := benchDataset(40)
+	g, err := buildGraph(ds, MetricRTT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.shortestAlternate(i%40, (i+11)%40, 0, nil); ok {
+			found++
+		}
+	}
+	if b.N > 100 && found == 0 {
+		b.Fatal("never found an alternate")
+	}
+}

@@ -1,0 +1,370 @@
+// Package core implements the paper's central methodology (Section 4.1):
+// constructing a weighted graph whose vertices are measured hosts and
+// whose edges are measured host-to-host paths, then — for every host pair
+// — removing the direct edge and computing the best synthetic alternate
+// path by composing the remaining measured paths. Alternate paths are
+// compared with default paths per metric (round-trip time, loss rate,
+// propagation delay, and Mathis-model bandwidth), with the robustness
+// analyses of Section 6 (confidence-interval t-tests, median-by-
+// convolution, simultaneous-episode analysis) and the hypothesis
+// evaluations of Section 7 (host/AS influence, congestion vs. propagation
+// decomposition).
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"pathsel/internal/dataset"
+	"pathsel/internal/stats"
+	"pathsel/internal/topology"
+)
+
+// Metric selects which path-quality measure drives the analysis.
+type Metric int
+
+const (
+	// MetricRTT is mean round-trip time in ms (additive composition).
+	MetricRTT Metric = iota
+	// MetricLoss is mean loss rate (composed assuming independent hop
+	// losses, as in the paper's Figure 3).
+	MetricLoss
+	// MetricPropDelay is the propagation-delay estimate: the tenth
+	// percentile of round-trip samples (additive composition),
+	// Section 7.2.
+	MetricPropDelay
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricRTT:
+		return "rtt"
+	case MetricLoss:
+		return "loss"
+	case MetricPropDelay:
+		return "propagation"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// PropagationQuantile is the RTT quantile used to estimate propagation
+// delay ("we chose to take the tenth percentile rather than the actual
+// minimum observation to protect against noise").
+const PropagationQuantile = 0.10
+
+// edge is a measured directed path usable as a hop of a synthetic
+// alternate path.
+type edge struct {
+	to int // vertex index
+	// weight is the additive Dijkstra cost: the mean itself for RTT and
+	// propagation delay, -log(1-p) for loss.
+	weight float64
+	// value is the metric in natural units (ms or loss probability).
+	value float64
+	// summary carries mean and variance for confidence intervals.
+	summary stats.Summary
+}
+
+// graph is the measurement graph for one metric.
+type graph struct {
+	hosts []topology.HostID
+	index map[topology.HostID]int
+	adj   [][]edge // adjacency by vertex index
+}
+
+// lossWeight converts a loss probability to an additive cost.
+func lossWeight(p float64) float64 {
+	if p >= 1 {
+		p = 0.999999
+	}
+	if p < 0 {
+		p = 0
+	}
+	return -math.Log1p(-p)
+}
+
+// lossFromWeight inverts lossWeight.
+func lossFromWeight(w float64) float64 {
+	return -math.Expm1(-w)
+}
+
+// buildGraph constructs the per-metric measurement graph from a dataset.
+func buildGraph(ds *dataset.Dataset, metric Metric) (*graph, error) {
+	g := &graph{index: map[topology.HostID]int{}}
+	for _, h := range ds.Hosts {
+		g.index[h] = len(g.hosts)
+		g.hosts = append(g.hosts, h)
+	}
+	g.adj = make([][]edge, len(g.hosts))
+	for _, k := range ds.PairKeys() {
+		si, ok1 := g.index[k.Src]
+		di, ok2 := g.index[k.Dst]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: path %v references host outside dataset host list", k)
+		}
+		e := edge{to: di}
+		switch metric {
+		case MetricRTT:
+			s, ok := ds.MeanRTT(k)
+			if !ok {
+				continue
+			}
+			e.weight, e.value, e.summary = s.Mean, s.Mean, s
+		case MetricLoss:
+			s, ok := ds.LossRate(k)
+			if !ok {
+				continue
+			}
+			e.weight, e.value, e.summary = lossWeight(s.Mean), s.Mean, s
+		case MetricPropDelay:
+			v, ok := ds.PropagationDelay(k, PropagationQuantile)
+			if !ok {
+				continue
+			}
+			e.weight, e.value = v, v
+			e.summary = stats.Summary{N: ds.Paths[k].Measurements, Mean: v}
+		default:
+			return nil, fmt.Errorf("core: unknown metric %v", metric)
+		}
+		g.adj[si] = append(g.adj[si], e)
+	}
+	return g, nil
+}
+
+// directEdge returns the direct edge between two vertices, if measured.
+func (g *graph) directEdge(src, dst int) (edge, bool) {
+	for _, e := range g.adj[src] {
+		if e.to == dst {
+			return e, true
+		}
+	}
+	return edge{}, false
+}
+
+type pqItem struct {
+	vertex int
+	dist   float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].vertex < q[j].vertex
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// shortestAlternate finds the minimum-weight path src->dst that does not
+// use the direct src->dst edge, optionally excluding a set of vertices
+// (for the host-removal analysis). maxVia limits the number of
+// intermediate hosts: 0 means unlimited, 1 restricts to one-hop
+// alternates (the paper's bandwidth and median analyses). It returns the
+// vertex sequence including endpoints, or ok=false if no alternate
+// exists.
+func (g *graph) shortestAlternate(src, dst, maxVia int, excluded []bool) (path []int, ok bool) {
+	switch {
+	case maxVia == 1:
+		// The alternate must be src->via->dst; enumerate directly.
+		best := math.Inf(1)
+		bestVia := -1
+		for _, e1 := range g.adj[src] {
+			if e1.to == dst || e1.to == src || (excluded != nil && excluded[e1.to]) {
+				continue
+			}
+			e2, found := g.directEdge(e1.to, dst)
+			if !found {
+				continue
+			}
+			w := e1.weight + e2.weight
+			if w < best || (w == best && e1.to < bestVia) {
+				best, bestVia = w, e1.to
+			}
+		}
+		if bestVia == -1 {
+			return nil, false
+		}
+		return []int{src, bestVia, dst}, true
+	case maxVia > 1:
+		return g.boundedAlternate(src, dst, maxVia, excluded)
+	default:
+		return g.dijkstraAlternate(src, dst, excluded)
+	}
+}
+
+// dijkstraAlternate is the unlimited-length search.
+func (g *graph) dijkstraAlternate(src, dst int, excluded []bool) (path []int, ok bool) {
+	n := len(g.hosts)
+	const inf = math.MaxFloat64
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i], prev[i] = inf, -1
+	}
+	dist[src] = 0
+	q := &pq{{vertex: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.vertex
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		for _, e := range g.adj[u] {
+			v := e.to
+			if excluded != nil && excluded[v] && v != dst {
+				continue
+			}
+			if u == src && v == dst {
+				continue // forbid the direct edge
+			}
+			nd := dist[u] + e.weight
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				heap.Push(q, pqItem{vertex: v, dist: nd})
+			}
+		}
+	}
+	if prev[dst] == -1 {
+		return nil, false
+	}
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if path[0] != src {
+		return nil, false
+	}
+	return path, true
+}
+
+// boundedAlternate finds the minimum-weight alternate using at most
+// maxVia intermediate hosts (i.e. maxVia+1 edges), by dynamic
+// programming over (edge count, vertex) states — plain Dijkstra with a
+// hop cap is incorrect because the cheapest unlimited path can exceed
+// the cap while a costlier short path satisfies it.
+func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []int, ok bool) {
+	n := len(g.hosts)
+	maxEdges := maxVia + 1
+	const inf = math.MaxFloat64
+	// dist[h][v]: min weight of a path src->v with exactly <=h edges.
+	dist := make([][]float64, maxEdges+1)
+	prev := make([][]int, maxEdges+1) // predecessor vertex at layer h
+	for h := range dist {
+		dist[h] = make([]float64, n)
+		prev[h] = make([]int, n)
+		for v := range dist[h] {
+			dist[h][v], prev[h][v] = inf, -1
+		}
+	}
+	dist[0][src] = 0
+	for h := 1; h <= maxEdges; h++ {
+		copy(dist[h], dist[h-1])
+		copy(prev[h], prev[h-1])
+		for u := 0; u < n; u++ {
+			if dist[h-1][u] == inf {
+				continue
+			}
+			for _, e := range g.adj[u] {
+				v := e.to
+				if excluded != nil && excluded[v] && v != dst {
+					continue
+				}
+				if u == src && v == dst {
+					continue
+				}
+				if v == src {
+					continue
+				}
+				nd := dist[h-1][u] + e.weight
+				if nd < dist[h][v] {
+					dist[h][v] = nd
+					prev[h][v] = u
+				}
+			}
+		}
+	}
+	if dist[maxEdges][dst] == inf {
+		return nil, false
+	}
+	// Reconstruct by walking layers backwards.
+	v := dst
+	h := maxEdges
+	var rev []int
+	for v != -1 {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		// Find the layer where v's best distance was set.
+		for h > 0 && dist[h-1][v] == dist[h][v] && prev[h-1][v] == prev[h][v] {
+			h--
+		}
+		v = prev[h][v]
+		h--
+		if len(rev) > maxEdges+2 {
+			return nil, false // defensive
+		}
+	}
+	if len(rev) == 0 || rev[len(rev)-1] != src {
+		return nil, false
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// composePath combines the edges along a vertex sequence into the
+// alternate path's metric value and summary. For loss the values compose
+// by independence; for RTT and propagation delay they add. The summary's
+// squared standard errors always add (independent hops).
+func (g *graph) composePath(metric Metric, path []int) (value float64, sum stats.Summary, err error) {
+	if len(path) < 2 {
+		return 0, stats.Summary{}, fmt.Errorf("core: path too short: %v", path)
+	}
+	var parts []stats.Summary
+	weightTotal := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		e, found := g.directEdge(path[i], path[i+1])
+		if !found {
+			return 0, stats.Summary{}, fmt.Errorf("core: missing edge %d->%d in composed path", path[i], path[i+1])
+		}
+		weightTotal += e.weight
+		parts = append(parts, e.summary)
+	}
+	sum = stats.SumSummaries(parts...)
+	switch metric {
+	case MetricLoss:
+		value = lossFromWeight(weightTotal)
+		// The summary mean for loss must be the composed probability,
+		// not the sum of hop probabilities.
+		sum.Mean = value
+	default:
+		value = weightTotal
+	}
+	return value, sum, nil
+}

@@ -1,0 +1,375 @@
+// Package dataset stores measurement campaigns in the form the paper's
+// analysis consumes: per ordered host pair, timestamped round-trip
+// samples, loss observations, TCP transfer measurements, and the forward
+// AS path; plus the episode structure of simultaneous (UW4-A-style)
+// campaigns. It provides the aggregations (long-term mean summaries,
+// time-of-day bucketed summaries, propagation-delay estimates) and the
+// filtering rules (minimum sample counts, ICMP rate-limiter handling,
+// the D2 first-sample heuristic) described in Section 4.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"pathsel/internal/netsim"
+	"pathsel/internal/stats"
+	"pathsel/internal/topology"
+)
+
+// MinMeasurementsPerPath is the paper's cutoff: "we removed paths for
+// which there were fewer than 30 measurements so as to increase our
+// confidence in the results".
+const MinMeasurementsPerPath = 30
+
+// PairKey identifies an ordered host pair (a directed path).
+type PairKey struct {
+	Src, Dst topology.HostID
+}
+
+// String implements fmt.Stringer.
+func (k PairKey) String() string { return fmt.Sprintf("%d->%d", k.Src, k.Dst) }
+
+// Reverse returns the key of the opposite direction.
+func (k PairKey) Reverse() PairKey { return PairKey{Src: k.Dst, Dst: k.Src} }
+
+// RTTSample is one successful echo round trip.
+type RTTSample struct {
+	At    netsim.Time
+	RTTMs float64
+}
+
+// LossSample is one echo attempt outcome.
+type LossSample struct {
+	At   netsim.Time
+	Lost bool
+}
+
+// TransferSample is one npd-style TCP transfer measurement.
+type TransferSample struct {
+	At        netsim.Time
+	MeanRTTMs float64
+	LossRate  float64
+	Packets   int
+}
+
+// PathData accumulates every measurement of one directed path.
+type PathData struct {
+	Key PairKey
+	// Measurements counts probe invocations that produced data.
+	Measurements int
+	RTT          []RTTSample
+	Loss         []LossSample
+	Transfers    []TransferSample
+	// ASPath is the forward AS-level path from the first successful
+	// traceroute (the paper finds paths are dominated by one route).
+	ASPath []topology.ASN
+}
+
+// Episode is one all-pairs simultaneous measurement round (UW4-A).
+type Episode struct {
+	At netsim.Time
+	// RTTMs maps each pair measured in this episode to the mean of its
+	// successful samples; pairs whose samples were all lost are absent.
+	RTTMs map[PairKey]float64
+}
+
+// Dataset is a complete measurement campaign.
+type Dataset struct {
+	Name string
+	// Hosts are the measurement endpoints, ascending by ID.
+	Hosts []topology.HostID
+	// Paths holds per-pair data.
+	Paths map[PairKey]*PathData
+	// Episodes is non-empty only for simultaneous campaigns.
+	Episodes []*Episode
+}
+
+// New creates an empty dataset over a host set.
+func New(name string, hosts []topology.HostID) *Dataset {
+	hs := make([]topology.HostID, len(hosts))
+	copy(hs, hosts)
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return &Dataset{Name: name, Hosts: hs, Paths: map[PairKey]*PathData{}}
+}
+
+// path returns (creating if needed) the data for a pair.
+func (d *Dataset) path(k PairKey) *PathData {
+	p, ok := d.Paths[k]
+	if !ok {
+		p = &PathData{Key: k}
+		d.Paths[k] = p
+	}
+	return p
+}
+
+// RecordEcho records the outcome of one probe invocation: the echo
+// samples (RTT or loss each) and the revealed AS path. keepSamples
+// limits how many of the samples are recorded as loss observations
+// (the D2 heuristic records only the first); pass len(samples) or more
+// to keep all. Returns false if the invocation carried no data.
+func (d *Dataset) RecordEcho(k PairKey, at netsim.Time, rtts []float64, lost []bool, asPath []topology.ASN, keepSamples int) bool {
+	if len(lost) == 0 {
+		return false
+	}
+	p := d.path(k)
+	p.Measurements++
+	if keepSamples > len(lost) {
+		keepSamples = len(lost)
+	}
+	for i := 0; i < len(lost); i++ {
+		if !lost[i] {
+			p.RTT = append(p.RTT, RTTSample{At: at, RTTMs: rtts[i]})
+		}
+		if i < keepSamples {
+			p.Loss = append(p.Loss, LossSample{At: at, Lost: lost[i]})
+		}
+	}
+	if p.ASPath == nil && len(asPath) > 0 {
+		p.ASPath = append([]topology.ASN(nil), asPath...)
+	}
+	return true
+}
+
+// RecordTransfer records one TCP transfer measurement.
+func (d *Dataset) RecordTransfer(k PairKey, s TransferSample) {
+	p := d.path(k)
+	p.Measurements++
+	p.Transfers = append(p.Transfers, s)
+}
+
+// AddEpisode appends a simultaneous measurement round.
+func (d *Dataset) AddEpisode(e *Episode) { d.Episodes = append(d.Episodes, e) }
+
+// RemoveSparsePaths drops paths with fewer than min measurements,
+// returning how many were dropped.
+func (d *Dataset) RemoveSparsePaths(min int) int {
+	dropped := 0
+	for k, p := range d.Paths {
+		if p.Measurements < min {
+			delete(d.Paths, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// RemoveHosts drops the given hosts and every path touching them (the
+// UW3/UW4 treatment of ICMP rate limiters).
+func (d *Dataset) RemoveHosts(hosts map[topology.HostID]bool) {
+	var keep []topology.HostID
+	for _, h := range d.Hosts {
+		if !hosts[h] {
+			keep = append(keep, h)
+		}
+	}
+	d.Hosts = keep
+	for k := range d.Paths {
+		if hosts[k.Src] || hosts[k.Dst] {
+			delete(d.Paths, k)
+		}
+	}
+	for _, e := range d.Episodes {
+		for k := range e.RTTMs {
+			if hosts[k.Src] || hosts[k.Dst] {
+				delete(e.RTTMs, k)
+			}
+		}
+	}
+}
+
+// MeanRTT returns the long-term mean round-trip summary for a path, or
+// ok=false if the path has no successful samples.
+func (d *Dataset) MeanRTT(k PairKey) (stats.Summary, bool) {
+	p := d.Paths[k]
+	if p == nil || len(p.RTT) == 0 {
+		return stats.Summary{}, false
+	}
+	var a stats.Accum
+	for _, s := range p.RTT {
+		a.Add(s.RTTMs)
+	}
+	return a.Summary(), true
+}
+
+// LossRate returns the loss-rate summary for a path: each echo attempt
+// is a Bernoulli observation, so the mean is the loss rate and the
+// binary-sample variance drives the (wide) confidence intervals the
+// paper notes in Figure 8.
+func (d *Dataset) LossRate(k PairKey) (stats.Summary, bool) {
+	p := d.Paths[k]
+	if p == nil || len(p.Loss) == 0 {
+		return stats.Summary{}, false
+	}
+	var a stats.Accum
+	for _, s := range p.Loss {
+		if s.Lost {
+			a.Add(1)
+		} else {
+			a.Add(0)
+		}
+	}
+	return a.Summary(), true
+}
+
+// PropagationDelay estimates the fixed (propagation) component of a
+// path's RTT as the q-quantile of its samples; the paper uses the tenth
+// percentile "to protect against noise".
+func (d *Dataset) PropagationDelay(k PairKey, q float64) (float64, bool) {
+	p := d.Paths[k]
+	if p == nil || len(p.RTT) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, len(p.RTT))
+	for i, s := range p.RTT {
+		vals[i] = s.RTTMs
+	}
+	v, err := stats.Quantile(vals, q)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// RTTDist returns the empirical RTT distribution of a path (for the
+// median-by-convolution analysis).
+func (d *Dataset) RTTDist(k PairKey) (stats.Dist, bool) {
+	p := d.Paths[k]
+	if p == nil || len(p.RTT) == 0 {
+		return stats.Dist{}, false
+	}
+	vals := make([]float64, len(p.RTT))
+	for i, s := range p.RTT {
+		vals[i] = s.RTTMs
+	}
+	return stats.NewDist(vals), true
+}
+
+// MeanRTTBucket returns the mean RTT summary restricted to samples in a
+// time-of-day bucket.
+func (d *Dataset) MeanRTTBucket(k PairKey, b netsim.Bucket) (stats.Summary, bool) {
+	p := d.Paths[k]
+	if p == nil {
+		return stats.Summary{}, false
+	}
+	var a stats.Accum
+	for _, s := range p.RTT {
+		if netsim.BucketOf(s.At) == b {
+			a.Add(s.RTTMs)
+		}
+	}
+	if a.N() == 0 {
+		return stats.Summary{}, false
+	}
+	return a.Summary(), true
+}
+
+// LossRateBucket returns the loss-rate summary restricted to a bucket.
+func (d *Dataset) LossRateBucket(k PairKey, b netsim.Bucket) (stats.Summary, bool) {
+	p := d.Paths[k]
+	if p == nil {
+		return stats.Summary{}, false
+	}
+	var a stats.Accum
+	for _, s := range p.Loss {
+		if netsim.BucketOf(s.At) == b {
+			if s.Lost {
+				a.Add(1)
+			} else {
+				a.Add(0)
+			}
+		}
+	}
+	if a.N() == 0 {
+		return stats.Summary{}, false
+	}
+	return a.Summary(), true
+}
+
+// TransferMeans returns the mean RTT and mean loss rate over a path's
+// TCP transfer measurements.
+func (d *Dataset) TransferMeans(k PairKey) (rtt, loss stats.Summary, ok bool) {
+	p := d.Paths[k]
+	if p == nil || len(p.Transfers) == 0 {
+		return stats.Summary{}, stats.Summary{}, false
+	}
+	var ar, al stats.Accum
+	for _, s := range p.Transfers {
+		ar.Add(s.MeanRTTMs)
+		al.Add(s.LossRate)
+	}
+	return ar.Summary(), al.Summary(), true
+}
+
+// Characteristics is a row of the paper's Table 1.
+type Characteristics struct {
+	Name         string
+	Hosts        int
+	Measurements int
+	// PercentCovered is distinct measured paths over hosts*(hosts-1).
+	PercentCovered float64
+}
+
+// Characteristics summarizes the dataset for Table 1.
+func (d *Dataset) Characteristics() Characteristics {
+	c := Characteristics{Name: d.Name, Hosts: len(d.Hosts)}
+	for _, p := range d.Paths {
+		c.Measurements += p.Measurements
+	}
+	potential := len(d.Hosts) * (len(d.Hosts) - 1)
+	if potential > 0 {
+		c.PercentCovered = 100 * float64(len(d.Paths)) / float64(potential)
+	}
+	return c
+}
+
+// Subset returns a new dataset restricted to the given hosts: only paths
+// and episode entries between kept hosts survive. Path data is shared
+// with the original (treat both as read-only afterwards), which is how
+// the paper derives D2-NA and N2-NA as North American subsets of D2 and
+// N2.
+func (d *Dataset) Subset(name string, keep []topology.HostID) *Dataset {
+	keepSet := map[topology.HostID]bool{}
+	for _, h := range keep {
+		keepSet[h] = true
+	}
+	var hosts []topology.HostID
+	for _, h := range d.Hosts {
+		if keepSet[h] {
+			hosts = append(hosts, h)
+		}
+	}
+	out := New(name, hosts)
+	for k, p := range d.Paths {
+		if keepSet[k.Src] && keepSet[k.Dst] {
+			out.Paths[k] = p
+		}
+	}
+	for _, e := range d.Episodes {
+		ne := &Episode{At: e.At, RTTMs: map[PairKey]float64{}}
+		for k, v := range e.RTTMs {
+			if keepSet[k.Src] && keepSet[k.Dst] {
+				ne.RTTMs[k] = v
+			}
+		}
+		if len(ne.RTTMs) > 0 {
+			out.Episodes = append(out.Episodes, ne)
+		}
+	}
+	return out
+}
+
+// PairKeys returns the measured pairs in deterministic order.
+func (d *Dataset) PairKeys() []PairKey {
+	keys := make([]PairKey, 0, len(d.Paths))
+	for k := range d.Paths {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	return keys
+}

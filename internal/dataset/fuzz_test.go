@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathsel/internal/topology"
+)
+
+// FuzzLoad ensures the dataset loader never panics on malformed input:
+// it must either decode successfully or return an error.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid file, a truncation of it, and garbage.
+	d := New("seed", []topology.HostID{0, 1})
+	d.RecordEcho(PairKey{Src: 0, Dst: 1}, 1, []float64{10}, []bool{false}, []topology.ASN{1, 2}, 1)
+	dir := f.TempDir()
+	valid := filepath.Join(dir, "valid.gob.gz")
+	if err := d.Save(valid); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte("not gzip at all"))
+	var empty bytes.Buffer
+	zw := gzip.NewWriter(&empty)
+	zw.Close()
+	f.Add(empty.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.gob.gz")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := Load(p)
+		if err == nil && ds == nil {
+			t.Fatal("nil dataset without error")
+		}
+	})
+}

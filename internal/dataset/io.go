@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Save writes the dataset to path as gzip-compressed gob, atomically
+// (write to a temporary file, then rename).
+func (d *Dataset) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("dataset: save %s: %w", path, err)
+	}
+	zw := gzip.NewWriter(f)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(d); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: encode %s: %w", path, err)
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: compress %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataset: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a dataset previously written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load %s: %w", path, err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: decompress %s: %w", path, err)
+	}
+	defer zr.Close()
+	var d Dataset
+	if err := gob.NewDecoder(zr).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decode %s: %w", path, err)
+	}
+	if d.Paths == nil {
+		d.Paths = map[PairKey]*PathData{}
+	}
+	return &d, nil
+}

@@ -1,0 +1,506 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pathsel/internal/core"
+	"pathsel/internal/stats"
+)
+
+// The integration tests run the whole pipeline (topology -> routing ->
+// measurement campaigns -> analysis) on the Quick preset and check the
+// paper's qualitative findings. Everything is deterministic in the seed,
+// so the bounds below are stable; they are set with generous margins
+// around the paper's reported ranges.
+
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+	suiteErr  error
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = Build(Config{Seed: 1, Preset: Quick})
+	})
+	if suiteErr != nil {
+		t.Fatalf("Build: %v", suiteErr)
+	}
+	return suite
+}
+
+func TestTable1Characteristics(t *testing.T) {
+	s := testSuite(t)
+	rows := Table1(s)
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	wantNames := []string{"D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B"}
+	for i, r := range rows {
+		if r.Name != wantNames[i] {
+			t.Errorf("row %d name %q, want %q", i, r.Name, wantNames[i])
+		}
+		if r.Hosts < 2 {
+			t.Errorf("%s: only %d hosts", r.Name, r.Hosts)
+		}
+		if r.Measurements < 500 {
+			t.Errorf("%s: only %d measurements", r.Name, r.Measurements)
+		}
+		if r.PercentCovered < 50 || r.PercentCovered > 100 {
+			t.Errorf("%s: coverage %.1f%%", r.Name, r.PercentCovered)
+		}
+	}
+}
+
+func TestFigure1RTTImprovement(t *testing.T) {
+	s := testSuite(t)
+	series, err := Figure1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, sr := range series {
+		frac := sr.CDF.FractionAbove(0)
+		// The paper's headline: superior alternates for 30-55% of pairs
+		// (D2-NA runs lower in our reproduction); nothing should be
+		// outside a generous band.
+		if frac < 0.05 || frac > 0.80 {
+			t.Errorf("%s: better fraction %.2f outside [0.05, 0.80]", sr.Name, frac)
+		}
+		if sr.CDF.N() < 30 {
+			t.Errorf("%s: only %d pairs", sr.Name, sr.CDF.N())
+		}
+	}
+	// UW datasets must land in the paper's 30-55%+ band.
+	for _, i := range []int{0, 1} {
+		frac := series[i].CDF.FractionAbove(0)
+		if frac < 0.30 || frac > 0.70 {
+			t.Errorf("%s: better fraction %.2f outside [0.30, 0.70]", series[i].Name, frac)
+		}
+	}
+}
+
+func TestFigure2RatioShape(t *testing.T) {
+	s := testSuite(t)
+	series, err := Figure2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A meaningful fraction of UW paths have >=1.5x better latency on
+	// the alternate (paper: ~10%).
+	uw3 := series[1]
+	frac := uw3.CDF.FractionAbove(1.5)
+	if frac < 0.05 || frac > 0.50 {
+		t.Errorf("UW3 ratio>=1.5 fraction %.2f outside [0.05, 0.50]", frac)
+	}
+	// Ratios are positive by construction.
+	for _, sr := range series {
+		if v, _ := sr.CDF.Quantile(0); v <= 0 {
+			t.Errorf("%s: nonpositive ratio %f", sr.Name, v)
+		}
+	}
+}
+
+func TestFigure3LossImprovement(t *testing.T) {
+	s := testSuite(t)
+	series, err := Figure3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range series {
+		frac := sr.CDF.FractionAbove(0)
+		// Paper: 75-85% of paths have lower-loss alternates.
+		if frac < 0.50 || frac > 0.98 {
+			t.Errorf("%s: loss better fraction %.2f outside [0.50, 0.98]", sr.Name, frac)
+		}
+	}
+	// D2 shows substantially more improvement than the UW datasets
+	// (paper: "with D2 demonstrating substantially more improvement").
+	d2Big := series[3].CDF.FractionAbove(0.05)
+	uw3Big := series[1].CDF.FractionAbove(0.05)
+	if d2Big <= uw3Big {
+		t.Errorf("D2 large-improvement fraction %.2f should exceed UW3's %.2f", d2Big, uw3Big)
+	}
+}
+
+func TestFigure4And5Bandwidth(t *testing.T) {
+	s := testSuite(t)
+	diff, err := Figure4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 4 {
+		t.Fatalf("got %d series", len(diff))
+	}
+	// Paper: 70-80% of paths have alternates with improved bandwidth;
+	// we accept a wider band.
+	for _, sr := range diff {
+		frac := sr.CDF.FractionAbove(0)
+		if frac < 0.25 || frac > 0.95 {
+			t.Errorf("%s: bandwidth better fraction %.2f outside [0.25, 0.95]", sr.Name, frac)
+		}
+	}
+	// Optimistic composition dominates pessimistic for the same dataset
+	// (series come in pessimistic, optimistic pairs).
+	for i := 0; i+1 < len(diff); i += 2 {
+		p := diff[i].CDF.FractionAbove(0)
+		o := diff[i+1].CDF.FractionAbove(0)
+		if o < p {
+			t.Errorf("optimistic fraction %.2f below pessimistic %.2f for %s", o, p, diff[i].Name)
+		}
+	}
+	ratio, err := Figure5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: for at least 10-20% of N2 paths the improvement is >= 3x.
+	n2opt := ratio[1].CDF.FractionAbove(3)
+	if n2opt < 0.03 || n2opt > 0.5 {
+		t.Errorf("N2 optimistic >=3x fraction %.2f outside [0.03, 0.5]", n2opt)
+	}
+}
+
+func TestFigure6MeanVsMedian(t *testing.T) {
+	s := testSuite(t)
+	series, err := Figure6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	mean, median := series[0].CDF, series[1].CDF
+	if mean.N() == 0 || median.N() == 0 {
+		t.Fatal("empty CDFs")
+	}
+	// Paper: "the difference is negligible" — the two curves must agree
+	// on the better-alternate fraction within a loose margin.
+	d := math.Abs(mean.FractionAbove(0) - median.FractionAbove(0))
+	if d > 0.25 {
+		t.Errorf("mean and median curves diverge by %.2f", d)
+	}
+}
+
+func TestFigures7And8ConfidenceIntervals(t *testing.T) {
+	s := testSuite(t)
+	for name, fn := range map[string]func(*Suite) ([]core.CIPoint, error){
+		"figure7": Figure7, "figure8": Figure8,
+	} {
+		pts, err := fn(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pts) < 30 {
+			t.Fatalf("%s: only %d points", name, len(pts))
+		}
+		for i, p := range pts {
+			if p.HalfWidth < 0 {
+				t.Errorf("%s: negative CI half-width at %d", name, i)
+			}
+			if i > 0 && pts[i-1].Improvement > p.Improvement {
+				t.Errorf("%s: points not sorted at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestTables2And3Verdicts(t *testing.T) {
+	s := testSuite(t)
+	t2, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) != 4 {
+		t.Fatalf("got %d rows", len(t2))
+	}
+	for _, row := range t2 {
+		if row.Counts.Total() == 0 {
+			t.Errorf("%s: no classified pairs", row.Dataset)
+		}
+		b, i, w, z := row.Counts.Percent()
+		if sum := b + i + w + z; math.Abs(sum-100) > 1e-9 {
+			t.Errorf("%s: percentages sum to %.2f", row.Dataset, sum)
+		}
+		// RTT means are never exactly zero on both sides.
+		if row.Counts.BothZero != 0 {
+			t.Errorf("%s: BothZero %d for RTT", row.Dataset, row.Counts.BothZero)
+		}
+	}
+	// Variation exists: at least one dataset shows indeterminate pairs,
+	// and "better" fractions are nontrivial for UW3 (paper: ~30%).
+	uw3 := t2[1]
+	b, i, _, _ := uw3.Counts.Percent()
+	if b < 15 || b > 65 {
+		t.Errorf("UW3 better %.0f%% outside [15, 65]", b)
+	}
+	if i <= 0 {
+		t.Error("UW3 should have indeterminate pairs")
+	}
+
+	t3, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t3 {
+		if row.Counts.Total() == 0 {
+			t.Errorf("%s: no classified pairs", row.Dataset)
+		}
+	}
+	// Loss-rate variance is large (binary samples), so indeterminate
+	// dominates even more than for RTT, as in the paper's Table 3.
+	rttIndet := float64(t2[1].Counts.Indeterminate) / float64(t2[1].Counts.Total())
+	lossIndet := float64(t3[1].Counts.Indeterminate) / float64(t3[1].Counts.Total())
+	if lossIndet < rttIndet {
+		t.Errorf("loss indeterminate fraction %.2f below RTT's %.2f", lossIndet, rttIndet)
+	}
+}
+
+func TestFigures9And10TimeOfDay(t *testing.T) {
+	s := testSuite(t)
+	for name, fn := range map[string]func(*Suite) ([]Series, error){
+		"figure9": Figure9, "figure10": Figure10,
+	} {
+		series, err := fn(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(series) != 5 {
+			t.Fatalf("%s: got %d buckets", name, len(series))
+		}
+		// The effect holds in every bucket (paper: "the overall effect
+		// occurs regardless of the time of day").
+		for _, sr := range series {
+			if sr.CDF.N() == 0 {
+				t.Errorf("%s: empty bucket %s", name, sr.Name)
+				continue
+			}
+			if frac := sr.CDF.FractionAbove(0); frac < 0.2 {
+				t.Errorf("%s %s: better fraction %.2f too low", name, sr.Name, frac)
+			}
+		}
+	}
+	// RTT benefit magnitude peaks during the working day and dips on
+	// the weekend (paper Section 6.3). Compare mean improvements:
+	// weekend is series[0]; 06-18 are series[2] and [3].
+	series, err := Figure9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weekend := cdfMean(series[0].CDF)
+	peak := (cdfMean(series[2].CDF) + cdfMean(series[3].CDF)) / 2
+	if peak <= weekend {
+		t.Errorf("peak-hour mean improvement %.1f should exceed weekend %.1f", peak, weekend)
+	}
+}
+
+func cdfMean(c stats.CDF) float64 {
+	sum := 0.0
+	for _, v := range c.Values() {
+		sum += v
+	}
+	return sum / float64(c.N())
+}
+
+func TestFigure11Episodes(t *testing.T) {
+	s := testSuite(t)
+	series, err := Figure11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d series", len(series))
+	}
+	longTerm, pairAvg, raw := series[0].CDF, series[1].CDF, series[2].CDF
+	// Simultaneous measurement finds good alternates at least as often
+	// as long-term averaging (paper: "slightly more likely").
+	if pairAvg.FractionAbove(0) < longTerm.FractionAbove(0)-0.05 {
+		t.Errorf("pair-averaged fraction %.2f well below long-term %.2f",
+			pairAvg.FractionAbove(0), longTerm.FractionAbove(0))
+	}
+	// The unaveraged curve has more points and broader tails.
+	if raw.N() <= pairAvg.N() {
+		t.Errorf("unaveraged N %d should exceed pair-averaged N %d", raw.N(), pairAvg.N())
+	}
+	rawSpread := quantileSpread(t, raw)
+	avgSpread := quantileSpread(t, pairAvg)
+	if rawSpread < avgSpread {
+		t.Errorf("unaveraged spread %.1f should be at least pair-averaged spread %.1f", rawSpread, avgSpread)
+	}
+}
+
+func quantileSpread(t *testing.T, c stats.CDF) float64 {
+	t.Helper()
+	lo, err := c.Quantile(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := c.Quantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hi - lo
+}
+
+func TestFigure12TopTenRemoval(t *testing.T) {
+	s := testSuite(t)
+	res, err := Figure12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) == 0 {
+		t.Fatal("no hosts removed")
+	}
+	// Removing the top hosts must not collapse the effect (the paper's
+	// conclusion: the phenomenon is not attributable to a few hosts).
+	after := res.Without.CDF.FractionAbove(0)
+	if after < 0.10 {
+		t.Errorf("better fraction %.2f after removal: effect collapsed", after)
+	}
+	// But the curve must shift left (the greedy step removes the most
+	// helpful hosts).
+	if cdfMean(res.Without.CDF) > cdfMean(res.All.CDF) {
+		t.Errorf("removal did not shift the CDF left: %.2f -> %.2f",
+			cdfMean(res.All.CDF), cdfMean(res.Without.CDF))
+	}
+	seen := map[string]bool{}
+	for _, step := range res.Removed {
+		id := string(rune(step.Removed))
+		if seen[id] {
+			t.Error("host removed twice")
+		}
+		seen[id] = true
+	}
+}
+
+func TestFigure13Contributions(t *testing.T) {
+	s := testSuite(t)
+	sr, err := Figure13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := sr.CDF.Values()
+	if len(vals) != len(s.UW3.Hosts) {
+		t.Fatalf("got %d contributions for %d hosts", len(vals), len(s.UW3.Hosts))
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v < 0 {
+			t.Errorf("negative contribution %f", v)
+		}
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	if math.Abs(mean-100) > 1 {
+		t.Errorf("mean contribution %.2f, want 100 (normalized)", mean)
+	}
+}
+
+func TestFigure14ASScatter(t *testing.T) {
+	s := testSuite(t)
+	counts, err := Figure14(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) < 5 {
+		t.Fatalf("only %d ASes observed", len(counts))
+	}
+	both := 0
+	for _, c := range counts {
+		if c.Direct < 0 || c.Alternate < 0 {
+			t.Errorf("AS %d: negative counts %+v", c.AS, c)
+		}
+		if c.Direct > 0 && c.Alternate > 0 {
+			both++
+		}
+	}
+	// The paper's scatter hugs the diagonal: most ASes appear in both
+	// default and alternate paths.
+	if both < len(counts)/3 {
+		t.Errorf("only %d of %d ASes appear in both defaults and alternates", both, len(counts))
+	}
+}
+
+func TestFigure15Propagation(t *testing.T) {
+	s := testSuite(t)
+	series, err := Figure15(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, rtt := series[0].CDF, series[1].CDF
+	// Paper: superior alternates still exist for ~50% of paths on
+	// propagation delay alone.
+	frac := prop.FractionAbove(0)
+	if frac < 0.25 || frac > 0.80 {
+		t.Errorf("propagation better fraction %.2f outside [0.25, 0.80]", frac)
+	}
+	// The magnitude of differences shrinks when only propagation is
+	// considered (queuing excluded): compare upper-mid quantiles. The
+	// extreme tail is structural (provider geography) and shows up in
+	// both metrics.
+	pq, _ := prop.Quantile(0.75)
+	rq, _ := rtt.Quantile(0.75)
+	if pq > rq {
+		t.Errorf("propagation p75 %.1f exceeds mean-RTT p75 %.1f", pq, rq)
+	}
+}
+
+func TestFigure16Decomposition(t *testing.T) {
+	s := testSuite(t)
+	decs, err := Figure16(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) < 50 {
+		t.Fatalf("only %d decompositions", len(decs))
+	}
+	census := core.GroupCensus(decs)
+	// Typical groups (better in both components) must be populated.
+	if census[core.Group1] == 0 || census[core.Group4] == 0 {
+		t.Errorf("typical groups empty: %v", census)
+	}
+	// Paper: very few paths in group 3, more in group 6 (superior
+	// alternates avoiding congestion at propagation cost).
+	if census[core.Group3] > census[core.Group6] {
+		t.Errorf("group 3 (%d) should not exceed group 6 (%d)", census[core.Group3], census[core.Group6])
+	}
+	total := 0
+	for _, n := range census {
+		total += n
+	}
+	if total != len(decs) {
+		t.Errorf("census sums to %d, want %d", total, len(decs))
+	}
+}
+
+func TestSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite rebuild is slow")
+	}
+	a, err := Build(Config{Seed: 1, Preset: Quick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := testSuite(t)
+	ca, cb := a.UW3.Characteristics(), b.UW3.Characteristics()
+	if ca != cb {
+		t.Errorf("same-seed suites differ: %+v vs %+v", ca, cb)
+	}
+	for _, k := range a.UW3.PairKeys() {
+		sa, _ := a.UW3.MeanRTT(k)
+		sb, _ := b.UW3.MeanRTT(k)
+		if sa != sb {
+			t.Fatalf("path %v differs between same-seed suites", k)
+		}
+	}
+}
+
+func TestPresetString(t *testing.T) {
+	if Full.String() != "full" || Quick.String() != "quick" || Preset(9).String() != "preset(9)" {
+		t.Error("preset strings wrong")
+	}
+}

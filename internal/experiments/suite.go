@@ -1,0 +1,375 @@
+// Package experiments reproduces the paper's evaluation: it builds the
+// eight dataset rows of Table 1 on the synthetic Internet (the UW
+// campaigns on a 1998-99 North American topology; D2/N2 on a sparser
+// 1995 world topology) and provides one driver per table and figure,
+// returning the same rows and series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/dataset"
+	"pathsel/internal/forward"
+	"pathsel/internal/geo"
+	"pathsel/internal/igp"
+	"pathsel/internal/measure"
+	"pathsel/internal/netsim"
+	"pathsel/internal/probe"
+	"pathsel/internal/topology"
+)
+
+// Preset selects the campaign scale.
+type Preset int
+
+const (
+	// Full reproduces the paper's dataset sizes (tens to hundreds of
+	// thousands of measurements); building the suite takes on the order
+	// of a minute.
+	Full Preset = iota
+	// Quick shrinks host counts and campaign lengths for tests and
+	// development while preserving every structural property (multi-day
+	// spans with weekends, >30 measurements per path, episodes).
+	Quick
+)
+
+// String implements fmt.Stringer.
+func (p Preset) String() string {
+	switch p {
+	case Full:
+		return "full"
+	case Quick:
+		return "quick"
+	default:
+		return fmt.Sprintf("preset(%d)", int(p))
+	}
+}
+
+// Config configures suite construction.
+type Config struct {
+	Seed   int64
+	Preset Preset
+}
+
+// DefaultConfig returns the configuration used for EXPERIMENTS.md.
+func DefaultConfig() Config { return Config{Seed: 1, Preset: Full} }
+
+// Suite holds every dataset of Table 1 plus the substrate handles needed
+// by the figure drivers.
+type Suite struct {
+	Config Config
+
+	// UW datasets: 1998-99 North American topology.
+	UW1, UW3, UW4A, UW4B *dataset.Dataset
+	// Paxson-era datasets: 1995 world topology.
+	D2, D2NA, N2, N2NA *dataset.Dataset
+
+	// TopoUW and TopoD2 are the underlying topologies (for AS metadata
+	// and host locations).
+	TopoUW, TopoD2 *topology.Topology
+
+	uwPlane *plane
+}
+
+// UWPlane returns the UW topology together with a prober over the same
+// network state the UW campaigns measured, for tools and benchmarks that
+// issue additional probes.
+func (s *Suite) UWPlane() (*topology.Topology, *probe.Prober) {
+	return s.uwPlane.top, s.uwPlane.prb
+}
+
+// UWForwarding exposes the UW plane's forwarder and congestion model,
+// used by the validation experiments to evaluate router-level
+// source-routed paths that the paper's measurement-only methodology
+// could not observe.
+func (s *Suite) UWForwarding() (*forward.Forwarder, *netsim.Network) {
+	return s.uwPlane.fwd, s.uwPlane.net
+}
+
+// Datasets returns the traceroute datasets in the order the paper's
+// round-trip figures present them.
+func (s *Suite) Datasets() []*dataset.Dataset {
+	return []*dataset.Dataset{s.UW1, s.UW3, s.D2NA, s.D2}
+}
+
+// campaignScale bundles per-preset campaign parameters.
+type campaignScale struct {
+	uwHosts, uw4Hosts, d2Hosts, n2Hosts int
+
+	uw1Days, uw3Days, uw4Days, d2Days, n2Days float64
+
+	uw1Mean, uw3Mean, uw4aMean, uw4bMean, d2Mean, n2Mean float64
+
+	minMeasurements int
+}
+
+func scaleFor(p Preset) campaignScale {
+	if p == Quick {
+		return campaignScale{
+			uwHosts: 16, uw4Hosts: 8, d2Hosts: 14, n2Hosts: 14,
+			uw1Days: 10, uw3Days: 7, uw4Days: 7, d2Days: 14, n2Days: 14,
+			uw1Mean: 1800, uw3Mean: 60, uw4aMean: 2400, uw4bMean: 300,
+			d2Mean: 120, n2Mean: 250,
+			minMeasurements: 20,
+		}
+	}
+	return campaignScale{
+		uwHosts: 39, uw4Hosts: 15, d2Hosts: 33, n2Hosts: 31,
+		uw1Days: 34, uw3Days: 7, uw4Days: 14, d2Days: 48, n2Days: 44,
+		// UW1's effective per-server rate lands near the paper's 54k
+		// measurements with a 30-minute mean; the other means follow the
+		// paper's text (9 s, 1000 s, 150 s) or its measurement counts.
+		uw1Mean: 1800, uw3Mean: 9, uw4aMean: 1000, uw4bMean: 150,
+		d2Mean: 118, n2Mean: 208,
+		minMeasurements: dataset.MinMeasurementsPerPath,
+	}
+}
+
+// plane bundles the per-topology measurement stack.
+type plane struct {
+	top *topology.Topology
+	prb *probe.Prober
+	fwd *forward.Forwarder
+	net *netsim.Network
+	igp *igp.IGP
+	bgp *bgp.Table
+}
+
+func buildPlane(topCfg topology.Config, netSeed, probeSeed int64) (*plane, error) {
+	top, err := topology.Generate(topCfg)
+	if err != nil {
+		return nil, err
+	}
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		return nil, err
+	}
+	fwd := forward.New(top, g, table)
+	netCfg := netsim.ConfigFor(topCfg.Era)
+	netCfg.Seed = netSeed
+	net := netsim.New(top, netCfg)
+	prbCfg := probe.DefaultConfig()
+	prbCfg.Seed = probeSeed
+	return &plane{
+		top: top, prb: probe.New(top, fwd, net, prbCfg),
+		fwd: fwd, net: net, igp: g, bgp: table,
+	}, nil
+}
+
+// Build constructs the full suite: both topologies and all eight
+// datasets. The two measurement planes (and the campaigns within each)
+// are independent and run concurrently; every dataset is a
+// deterministic function of cfg alone.
+func Build(cfg Config) (*Suite, error) {
+	sc := scaleFor(cfg.Preset)
+	s := &Suite{Config: cfg}
+
+	var wg sync.WaitGroup
+	var uwErr, d2Err error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		uwErr = buildUWPart(s, cfg, sc)
+	}()
+	go func() {
+		defer wg.Done()
+		d2Err = buildD2Part(s, cfg, sc)
+	}()
+	wg.Wait()
+	if uwErr != nil {
+		return nil, uwErr
+	}
+	if d2Err != nil {
+		return nil, d2Err
+	}
+	return s, nil
+}
+
+// buildUWPart generates the 1998-99 North American plane and runs the
+// four UW campaigns.
+func buildUWPart(s *Suite, cfg Config, sc campaignScale) error {
+	// --- UW plane: 1998-99, North America ---
+	uwTopCfg := topology.DefaultConfig(topology.Era1999)
+	uwTopCfg.Seed = cfg.Seed
+	uwTopCfg.Region = geo.NorthAmerica
+	uwTopCfg.NumHosts = sc.uwHosts + 14 // slack so enough non-rate-limited hosts exist
+	if cfg.Preset == Quick {
+		uwTopCfg.NumTier1 = 5
+		uwTopCfg.NumTransit = 14
+		uwTopCfg.NumStub = 60
+		uwTopCfg.RoutersTier1 = 8
+	}
+	uwPlane, err := buildPlane(uwTopCfg, cfg.Seed+101, cfg.Seed+201)
+	if err != nil {
+		return fmt.Errorf("experiments: UW plane: %w", err)
+	}
+	s.TopoUW = uwPlane.top
+	s.uwPlane = uwPlane
+
+	allUW := hostIDs(uwPlane.top)
+	nonRL := nonRateLimited(uwPlane.top, allUW)
+	if len(nonRL) < sc.uwHosts {
+		return fmt.Errorf("experiments: only %d non-rate-limited hosts, need %d", len(nonRL), sc.uwHosts)
+	}
+	uw1Hosts := allUW[:min(sc.uwHosts-3, len(allUW))] // UW1 kept rate limiters as sources
+	uw3Hosts := nonRL[:sc.uwHosts]
+	// UW4: a random subset of the UW3 pool, as in the paper ("selected
+	// at random from a pool of 35 hosts").
+	poolN := min(len(uw3Hosts), sc.uwHosts-4)
+	pool := append([]topology.HostID(nil), uw3Hosts[:poolN]...)
+	rng := rand.New(rand.NewSource(cfg.Seed + 301))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	uw4Hosts := pool[:sc.uw4Hosts]
+
+	// Each campaign gets its own prober (and therefore its own random
+	// stream and path cache), which keeps every dataset a deterministic
+	// function of the configuration while letting the campaigns run
+	// concurrently.
+	uwSpecs := []measure.Spec{
+		{
+			Name: "UW1", Hosts: uw1Hosts,
+			Method: measure.MethodTraceroute, Scheduler: measure.PerServerUniform,
+			MeanIntervalSec: sc.uw1Mean, DurationSec: sc.uw1Days * 86400,
+			RateLimit: measure.FilterTargets, MirrorMissing: true,
+			MinMeasurements: sc.minMeasurements, Seed: cfg.Seed + 401,
+		},
+		{
+			Name: "UW3", Hosts: uw3Hosts,
+			Method: measure.MethodTraceroute, Scheduler: measure.ExponentialPairs,
+			MeanIntervalSec: sc.uw3Mean, DurationSec: sc.uw3Days * 86400,
+			RateLimit:       measure.FilterHosts,
+			MinMeasurements: sc.minMeasurements, Seed: cfg.Seed + 402,
+		},
+		{
+			Name: "UW4-A", Hosts: uw4Hosts,
+			Method: measure.MethodTraceroute, Scheduler: measure.Episodes,
+			MeanIntervalSec: sc.uw4aMean, DurationSec: sc.uw4Days * 86400,
+			RateLimit: measure.FilterHosts, Seed: cfg.Seed + 403,
+		},
+		{
+			Name: "UW4-B", Hosts: uw4Hosts,
+			Method: measure.MethodTraceroute, Scheduler: measure.ExponentialPairs,
+			MeanIntervalSec: sc.uw4bMean, DurationSec: sc.uw4Days * 86400,
+			RateLimit:       measure.FilterHosts,
+			MinMeasurements: sc.minMeasurements, Seed: cfg.Seed + 404,
+		},
+	}
+	uwResults, err := runCampaigns(uwPlane, uwSpecs, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	s.UW1, s.UW3, s.UW4A, s.UW4B = uwResults[0], uwResults[1], uwResults[2], uwResults[3]
+	return nil
+}
+
+// buildD2Part generates the 1995 world plane and runs the D2/N2
+// campaigns.
+func buildD2Part(s *Suite, cfg Config, sc campaignScale) error {
+	// --- Paxson plane: 1995, world ---
+	d2TopCfg := topology.DefaultConfig(topology.Era1995)
+	d2TopCfg.Seed = cfg.Seed + 1
+	d2TopCfg.Region = geo.World
+	d2TopCfg.NumHosts = sc.d2Hosts
+	if cfg.Preset == Quick {
+		d2TopCfg.NumTier1 = 4
+		d2TopCfg.NumTransit = 10
+		d2TopCfg.NumStub = 50
+	}
+	d2Plane, err := buildPlane(d2TopCfg, cfg.Seed+102, cfg.Seed+202)
+	if err != nil {
+		return fmt.Errorf("experiments: D2 plane: %w", err)
+	}
+	s.TopoD2 = d2Plane.top
+	allD2 := hostIDs(d2Plane.top)
+
+	n2Hosts := allD2[:min(sc.n2Hosts, len(allD2))]
+	d2Specs := []measure.Spec{
+		{
+			Name: "D2", Hosts: allD2,
+			Method: measure.MethodTraceroute, Scheduler: measure.ExponentialPairs,
+			MeanIntervalSec: sc.d2Mean, DurationSec: sc.d2Days * 86400,
+			// D2 could not identify rate limiters; the first-sample
+			// heuristic corrects the loss bias instead.
+			RateLimit: measure.KeepAll, KeepSamples: 1,
+			MinMeasurements: sc.minMeasurements, Seed: cfg.Seed + 405,
+		},
+		{
+			Name: "N2", Hosts: n2Hosts,
+			Method: measure.MethodTransfer, Scheduler: measure.ExponentialPairs,
+			MeanIntervalSec: sc.n2Mean, DurationSec: sc.n2Days * 86400,
+			RateLimit: measure.KeepAll, Seed: cfg.Seed + 406,
+		},
+	}
+	d2Results, err := runCampaigns(d2Plane, d2Specs, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	s.D2, s.N2 = d2Results[0], d2Results[1]
+	s.D2NA = s.D2.Subset("D2-NA", inRegion(d2Plane.top, s.D2.Hosts, geo.NorthAmerica))
+	s.N2NA = s.N2.Subset("N2-NA", inRegion(d2Plane.top, s.N2.Hosts, geo.NorthAmerica))
+	return nil
+}
+
+// runCampaigns executes the specs concurrently, each with its own
+// prober whose seed is derived from the spec seed; results are
+// deterministic and independent of scheduling order.
+func runCampaigns(pl *plane, specs []measure.Spec, baseSeed int64) ([]*dataset.Dataset, error) {
+	results := make([]*dataset.Dataset, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec measure.Spec) {
+			defer wg.Done()
+			prbCfg := probe.DefaultConfig()
+			prbCfg.Seed = baseSeed + spec.Seed // per-campaign stream
+			prb := probe.New(pl.top, pl.fwd, pl.net, prbCfg)
+			results[i], errs[i] = measure.Run(pl.top, prb, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func hostIDs(top *topology.Topology) []topology.HostID {
+	out := make([]topology.HostID, len(top.Hosts))
+	for i, h := range top.Hosts {
+		out[i] = h.ID
+	}
+	return out
+}
+
+func nonRateLimited(top *topology.Topology, hosts []topology.HostID) []topology.HostID {
+	var out []topology.HostID
+	for _, h := range hosts {
+		if !top.Host(h).RateLimitICMP {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func inRegion(top *topology.Topology, hosts []topology.HostID, r geo.Region) []topology.HostID {
+	var out []topology.HostID
+	for _, h := range hosts {
+		if geo.Contains(r, top.Host(h).Loc) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

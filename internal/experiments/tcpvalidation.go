@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	"pathsel/internal/tcpmodel"
+	"pathsel/internal/tcpsim"
+)
+
+// TCPModelValidation compares the closed-form Mathis model the paper's
+// bandwidth analysis relies on (Section 5) against an independent TCP
+// Reno simulation, both evaluated on the N2 dataset's measured RTT and
+// loss means. If the model were badly wrong on this substrate, Figures 4
+// and 5 would not be trustworthy.
+type TCPModelValidation struct {
+	Pairs int
+	// MedianRatio is the median of simulated/predicted throughput.
+	MedianRatio float64
+	// WithinFactor2 is the fraction of pairs where the simulation is
+	// within a factor of two of the model.
+	WithinFactor2 float64
+	// RankCorrelation is the Spearman rank correlation between model
+	// and simulated throughput across pairs — the analysis only needs
+	// the model to order paths correctly.
+	RankCorrelation float64
+}
+
+// ValidateTCPModel runs the comparison over every N2 path with transfer
+// measurements.
+func ValidateTCPModel(s *Suite, seed int64) (TCPModelValidation, error) {
+	model := tcpmodel.Default()
+	simCfg := tcpsim.DefaultConfig()
+	rng := rand.New(rand.NewSource(seed))
+
+	var predicted, simulated []float64
+	for _, k := range s.N2.PairKeys() {
+		rtt, loss, ok := s.N2.TransferMeans(k)
+		if !ok {
+			continue
+		}
+		pred, err := model.BandwidthKBs(rtt.Mean, loss.Mean)
+		if err != nil {
+			return TCPModelValidation{}, err
+		}
+		res, err := tcpsim.Simulate(simCfg, rng, rtt.Mean, loss.Mean, 300)
+		if err != nil {
+			return TCPModelValidation{}, err
+		}
+		predicted = append(predicted, pred)
+		simulated = append(simulated, res.ThroughputKBs)
+	}
+
+	out := TCPModelValidation{Pairs: len(predicted)}
+	if len(predicted) == 0 {
+		return out, nil
+	}
+	ratios := make([]float64, len(predicted))
+	within := 0
+	for i := range predicted {
+		ratios[i] = simulated[i] / predicted[i]
+		if ratios[i] >= 0.5 && ratios[i] <= 2 {
+			within++
+		}
+	}
+	sort.Float64s(ratios)
+	out.MedianRatio = ratios[len(ratios)/2]
+	out.WithinFactor2 = float64(within) / float64(len(ratios))
+	out.RankCorrelation = spearman(predicted, simulated)
+	return out, nil
+}
+
+// spearman computes the Spearman rank correlation of two equal-length
+// series.
+func spearman(a, b []float64) float64 {
+	ra := ranks(a)
+	rb := ranks(b)
+	n := float64(len(a))
+	if n < 2 {
+		return 0
+	}
+	var num float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		num += d * d
+	}
+	return 1 - 6*num/(n*(n*n-1))
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	out := make([]float64, len(xs))
+	for rank, i := range idx {
+		out[i] = float64(rank)
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"pathsel/internal/forward"
+)
+
+func TestValidateConservativity(t *testing.T) {
+	s := testSuite(t)
+	res, err := ValidateConservativity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("no pairs validated")
+	}
+	if res.PredictedBetter == 0 {
+		t.Fatal("no predicted-better pairs; the headline effect vanished")
+	}
+	if res.ConfirmedBetter > res.PredictedBetter || res.SourceRouteBeatsEstimate > res.PredictedBetter {
+		t.Fatalf("inconsistent counts: %+v", res)
+	}
+	// The paper's conservativity claim: composing host paths
+	// underestimates what router-level routing could achieve. The
+	// source-routed path skips the relay's access links and so should
+	// beat the estimate for the overwhelming majority of pairs.
+	if f := res.ConservativeFraction(); f < 0.80 {
+		t.Errorf("conservative fraction %.2f; expected >= 0.80 (%+v)", f, res)
+	}
+	// And most predicted wins should be real wins when source-routed.
+	if f := res.ConfirmationFraction(); f < 0.60 {
+		t.Errorf("confirmation fraction %.2f; expected >= 0.60 (%+v)", f, res)
+	}
+	t.Logf("conservativity: %+v (conservative %.0f%%, confirmed %.0f%%)",
+		res, 100*res.ConservativeFraction(), 100*res.ConfirmationFraction())
+}
+
+func TestAblateEgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two measurement campaigns")
+	}
+	res, err := AblateEgress(Config{Seed: 1, Preset: Quick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Policy != forward.HotPotato || res[1].Policy != forward.ColdPotato {
+		t.Fatalf("unexpected policy order: %v, %v", res[0].Policy, res[1].Policy)
+	}
+	for _, r := range res {
+		if r.MeanDefaultRTT <= 0 {
+			t.Errorf("%v: nonpositive mean default RTT", r.Policy)
+		}
+		if r.BetterFraction < 0 || r.BetterFraction > 1 {
+			t.Errorf("%v: better fraction %f out of range", r.Policy, r.BetterFraction)
+		}
+	}
+	t.Logf("hot:  meanRTT=%.1f better=%.2f medianGain=%.1f", res[0].MeanDefaultRTT, res[0].BetterFraction, res[0].MedianImprovement)
+	t.Logf("cold: meanRTT=%.1f better=%.2f medianGain=%.1f", res[1].MeanDefaultRTT, res[1].BetterFraction, res[1].MedianImprovement)
+}
+
+func TestTriangulation(t *testing.T) {
+	s := testSuite(t)
+	res, err := Triangulation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no triangulation results")
+	}
+	violations := 0
+	for _, r := range res {
+		if r.DirectMs <= 0 || r.BestTriangleMs <= 0 {
+			t.Fatalf("nonpositive estimate: %+v", r)
+		}
+		if r.ViolatesTriangle() {
+			violations++
+		}
+		if r.ViolatesTriangle() != (r.BestTriangleMs < r.DirectMs) {
+			t.Fatal("ViolatesTriangle inconsistent")
+		}
+	}
+	// Default-path inflation means measured delay space is not metric:
+	// a meaningful fraction of pairs must have triangle violations.
+	frac := float64(violations) / float64(len(res))
+	if frac < 0.10 {
+		t.Errorf("triangle violation fraction %.2f; expected >= 0.10", frac)
+	}
+	t.Logf("triangle violations: %d of %d (%.0f%%)", violations, len(res), 100*frac)
+}
+
+func TestRouteDynamics(t *testing.T) {
+	s := testSuite(t)
+	sum, err := RouteDynamics(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pairs == 0 || sum.Epochs == 0 {
+		t.Fatalf("empty summary %+v", sum)
+	}
+	// Paxson's finding: paths are generally dominated by a single route.
+	if frac := float64(sum.DominatedPairs) / float64(sum.Pairs); frac < 0.5 {
+		t.Errorf("only %.0f%% of pairs route-dominated; expected most", 100*frac)
+	}
+	if sum.MeanDominantFraction < 0.5 || sum.MeanDominantFraction > 1 {
+		t.Errorf("mean dominant fraction %f out of range", sum.MeanDominantFraction)
+	}
+	t.Logf("route dynamics: %+v", sum)
+}
+
+func TestPathInflation(t *testing.T) {
+	s := testSuite(t)
+	results, sum, err := PathInflation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pairs == 0 || len(results) != sum.Pairs {
+		t.Fatalf("bad summary %+v", sum)
+	}
+	// The default path's measured propagation should rarely beat the
+	// optimum meaningfully (wander can dip slightly below).
+	for _, r := range results {
+		if r.Inflation() < 0.6 {
+			t.Fatalf("default implausibly below optimal: %+v", r)
+		}
+	}
+	if sum.MedianInflation < 1.0 {
+		t.Errorf("median inflation %.2f; expected >= 1", sum.MedianInflation)
+	}
+	// Policy routing must leave a meaningful inflated population, and
+	// alternates must recover a real share of the gap for some of them.
+	if sum.InflatedFraction < 0.2 {
+		t.Errorf("inflated fraction %.2f; expected >= 0.2", sum.InflatedFraction)
+	}
+	if sum.HalfRecoveredFraction <= 0 {
+		t.Error("no inflated pair recovers half its gap via an alternate")
+	}
+	t.Logf("inflation: %+v", sum)
+}
+
+func TestValidateTCPModel(t *testing.T) {
+	s := testSuite(t)
+	res, err := ValidateTCPModel(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("no pairs validated")
+	}
+	// Mathis is only an approximation, but on this substrate it must
+	// order paths essentially correctly and sit within a small constant
+	// factor for most pairs — otherwise Figures 4-5 are meaningless.
+	if res.RankCorrelation < 0.7 {
+		t.Errorf("rank correlation %.2f; expected >= 0.7", res.RankCorrelation)
+	}
+	if res.WithinFactor2 < 0.5 {
+		t.Errorf("within-factor-2 fraction %.2f; expected >= 0.5", res.WithinFactor2)
+	}
+	if res.MedianRatio < 0.3 || res.MedianRatio > 3 {
+		t.Errorf("median ratio %.2f outside [0.3, 3]", res.MedianRatio)
+	}
+	t.Logf("tcp model validation: %+v", res)
+}
+
+func TestCauseAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six measurement campaigns")
+	}
+	res, err := CauseAblation(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("got %d variants", len(res))
+	}
+	byName := map[string]CauseResult{}
+	for _, r := range res {
+		byName[r.Variant] = r
+		if r.BetterFraction < 0 || r.BetterFraction > 1 {
+			t.Errorf("%s: fraction %f out of range", r.Variant, r.BetterFraction)
+		}
+		if r.MeanDefaultRTT <= 0 {
+			t.Errorf("%s: nonpositive mean RTT", r.Variant)
+		}
+		t.Logf("%-24s better=%.2f medianGain=%.1f meanRTT=%.1f",
+			r.Variant, r.BetterFraction, r.MedianImprovement, r.MeanDefaultRTT)
+	}
+	// Mechanism removal regenerates the topology (different random
+	// draws), so directional effects are confounded; the structural
+	// requirements are that each variant runs, and that the mechanisms
+	// matter at all — the variants must not all coincide.
+	base := byName["baseline"]
+	allSame := true
+	for _, r := range res {
+		if r.Variant == "baseline" {
+			continue
+		}
+		if math.Abs(r.BetterFraction-base.BetterFraction) > 0.01 ||
+			math.Abs(r.MeanDefaultRTT-base.MeanDefaultRTT) > 1 {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Error("no mechanism removal changed anything; ablation is inert")
+	}
+	// Removing remote providers must shorten default paths (less
+	// geographic detour), whatever it does to the alternate fraction.
+	if byName["no-remote-providers"].MeanDefaultRTT >= base.MeanDefaultRTT {
+		t.Errorf("removing remote providers should reduce mean default RTT: %.1f vs %.1f",
+			byName["no-remote-providers"].MeanDefaultRTT, base.MeanDefaultRTT)
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs campaigns across seeds")
+	}
+	fracs, err := SeedSensitivity(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fracs) != 3 {
+		t.Fatalf("got %d fractions", len(fracs))
+	}
+	for i, f := range fracs {
+		// The headline effect must appear for every seed: the paper's
+		// conclusion is not an artifact of one topology draw.
+		if f < 0.15 || f > 0.9 {
+			t.Errorf("seed %d: better fraction %.2f outside [0.15, 0.9]", i, f)
+		}
+	}
+	t.Logf("seed sensitivity: %v", fracs)
+	if _, err := SeedSensitivity(1, 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+func TestCrossMetrics(t *testing.T) {
+	s := testSuite(t)
+	sum, err := CrossMetrics(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.RTTWinners == 0 || sum.LossWinners == 0 {
+		t.Fatalf("no winners: %+v", sum)
+	}
+	if sum.RTTAlsoLoss > sum.RTTWinners || sum.LossAlsoRTT > sum.LossWinners {
+		t.Fatalf("inconsistent counts: %+v", sum)
+	}
+	t.Logf("cross metrics: %+v (rtt-best also improves loss %.0f%%, loss-best also improves rtt %.0f%%)",
+		sum, 100*float64(sum.RTTAlsoLoss)/float64(sum.RTTWinners),
+		100*float64(sum.LossAlsoRTT)/float64(sum.LossWinners))
+}

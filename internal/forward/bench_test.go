@@ -1,0 +1,34 @@
+package forward
+
+import (
+	"testing"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/igp"
+	"pathsel/internal/topology"
+)
+
+func BenchmarkHostPath(b *testing.B) {
+	top, err := topology.Generate(topology.DefaultConfig(topology.Era1999))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd := New(top, g, table)
+	hosts := top.Hosts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i+7)%len(hosts)]
+		if src.ID == dst.ID {
+			continue
+		}
+		if _, err := fwd.HostPath(src.ID, dst.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package forward
+
+import (
+	"pathsel/internal/netsim"
+	"pathsel/internal/topology"
+)
+
+// Cache memoizes host-pair paths of a static Forwarder, and adapts it to
+// the time-indexed PathAt interface the prober uses (a converged network
+// has the same path at every instant, so the time argument is ignored).
+// Not safe for concurrent use, matching the single-threaded measurement
+// campaigns.
+type Cache struct {
+	fwd   *Forwarder
+	paths map[[2]topology.HostID]Path
+}
+
+// NewCache wraps a Forwarder.
+func NewCache(f *Forwarder) *Cache {
+	return &Cache{fwd: f, paths: map[[2]topology.HostID]Path{}}
+}
+
+// PathAt returns the (memoized) forwarding path between two hosts.
+func (c *Cache) PathAt(src, dst topology.HostID, _ netsim.Time) (Path, error) {
+	key := [2]topology.HostID{src, dst}
+	if p, ok := c.paths[key]; ok {
+		return p, nil
+	}
+	p, err := c.fwd.HostPath(src, dst)
+	if err != nil {
+		return Path{}, err
+	}
+	c.paths[key] = p
+	return p, nil
+}

@@ -1,0 +1,268 @@
+package forward
+
+import (
+	"testing"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/igp"
+	"pathsel/internal/topology"
+)
+
+type fixture struct {
+	top *topology.Topology
+	fwd *Forwarder
+	bgp *bgp.Table
+}
+
+func newFixture(t *testing.T, era topology.Era) *fixture {
+	t.Helper()
+	top, err := topology.Generate(topology.DefaultConfig(era))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		t.Fatalf("bgp.Compute: %v", err)
+	}
+	return &fixture{top: top, fwd: New(top, g, table), bgp: table}
+}
+
+func TestAllHostPairsHavePaths(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	for _, a := range fx.top.Hosts {
+		for _, b := range fx.top.Hosts {
+			if a.ID == b.ID {
+				continue
+			}
+			p, err := fx.fwd.HostPath(a.ID, b.ID)
+			if err != nil {
+				t.Fatalf("HostPath(%s,%s): %v", a.Name, b.Name, err)
+			}
+			if p.Routers[0] != a.Attach {
+				t.Fatalf("path starts at %d, want %d", p.Routers[0], a.Attach)
+			}
+			if p.Routers[len(p.Routers)-1] != b.Attach {
+				t.Fatalf("path ends at %d, want %d", p.Routers[len(p.Routers)-1], b.Attach)
+			}
+		}
+	}
+}
+
+func TestPathContinuity(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	hosts := fx.top.Hosts
+	for i := 0; i < len(hosts); i++ {
+		for j := 0; j < len(hosts); j++ {
+			if i == j {
+				continue
+			}
+			p, err := fx.fwd.HostPath(hosts[i].ID, hosts[j].ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Routers) != len(p.Links)+1 {
+				t.Fatalf("router/link count mismatch: %d routers, %d links", len(p.Routers), len(p.Links))
+			}
+			for k, lid := range p.Links {
+				l := fx.top.Link(lid)
+				if l.From != p.Routers[k] || l.To != p.Routers[k+1] {
+					t.Fatalf("link %d does not connect %d -> %d", lid, p.Routers[k], p.Routers[k+1])
+				}
+			}
+		}
+	}
+}
+
+func TestPathFollowsBGP(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	a, b := fx.top.Hosts[0], fx.top.Hosts[7]
+	p, err := fx.fwd.HostPath(a.ID, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asPath := p.ASPath(fx.top)
+	want := fx.bgp.ASPath(a.AS, b.AS)
+	if len(asPath) != len(want) {
+		t.Fatalf("router-level AS path %v, BGP path %v", asPath, want)
+	}
+	for i := range want {
+		if asPath[i] != want[i] {
+			t.Fatalf("router-level AS path %v, BGP path %v", asPath, want)
+		}
+	}
+}
+
+func TestNoRouterLoops(t *testing.T) {
+	fx := newFixture(t, topology.Era1995)
+	hosts := fx.top.Hosts
+	for i := 0; i < len(hosts); i++ {
+		for j := 0; j < len(hosts); j++ {
+			if i == j {
+				continue
+			}
+			p, err := fx.fwd.HostPath(hosts[i].ID, hosts[j].ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[topology.RouterID]bool{}
+			for _, r := range p.Routers {
+				if seen[r] {
+					t.Fatalf("router %d repeated in path %s -> %s", r, hosts[i].Name, hosts[j].Name)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+// TestAsymmetry checks that at least some host pairs route differently in
+// the two directions, reproducing Paxson's observation (hot-potato egress
+// makes this very likely).
+func TestAsymmetry(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	hosts := fx.top.Hosts
+	asym := 0
+	pairs := 0
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			fwd, err := fx.fwd.HostPath(hosts[i].ID, hosts[j].ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev, err := fx.fwd.HostPath(hosts[j].ID, hosts[i].ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs++
+			if !sameReversed(fwd.Routers, rev.Routers) {
+				asym++
+			}
+		}
+	}
+	if asym == 0 {
+		t.Error("no asymmetric paths found; hot-potato routing should produce some")
+	}
+	t.Logf("%d of %d pairs asymmetric (%.0f%%)", asym, pairs, 100*float64(asym)/float64(pairs))
+}
+
+func sameReversed(a, b []topology.RouterID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[len(b)-1-i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRouterPath(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	src, dst := fx.top.Hosts[1], fx.top.Hosts[2]
+	p, err := fx.fwd.HostPath(src.ID, dst.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From every intermediate router there must be a return path to the
+	// source host (the traceroute reply path).
+	for _, r := range p.Routers {
+		rp, err := fx.fwd.RouterPath(r, src.ID)
+		if err != nil {
+			t.Fatalf("RouterPath(%d, %s): %v", r, src.Name, err)
+		}
+		if rp.Routers[0] != r || rp.Routers[len(rp.Routers)-1] != src.Attach {
+			t.Fatalf("return path endpoints wrong: %v", rp.Routers)
+		}
+	}
+}
+
+func TestUnknownEndpoints(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	if _, err := fx.fwd.HostPath(-1, fx.top.Hosts[0].ID); err == nil {
+		t.Error("expected error for unknown src host")
+	}
+	if _, err := fx.fwd.HostPath(fx.top.Hosts[0].ID, topology.HostID(len(fx.top.Hosts))); err == nil {
+		t.Error("expected error for unknown dst host")
+	}
+	if _, err := fx.fwd.RouterPath(-5, fx.top.Hosts[0].ID); err == nil {
+		t.Error("expected error for unknown router")
+	}
+}
+
+func TestPropDelayPositive(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	p, err := fx.fwd.HostPath(fx.top.Hosts[0].ID, fx.top.Hosts[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.PropDelayMs(fx.top); d <= 0 {
+		t.Errorf("path propagation delay %f, want > 0", d)
+	}
+	if p.Hops() != len(p.Links) {
+		t.Errorf("Hops() = %d, want %d", p.Hops(), len(p.Links))
+	}
+}
+
+func TestSameASPathCollapsed(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	p, err := fx.fwd.HostPath(fx.top.Hosts[0].ID, fx.top.Hosts[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asPath := p.ASPath(fx.top)
+	for i := 0; i+1 < len(asPath); i++ {
+		if asPath[i] == asPath[i+1] {
+			t.Fatalf("consecutive duplicate AS in %v", asPath)
+		}
+	}
+}
+
+// TestHotPotatoPrefersNearEgress builds a case where the chosen egress
+// must be the IGP-nearest one among multiple links to the next AS.
+func TestHotPotatoPrefersNearEgress(t *testing.T) {
+	fx := newFixture(t, topology.Era1999)
+	g := igp.New(fx.top, igp.DefaultConfig())
+	checked := 0
+	for _, a := range fx.top.Hosts {
+		for _, b := range fx.top.Hosts {
+			if a.ID == b.ID {
+				continue
+			}
+			p, err := fx.fwd.HostPath(a.ID, b.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Walk the path; at each AS crossing verify minimality.
+			for k, lid := range p.Links {
+				l := fx.top.Link(lid)
+				if l.Rel == topology.Internal {
+					continue
+				}
+				// Router where the packet entered this AS (or source attach).
+				entry := p.Routers[0]
+				for m := k - 1; m >= 0; m-- {
+					if fx.top.Link(p.Links[m]).Rel != topology.Internal {
+						entry = p.Routers[m+1]
+						break
+					}
+				}
+				curAS := fx.top.Router(l.From).AS
+				nextAS := fx.top.Router(l.To).AS
+				dChosen, _ := g.Dist(entry, l.From)
+				for _, cand := range fx.top.InterASLinks(curAS, nextAS) {
+					dCand, ok := g.Dist(entry, fx.top.Link(cand).From)
+					if ok && dCand < dChosen-1e-9 {
+						t.Fatalf("egress %d (dist %f) not hot-potato minimal; %d has dist %f",
+							lid, dChosen, cand, dCand)
+					}
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no AS crossings checked")
+	}
+}

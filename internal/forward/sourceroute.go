@@ -1,0 +1,49 @@
+package forward
+
+import (
+	"fmt"
+
+	"pathsel/internal/topology"
+)
+
+// LooseSourcePath returns the router-level path from src to dst forced
+// through the attachment routers of the given relay hosts, in order —
+// IP loose source routing, the mechanism the paper notes is "disabled by
+// many AS's because of security concerns" and therefore unavailable to
+// the original study. The simulator can evaluate it, which lets the
+// reproduction validate the paper's conservativity claim: a synthetic
+// alternate composed of host-to-host measurements pays each relay's
+// access link twice, whereas the source-routed path visits only the
+// relay's first-hop router.
+//
+// The returned path may traverse a link more than once (as the paper
+// observes of its synthetic alternates, "many of our alternate paths
+// traverse the same Internet links twice, on their way into and out of
+// intermediate hosts").
+func (f *Forwarder) LooseSourcePath(src topology.HostID, via []topology.HostID, dst topology.HostID) (Path, error) {
+	hs, hd := f.top.Host(src), f.top.Host(dst)
+	if hs == nil || hd == nil {
+		return Path{}, fmt.Errorf("forward: unknown host %d or %d", src, dst)
+	}
+	full := Path{Src: src, Dst: dst, Routers: []topology.RouterID{hs.Attach}}
+	cur := hs.Attach
+	waypoints := make([]*topology.Host, 0, len(via)+1)
+	for _, v := range via {
+		hv := f.top.Host(v)
+		if hv == nil {
+			return Path{}, fmt.Errorf("forward: unknown relay host %d", v)
+		}
+		waypoints = append(waypoints, hv)
+	}
+	waypoints = append(waypoints, hd)
+	for _, wp := range waypoints {
+		seg, err := f.routerPath(cur, wp)
+		if err != nil {
+			return Path{}, fmt.Errorf("forward: source route via %s: %w", wp.Name, err)
+		}
+		full.Links = append(full.Links, seg.Links...)
+		full.Routers = append(full.Routers, seg.Routers[1:]...)
+		cur = wp.Attach
+	}
+	return full, nil
+}

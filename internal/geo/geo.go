@@ -1,0 +1,198 @@
+// Package geo provides the geographic embedding used by the synthetic
+// Internet topology: host and router locations, great-circle distances,
+// and the propagation delay implied by the speed of light in fiber.
+//
+// The paper's datasets distinguish North American hosts (D2-NA, N2-NA,
+// UW1, UW3, UW4) from a world-wide mix (D2, N2); the Region type models
+// that split so that dataset generators can reproduce the trans-oceanic
+// latency differences visible in the paper's Figures 1 and 4.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// EarthRadiusKm is the mean radius of the Earth in kilometers.
+const EarthRadiusKm = 6371.0
+
+// SpeedOfLightKmPerMs is the speed of light in vacuum, in km per millisecond.
+const SpeedOfLightKmPerMs = 299.792458
+
+// FiberVelocityFactor is the typical ratio of signal speed in optical
+// fiber to the speed of light in vacuum (~2/3).
+const FiberVelocityFactor = 0.66
+
+// RouteIndirection inflates geographic distance to account for the fact
+// that fiber paths follow conduits, not great circles.
+const RouteIndirection = 1.35
+
+// Point is a location on the Earth's surface.
+type Point struct {
+	LatDeg float64 // latitude in degrees, positive north
+	LonDeg float64 // longitude in degrees, positive east
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.2f,%.2f)", p.LatDeg, p.LonDeg)
+}
+
+// Valid reports whether the point lies within the legal lat/lon ranges.
+func (p Point) Valid() bool {
+	return p.LatDeg >= -90 && p.LatDeg <= 90 && p.LonDeg >= -180 && p.LonDeg <= 180
+}
+
+// DistanceKm returns the great-circle distance between two points in
+// kilometers, computed with the haversine formula.
+func DistanceKm(a, b Point) float64 {
+	lat1 := a.LatDeg * math.Pi / 180
+	lat2 := b.LatDeg * math.Pi / 180
+	dLat := (b.LatDeg - a.LatDeg) * math.Pi / 180
+	dLon := (b.LonDeg - a.LonDeg) * math.Pi / 180
+
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// PropagationDelayMs returns the one-way propagation delay in
+// milliseconds for a direct fiber link between two points, including the
+// conduit-indirection factor.
+func PropagationDelayMs(a, b Point) float64 {
+	km := DistanceKm(a, b) * RouteIndirection
+	return km / (SpeedOfLightKmPerMs * FiberVelocityFactor)
+}
+
+// Region identifies a coarse geographic area from which hosts are drawn.
+type Region int
+
+const (
+	// NorthAmerica covers the continental US and southern Canada.
+	NorthAmerica Region = iota
+	// Europe covers western and central Europe.
+	Europe
+	// AsiaPacific covers east Asia and Oceania.
+	AsiaPacific
+	// World is the union of all regions.
+	World
+)
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case NorthAmerica:
+		return "north-america"
+	case Europe:
+		return "europe"
+	case AsiaPacific:
+		return "asia-pacific"
+	case World:
+		return "world"
+	default:
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+}
+
+// box is an axis-aligned lat/lon rectangle.
+type box struct {
+	latMin, latMax float64
+	lonMin, lonMax float64
+}
+
+var regionBoxes = map[Region][]box{
+	NorthAmerica: {
+		{latMin: 30, latMax: 49, lonMin: -123, lonMax: -70},
+	},
+	Europe: {
+		{latMin: 40, latMax: 58, lonMin: -8, lonMax: 25},
+	},
+	AsiaPacific: {
+		{latMin: -38, latMax: 40, lonMin: 103, lonMax: 152},
+	},
+}
+
+// worldWeights gives the sampling mix for Region World, roughly matching
+// the geographic spread of the paper's D2/N2 host sets (majority North
+// American with substantial European and Asia-Pacific minorities).
+var worldWeights = []struct {
+	region Region
+	weight float64
+}{
+	{NorthAmerica, 0.55},
+	{Europe, 0.30},
+	{AsiaPacific, 0.15},
+}
+
+// RandomPoint draws a uniformly distributed point within the region using
+// the supplied source of randomness.
+func RandomPoint(rng *rand.Rand, r Region) Point {
+	if r == World {
+		x := rng.Float64()
+		acc := 0.0
+		for _, w := range worldWeights {
+			acc += w.weight
+			if x < acc {
+				r = w.region
+				break
+			}
+		}
+		if r == World { // numeric slack: fall through to the last region
+			r = worldWeights[len(worldWeights)-1].region
+		}
+	}
+	boxes := regionBoxes[r]
+	b := boxes[rng.Intn(len(boxes))]
+	return Point{
+		LatDeg: b.latMin + rng.Float64()*(b.latMax-b.latMin),
+		LonDeg: b.lonMin + rng.Float64()*(b.lonMax-b.lonMin),
+	}
+}
+
+// Contains reports whether the point falls inside the region.
+func Contains(r Region, p Point) bool {
+	if r == World {
+		return true
+	}
+	for _, b := range regionBoxes[r] {
+		if p.LatDeg >= b.latMin && p.LatDeg <= b.latMax &&
+			p.LonDeg >= b.lonMin && p.LonDeg <= b.lonMax {
+			return true
+		}
+	}
+	return false
+}
+
+// Jitter returns a point displaced from p by up to radiusKm kilometers in
+// a random direction, clamped to legal coordinates. It is used to place
+// routers near their AS's home location.
+func Jitter(rng *rand.Rand, p Point, radiusKm float64) Point {
+	// Draw a displacement uniformly within the disc of the given radius.
+	angle := rng.Float64() * 2 * math.Pi
+	dist := radiusKm * math.Sqrt(rng.Float64())
+	dLat := (dist / EarthRadiusKm) * (180 / math.Pi) * math.Sin(angle)
+	cos := math.Cos(p.LatDeg * math.Pi / 180)
+	if math.Abs(cos) < 1e-6 {
+		cos = 1e-6
+	}
+	dLon := (dist / EarthRadiusKm) * (180 / math.Pi) * math.Cos(angle) / cos
+	q := Point{LatDeg: p.LatDeg + dLat, LonDeg: p.LonDeg + dLon}
+	if q.LatDeg > 90 {
+		q.LatDeg = 90
+	}
+	if q.LatDeg < -90 {
+		q.LatDeg = -90
+	}
+	for q.LonDeg > 180 {
+		q.LonDeg -= 360
+	}
+	for q.LonDeg < -180 {
+		q.LonDeg += 360
+	}
+	return q
+}

@@ -1,0 +1,210 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known city coordinates for distance sanity checks.
+var (
+	seattle  = Point{LatDeg: 47.61, LonDeg: -122.33}
+	boston   = Point{LatDeg: 42.36, LonDeg: -71.06}
+	london   = Point{LatDeg: 51.51, LonDeg: -0.13}
+	tokyo    = Point{LatDeg: 35.68, LonDeg: 139.69}
+	sydney   = Point{LatDeg: -33.87, LonDeg: 151.21}
+	santiago = Point{LatDeg: -33.45, LonDeg: -70.67}
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    Point
+		wantKm  float64
+		tolerKm float64
+	}{
+		{"seattle-boston", seattle, boston, 4000, 100},
+		{"london-tokyo", london, tokyo, 9560, 150},
+		{"sydney-santiago", sydney, santiago, 11340, 200},
+		{"same-point", seattle, seattle, 0, 0.001},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := DistanceKm(c.a, c.b)
+			if math.Abs(got-c.wantKm) > c.tolerKm {
+				t.Errorf("DistanceKm(%v,%v) = %.1f, want %.1f±%.1f", c.a, c.b, got, c.wantKm, c.tolerKm)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{LatDeg: clamp(lat1, -90, 90), LonDeg: clamp(lon1, -180, 180)}
+		b := Point{LatDeg: clamp(lat2, -90, 90), LonDeg: clamp(lon2, -180, 180)}
+		d1 := DistanceKm(a, b)
+		d2 := DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceNonNegativeAndBounded(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{LatDeg: clamp(lat1, -90, 90), LonDeg: clamp(lon1, -180, 180)}
+		b := Point{LatDeg: clamp(lat2, -90, 90), LonDeg: clamp(lon2, -180, 180)}
+		d := DistanceKm(a, b)
+		// Max great-circle distance is half the circumference.
+		return d >= 0 && d <= math.Pi*EarthRadiusKm+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := RandomPoint(rng, World)
+		b := RandomPoint(rng, World)
+		c := RandomPoint(rng, World)
+		if DistanceKm(a, c) > DistanceKm(a, b)+DistanceKm(b, c)+1e-6 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// Seattle-Boston is ~4000 km; with indirection 1.35 and 0.66c fiber,
+	// one-way delay should be roughly 27 ms.
+	d := PropagationDelayMs(seattle, boston)
+	if d < 20 || d > 35 {
+		t.Errorf("PropagationDelayMs(seattle,boston) = %.1f ms, want ~27 ms", d)
+	}
+	if PropagationDelayMs(seattle, seattle) != 0 {
+		t.Errorf("zero-distance delay should be 0")
+	}
+}
+
+func TestPropagationDelayMonotone(t *testing.T) {
+	// Longer distance implies at least as much delay.
+	if PropagationDelayMs(seattle, boston) >= PropagationDelayMs(seattle, tokyo) {
+		t.Errorf("delay should grow with distance")
+	}
+}
+
+func TestRandomPointInRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, r := range []Region{NorthAmerica, Europe, AsiaPacific} {
+		for i := 0; i < 100; i++ {
+			p := RandomPoint(rng, r)
+			if !p.Valid() {
+				t.Fatalf("invalid point %v for region %v", p, r)
+			}
+			if !Contains(r, p) {
+				t.Fatalf("point %v outside region %v", p, r)
+			}
+		}
+	}
+}
+
+func TestRandomPointWorldMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	counts := map[Region]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		p := RandomPoint(rng, World)
+		switch {
+		case Contains(NorthAmerica, p):
+			counts[NorthAmerica]++
+		case Contains(Europe, p):
+			counts[Europe]++
+		case Contains(AsiaPacific, p):
+			counts[AsiaPacific]++
+		default:
+			t.Fatalf("world point %v in no region", p)
+		}
+	}
+	if counts[NorthAmerica] < n/3 {
+		t.Errorf("expected North America to dominate world mix, got %v", counts)
+	}
+	if counts[Europe] == 0 || counts[AsiaPacific] == 0 {
+		t.Errorf("expected all regions represented, got %v", counts)
+	}
+}
+
+func TestRandomPointDeterministic(t *testing.T) {
+	a := RandomPoint(rand.New(rand.NewSource(5)), World)
+	b := RandomPoint(rand.New(rand.NewSource(5)), World)
+	if a != b {
+		t.Errorf("same seed should give same point: %v vs %v", a, b)
+	}
+}
+
+func TestJitterStaysClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		base := RandomPoint(rng, NorthAmerica)
+		q := Jitter(rng, base, 50)
+		if !q.Valid() {
+			t.Fatalf("jittered point invalid: %v", q)
+		}
+		if d := DistanceKm(base, q); d > 55 { // small slack for lat/lon approximation
+			t.Fatalf("jitter moved %v -> %v by %.1f km, want <=55", base, q, d)
+		}
+	}
+}
+
+func TestJitterZeroRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := Point{LatDeg: 40, LonDeg: -100}
+	q := Jitter(rng, p, 0)
+	if DistanceKm(p, q) > 1e-9 {
+		t.Errorf("zero-radius jitter moved the point: %v -> %v", p, q)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	cases := map[Region]string{
+		NorthAmerica: "north-america",
+		Europe:       "europe",
+		AsiaPacific:  "asia-pacific",
+		World:        "world",
+		Region(99):   "region(99)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Region(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	valid := []Point{{0, 0}, {90, 180}, {-90, -180}, {47.6, -122.3}}
+	for _, p := range valid {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	invalid := []Point{{91, 0}, {-91, 0}, {0, 181}, {0, -181}}
+	for _, p := range invalid {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return lo
+	}
+	// Fold arbitrary floats into range.
+	r := math.Mod(x, hi-lo)
+	if r < 0 {
+		r += hi - lo
+	}
+	return lo + r
+}

@@ -1,0 +1,21 @@
+package igp
+
+import (
+	"testing"
+
+	"pathsel/internal/topology"
+)
+
+func BenchmarkNew(b *testing.B) {
+	top, err := topology.Generate(topology.DefaultConfig(topology.Era1999))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New(top, DefaultConfig())
+		if _, ok := g.Dist(top.Routers[0].ID, top.Routers[0].ID); !ok {
+			b.Fatal("missing self distance")
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package igp implements interior gateway routing: shortest paths between
+// routers within a single autonomous system.
+//
+// Following the paper's Section 3, small (stub) ASes route on raw hop
+// count while larger ASes set administrative metrics that track
+// propagation delay ("most larger AS's set internal metrics manually to
+// distribute load and to avoid using links with excessive propagation
+// delay"). The metric choice is per-AS-class and configurable.
+package igp
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pathsel/internal/topology"
+)
+
+// Metric selects the link cost used for intra-AS shortest paths.
+type Metric int
+
+const (
+	// HopCount charges 1 per link.
+	HopCount Metric = iota
+	// Delay charges the link's propagation delay in ms.
+	Delay
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case HopCount:
+		return "hop-count"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Config selects the metric per AS class.
+type Config struct {
+	StubMetric    Metric
+	TransitMetric Metric
+	Tier1Metric   Metric
+}
+
+// DefaultConfig mirrors the paper's description: stubs use hop count,
+// larger networks use delay-correlated administrative weights.
+func DefaultConfig() Config {
+	return Config{StubMetric: HopCount, TransitMetric: Delay, Tier1Metric: Delay}
+}
+
+// IGP holds the converged intra-AS routing state for every AS in a
+// topology: all-pairs shortest paths computed per AS.
+type IGP struct {
+	top *topology.Topology
+	cfg Config
+
+	// nextLink[from][to] is the first link on the shortest path from
+	// router from to router to (both must be in the same AS); 0 links
+	// means unreachable or from==to. Indexed by global RouterID.
+	nextLink map[topology.RouterID]map[topology.RouterID]topology.LinkID
+	dist     map[topology.RouterID]map[topology.RouterID]float64
+	// delay[from][to] is the propagation-delay sum along the chosen
+	// path, regardless of metric (used for hot-potato comparisons and
+	// by the network simulator).
+	delay map[topology.RouterID]map[topology.RouterID]float64
+}
+
+// New computes intra-AS routing for the whole topology.
+func New(top *topology.Topology, cfg Config) *IGP {
+	g := &IGP{
+		top:      top,
+		cfg:      cfg,
+		nextLink: map[topology.RouterID]map[topology.RouterID]topology.LinkID{},
+		dist:     map[topology.RouterID]map[topology.RouterID]float64{},
+		delay:    map[topology.RouterID]map[topology.RouterID]float64{},
+	}
+	for _, as := range top.ASList {
+		metric := cfg.StubMetric
+		switch as.Class {
+		case topology.Tier1:
+			metric = cfg.Tier1Metric
+		case topology.Transit:
+			metric = cfg.TransitMetric
+		}
+		for _, r := range as.Routers {
+			g.runDijkstra(r, metric)
+		}
+	}
+	return g
+}
+
+func linkCost(l *topology.Link, m Metric) float64 {
+	if m == HopCount {
+		return 1
+	}
+	return l.PropDelayMs
+}
+
+type pqItem struct {
+	router topology.RouterID
+	dist   float64
+	index  int
+}
+
+type priorityQueue []*pqItem
+
+func (pq priorityQueue) Len() int { return len(pq) }
+func (pq priorityQueue) Less(i, j int) bool {
+	if pq[i].dist != pq[j].dist {
+		return pq[i].dist < pq[j].dist
+	}
+	return pq[i].router < pq[j].router // deterministic tiebreak
+}
+func (pq priorityQueue) Swap(i, j int) {
+	pq[i], pq[j] = pq[j], pq[i]
+	pq[i].index = i
+	pq[j].index = j
+}
+func (pq *priorityQueue) Push(x any) {
+	it := x.(*pqItem)
+	it.index = len(*pq)
+	*pq = append(*pq, it)
+}
+func (pq *priorityQueue) Pop() any {
+	old := *pq
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*pq = old[:n-1]
+	return it
+}
+
+// runDijkstra computes shortest paths from src to all routers in its AS.
+func (g *IGP) runDijkstra(src topology.RouterID, metric Metric) {
+	asn := g.top.Router(src).AS
+	distTo := map[topology.RouterID]float64{src: 0}
+	delayTo := map[topology.RouterID]float64{src: 0}
+	// firstLink[r] is the first link of the path src->r.
+	firstLink := map[topology.RouterID]topology.LinkID{}
+	visited := map[topology.RouterID]bool{}
+
+	pq := &priorityQueue{}
+	heap.Init(pq)
+	heap.Push(pq, &pqItem{router: src, dist: 0})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*pqItem)
+		u := it.router
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		for _, lid := range g.top.OutLinks(u) {
+			l := g.top.Link(lid)
+			if l.Rel != topology.Internal || g.top.Router(l.To).AS != asn {
+				continue
+			}
+			v := l.To
+			nd := distTo[u] + linkCost(l, metric)
+			old, seen := distTo[v]
+			if !seen || nd < old-1e-12 {
+				distTo[v] = nd
+				delayTo[v] = delayTo[u] + l.PropDelayMs
+				if u == src {
+					firstLink[v] = lid
+				} else {
+					firstLink[v] = firstLink[u]
+				}
+				heap.Push(pq, &pqItem{router: v, dist: nd})
+			}
+		}
+	}
+
+	g.dist[src] = distTo
+	g.delay[src] = delayTo
+	g.nextLink[src] = firstLink
+}
+
+// Dist returns the IGP metric distance between two routers of the same
+// AS, and whether to is reachable from from.
+func (g *IGP) Dist(from, to topology.RouterID) (float64, bool) {
+	d, ok := g.dist[from][to]
+	return d, ok
+}
+
+// Delay returns the propagation-delay sum in ms along the chosen
+// intra-AS path, and whether to is reachable.
+func (g *IGP) Delay(from, to topology.RouterID) (float64, bool) {
+	d, ok := g.delay[from][to]
+	return d, ok
+}
+
+// Path returns the link IDs of the shortest intra-AS path from from to
+// to. It returns an empty path for from == to, and ok=false when the
+// routers are in different ASes or disconnected.
+func (g *IGP) Path(from, to topology.RouterID) ([]topology.LinkID, bool) {
+	if from == to {
+		return nil, true
+	}
+	if g.top.Router(from) == nil || g.top.Router(to) == nil ||
+		g.top.Router(from).AS != g.top.Router(to).AS {
+		return nil, false
+	}
+	var path []topology.LinkID
+	cur := from
+	for cur != to {
+		lid, ok := g.nextLink[cur][to]
+		if !ok {
+			return nil, false
+		}
+		path = append(path, lid)
+		cur = g.top.Link(lid).To
+		if len(path) > len(g.top.Routers) {
+			// Defensive: should be impossible with consistent tables.
+			return nil, false
+		}
+	}
+	return path, true
+}

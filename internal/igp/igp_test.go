@@ -1,0 +1,217 @@
+package igp
+
+import (
+	"math"
+	"testing"
+
+	"pathsel/internal/topology"
+)
+
+func testTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	top, err := topology.Generate(topology.DefaultConfig(topology.Era1999))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return top
+}
+
+func TestAllPairsReachableWithinAS(t *testing.T) {
+	top := testTopology(t)
+	g := New(top, DefaultConfig())
+	for _, as := range top.ASList {
+		for _, a := range as.Routers {
+			for _, b := range as.Routers {
+				if _, ok := g.Dist(a, b); !ok {
+					t.Fatalf("AS %d: router %d cannot reach %d", as.ASN, a, b)
+				}
+				if _, ok := g.Path(a, b); !ok {
+					t.Fatalf("AS %d: no path %d -> %d", as.ASN, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPathEndpointsAndContinuity(t *testing.T) {
+	top := testTopology(t)
+	g := New(top, DefaultConfig())
+	for _, as := range top.ASList {
+		for _, a := range as.Routers {
+			for _, b := range as.Routers {
+				path, ok := g.Path(a, b)
+				if !ok {
+					t.Fatalf("no path %d -> %d", a, b)
+				}
+				if a == b {
+					if len(path) != 0 {
+						t.Fatalf("self path should be empty, got %d links", len(path))
+					}
+					continue
+				}
+				cur := a
+				for _, lid := range path {
+					l := top.Link(lid)
+					if l.From != cur {
+						t.Fatalf("discontinuous path at link %d: at router %d, link starts at %d", lid, cur, l.From)
+					}
+					if l.Rel != topology.Internal {
+						t.Fatalf("IGP path crosses inter-AS link %d", lid)
+					}
+					cur = l.To
+				}
+				if cur != b {
+					t.Fatalf("path %d -> %d ends at %d", a, b, cur)
+				}
+			}
+		}
+	}
+}
+
+func TestDistMatchesPathCost(t *testing.T) {
+	top := testTopology(t)
+	g := New(top, DefaultConfig())
+	cfg := DefaultConfig()
+	for _, as := range top.ASList {
+		metric := cfg.StubMetric
+		switch as.Class {
+		case topology.Tier1:
+			metric = cfg.Tier1Metric
+		case topology.Transit:
+			metric = cfg.TransitMetric
+		}
+		for _, a := range as.Routers {
+			for _, b := range as.Routers {
+				path, _ := g.Path(a, b)
+				want := 0.0
+				delay := 0.0
+				for _, lid := range path {
+					want += linkCost(top.Link(lid), metric)
+					delay += top.Link(lid).PropDelayMs
+				}
+				got, _ := g.Dist(a, b)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("Dist(%d,%d) = %f but path cost is %f", a, b, got, want)
+				}
+				gotDelay, _ := g.Delay(a, b)
+				if math.Abs(gotDelay-delay) > 1e-9 {
+					t.Fatalf("Delay(%d,%d) = %f but path delay is %f", a, b, gotDelay, delay)
+				}
+			}
+		}
+	}
+}
+
+func TestDistSymmetricForSymmetricTopology(t *testing.T) {
+	// Links are generated in symmetric pairs with equal delay, so the
+	// shortest-path metric must be symmetric even if the chosen paths
+	// differ.
+	top := testTopology(t)
+	g := New(top, DefaultConfig())
+	for _, as := range top.ASList {
+		for _, a := range as.Routers {
+			for _, b := range as.Routers {
+				d1, _ := g.Dist(a, b)
+				d2, _ := g.Dist(b, a)
+				if math.Abs(d1-d2) > 1e-9 {
+					t.Fatalf("asymmetric IGP distance %d<->%d: %f vs %f", a, b, d1, d2)
+				}
+			}
+		}
+	}
+}
+
+func TestTriangleInequalityOnDistances(t *testing.T) {
+	top := testTopology(t)
+	g := New(top, DefaultConfig())
+	for _, as := range top.ASList {
+		rs := as.Routers
+		if len(rs) < 3 {
+			continue
+		}
+		for i := 0; i < len(rs); i++ {
+			for j := 0; j < len(rs); j++ {
+				for k := 0; k < len(rs); k++ {
+					dij, _ := g.Dist(rs[i], rs[j])
+					djk, _ := g.Dist(rs[j], rs[k])
+					dik, _ := g.Dist(rs[i], rs[k])
+					if dik > dij+djk+1e-9 {
+						t.Fatalf("triangle violation in AS %d: d(%d,%d)=%f > %f+%f",
+							as.ASN, rs[i], rs[k], dik, dij, djk)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCrossASPathRefused(t *testing.T) {
+	top := testTopology(t)
+	g := New(top, DefaultConfig())
+	var a, b topology.RouterID
+	found := false
+	for _, r := range top.Routers {
+		if r.AS != top.Routers[0].AS {
+			a, b = top.Routers[0].ID, r.ID
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("expected routers in more than one AS")
+	}
+	if _, ok := g.Path(a, b); ok {
+		t.Error("Path across ASes should fail")
+	}
+	if _, ok := g.Dist(a, b); ok {
+		t.Error("Dist across ASes should fail")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if HopCount.String() != "hop-count" || Delay.String() != "delay" {
+		t.Error("metric strings wrong")
+	}
+	if Metric(9).String() != "metric(9)" {
+		t.Error("unknown metric string wrong")
+	}
+}
+
+func TestHopCountMetricCountsLinks(t *testing.T) {
+	top := testTopology(t)
+	cfg := Config{StubMetric: HopCount, TransitMetric: HopCount, Tier1Metric: HopCount}
+	g := New(top, cfg)
+	for _, as := range top.ASList {
+		for _, a := range as.Routers {
+			for _, b := range as.Routers {
+				path, _ := g.Path(a, b)
+				d, _ := g.Dist(a, b)
+				if d != float64(len(path)) {
+					t.Fatalf("hop-count Dist(%d,%d)=%f but path has %d links", a, b, d, len(path))
+				}
+			}
+		}
+	}
+}
+
+func TestSingleRouterAS(t *testing.T) {
+	cfg := topology.DefaultConfig(topology.Era1999)
+	cfg.RoutersStub = 1
+	top, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(top, DefaultConfig())
+	for _, as := range top.ASList {
+		if as.Class != topology.Stub {
+			continue
+		}
+		r := as.Routers[0]
+		if d, ok := g.Dist(r, r); !ok || d != 0 {
+			t.Fatalf("self distance in single-router AS: %f, %v", d, ok)
+		}
+		if p, ok := g.Path(r, r); !ok || len(p) != 0 {
+			t.Fatalf("self path in single-router AS: %v, %v", p, ok)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsel/internal/topology"
+)
+
+func benchNetwork(b *testing.B) (*topology.Topology, *Network) {
+	b.Helper()
+	top, err := topology.Generate(topology.DefaultConfig(topology.Era1999))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return top, New(top, DefaultConfig())
+}
+
+func BenchmarkUtilization(b *testing.B) {
+	top, n := benchNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Utilization(top.Links[i%len(top.Links)].ID, Time(i%86400))
+	}
+}
+
+func BenchmarkEvalLinks20(b *testing.B) {
+	top, n := benchNetwork(b)
+	links := make([]topology.LinkID, 20)
+	for i := range links {
+		links[i] = top.Links[(i*37)%len(top.Links)].ID
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := n.EvalLinks(links, Time(i%86400))
+		if st.DelayMs <= 0 {
+			b.Fatal("no delay")
+		}
+	}
+}
+
+func BenchmarkSampleDelay(b *testing.B) {
+	_, n := benchNetwork(b)
+	rng := rand.New(rand.NewSource(1))
+	st := PathState{DelayMs: 80, PropDelayMs: 55}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.SampleDelay(rng, st, 20)
+	}
+}

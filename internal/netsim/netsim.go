@@ -1,0 +1,428 @@
+// Package netsim models the dynamic performance of the synthetic
+// Internet: per-link background utilization with diurnal and weekly load
+// patterns, utilization-dependent queuing delay and packet loss, shared
+// congestion at exchange points, and brief outage windows that stand in
+// for the route flaps and failures observed in the paper's datasets.
+//
+// The model is analytic rather than packet-level: the state of every link
+// at every instant is a deterministic function of (seed, link, time), so
+// simultaneous measurements of different paths see a mutually consistent
+// network — the property the paper's UW4-A episodes depend on — and whole
+// multi-week measurement campaigns run in milliseconds.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pathsel/internal/topology"
+)
+
+// Config tunes the congestion model. Use DefaultConfig as a base.
+type Config struct {
+	// Seed decorrelates the network's stochastic processes from the
+	// topology seed.
+	Seed int64
+
+	// BaseUtilization by link role at the height of the working day.
+	UtilCore     float64
+	UtilTransit  float64
+	UtilEdge     float64
+	UtilAccess   float64
+	ExchangeBump float64 // extra utilization on exchange-point links
+	// ExchangeNoiseAmp scales exchange-wide congestion swings shared by
+	// every link at the same public exchange fabric.
+	ExchangeNoiseAmp float64
+
+	// DriftAmp and JitterAmp scale slow (minutes-scale) and fast
+	// (seconds-scale) random load variation.
+	DriftAmp  float64
+	JitterAmp float64
+	// DriftPeriodSec and JitterPeriodSec are the noise grid periods.
+	DriftPeriodSec  float64
+	JitterPeriodSec float64
+
+	// NightFloor is the fraction of peak load present at the quietest
+	// hour; weekends run at WeekendFactor of the weekday curve.
+	NightFloor    float64
+	WeekendFactor float64
+
+	// BaseLoss is the floor loss probability per link; CongestionLoss
+	// scales the loss added as utilization exceeds LossKnee.
+	BaseLoss       float64
+	CongestionLoss float64
+	LossKnee       float64
+
+	// BufferPackets caps the fine-grained (per-flow) queue length in
+	// packets of PacketBytes.
+	BufferPackets float64
+	PacketBytes   float64
+
+	// QueueKnee is the utilization above which persistent overload
+	// builds standing queues; BufferMs is the full-buffer delay those
+	// queues reach (mid/late-90s routers carried hundreds of
+	// milliseconds of FIFO buffering at bottlenecks, independent of
+	// line rate).
+	QueueKnee float64
+	BufferMs  float64
+
+	// FlapProbPerHour is the chance a link suffers an outage window in
+	// any given hour; FlapWindowSec is the window length; FlapLoss is
+	// the loss probability during the window.
+	FlapProbPerHour float64
+	FlapWindowSec   float64
+	FlapLoss        float64
+
+	// ProcessingJitterMs is the mean of the exponential per-sample
+	// jitter added to a measured RTT (router forwarding variance, host
+	// scheduling).
+	ProcessingJitterMs float64
+
+	// RouteWanderAmp scales the slow per-link baseline-delay wander that
+	// stands in for route changes: over days, the effective fixed delay
+	// of a link drifts by up to this fraction of its propagation delay,
+	// as reroutes did in the paper's datasets (Paxson's route
+	// fluctuation). RouteWanderPeriodSec is the wander timescale.
+	RouteWanderAmp       float64
+	RouteWanderPeriodSec float64
+}
+
+// DefaultConfig returns the baseline congestion model (the 1998-99
+// Internet of the UW datasets).
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		UtilCore:             0.42,
+		UtilTransit:          0.52,
+		UtilEdge:             0.45,
+		UtilAccess:           0.35,
+		ExchangeBump:         0.30,
+		ExchangeNoiseAmp:     0.20,
+		DriftAmp:             0.24,
+		JitterAmp:            0.10,
+		DriftPeriodSec:       600,
+		JitterPeriodSec:      15,
+		NightFloor:           0.30,
+		WeekendFactor:        0.45,
+		BaseLoss:             0.0004,
+		CongestionLoss:       0.12,
+		LossKnee:             0.70,
+		BufferPackets:        512,
+		PacketBytes:          1500,
+		QueueKnee:            0.75,
+		BufferMs:             400,
+		FlapProbPerHour:      0.012,
+		FlapWindowSec:        240,
+		FlapLoss:             0.85,
+		ProcessingJitterMs:   0.3,
+		RouteWanderAmp:       0.22,
+		RouteWanderPeriodSec: 100000,
+	}
+}
+
+// ConfigFor returns the congestion model for an era. The mid-90s preset
+// runs hotter — the NAP-congestion period the D2/N2 datasets were
+// collected in — with more load variation and more frequent outages.
+func ConfigFor(era topology.Era) Config {
+	cfg := DefaultConfig()
+	if era == topology.Era1995 {
+		cfg.UtilCore = 0.48
+		cfg.UtilTransit = 0.62
+		cfg.UtilEdge = 0.55
+		cfg.ExchangeBump = 0.40
+		cfg.ExchangeNoiseAmp = 0.22
+		cfg.DriftAmp = 0.28
+		cfg.CongestionLoss = 0.16
+		cfg.FlapProbPerHour = 0.02
+		cfg.BufferMs = 520
+	}
+	return cfg
+}
+
+// Validate reports a descriptive error for configurations that the
+// model cannot evaluate sensibly.
+func (c Config) Validate() error {
+	switch {
+	case c.PacketBytes <= 0:
+		return fmt.Errorf("netsim: PacketBytes must be positive")
+	case c.BufferPackets <= 0:
+		return fmt.Errorf("netsim: BufferPackets must be positive")
+	case c.BufferMs < 0:
+		return fmt.Errorf("netsim: BufferMs must be non-negative")
+	case c.QueueKnee <= 0 || c.QueueKnee >= 1:
+		return fmt.Errorf("netsim: QueueKnee %.2f outside (0,1)", c.QueueKnee)
+	case c.LossKnee <= 0 || c.LossKnee >= 1:
+		return fmt.Errorf("netsim: LossKnee %.2f outside (0,1)", c.LossKnee)
+	case c.BaseLoss < 0 || c.BaseLoss > 1:
+		return fmt.Errorf("netsim: BaseLoss %.4f outside [0,1]", c.BaseLoss)
+	case c.CongestionLoss < 0 || c.CongestionLoss > 1:
+		return fmt.Errorf("netsim: CongestionLoss %.2f outside [0,1]", c.CongestionLoss)
+	case c.FlapLoss < 0 || c.FlapLoss > 1:
+		return fmt.Errorf("netsim: FlapLoss %.2f outside [0,1]", c.FlapLoss)
+	case c.DriftPeriodSec <= 0 || c.JitterPeriodSec <= 0:
+		return fmt.Errorf("netsim: noise periods must be positive")
+	case c.WeekendFactor < 0 || c.WeekendFactor > 1:
+		return fmt.Errorf("netsim: WeekendFactor %.2f outside [0,1]", c.WeekendFactor)
+	case c.NightFloor < 0 || c.NightFloor > 1:
+		return fmt.Errorf("netsim: NightFloor %.2f outside [0,1]", c.NightFloor)
+	}
+	return nil
+}
+
+// Network evaluates link and path performance at simulated times.
+type Network struct {
+	top *topology.Topology
+	cfg Config
+}
+
+// New creates a network model over a topology.
+func New(top *topology.Topology, cfg Config) *Network {
+	return &Network{top: top, cfg: cfg}
+}
+
+// Config returns the model configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// activity returns the diurnal load level in [0,1] for a point with the
+// given longitude: a Gaussian bump peaked at 13:00 local time, damped on
+// weekends.
+func (n *Network) activity(t Time, lonDeg float64) float64 {
+	h := t.LocalHour(lonDeg)
+	// Distance to 13:00 on the 24h circle.
+	d := math.Abs(h - 13)
+	if d > 12 {
+		d = 24 - d
+	}
+	a := math.Exp(-d * d / (2 * 4.5 * 4.5))
+	if t.Weekend() {
+		a *= n.cfg.WeekendFactor
+	}
+	return a
+}
+
+// exchangeSeverity returns the chronic congestion multiplier of an
+// exchange point. Real exchanges differed enormously — mid-90s MAE-East
+// ran saturated while others were fine — and this concentration is what
+// lets detour paths route around specific meltdown points rather than
+// facing uniform load everywhere.
+func (n *Network) exchangeSeverity(exchange int) float64 {
+	return 0.35 + 1.5*unit(hash64(uint64(n.cfg.Seed)^0x9999, uint64(exchange)+1, 0))
+}
+
+// baseUtil returns the peak-hour target utilization for a link.
+func (n *Network) baseUtil(l *topology.Link) float64 {
+	from := n.top.Router(l.From)
+	cls := n.top.AS(from.AS).Class
+	u := n.cfg.UtilEdge
+	switch {
+	case l.Rel != topology.Internal:
+		// Inter-AS links inherit the higher of the two sides' classes.
+		u = n.cfg.UtilTransit
+		if cls == topology.Tier1 && n.top.AS(n.top.Router(l.To).AS).Class == topology.Tier1 {
+			u = n.cfg.UtilCore
+		}
+	case cls == topology.Tier1:
+		u = n.cfg.UtilCore
+	case cls == topology.Transit:
+		u = n.cfg.UtilTransit
+	}
+	if l.Exchange >= 0 {
+		u += n.cfg.ExchangeBump * n.exchangeSeverity(l.Exchange)
+	}
+	return u
+}
+
+// linkLon returns the longitude used for the link's local-time load curve.
+func (n *Network) linkLon(l *topology.Link) float64 {
+	a := n.top.Router(l.From).Loc
+	b := n.top.Router(l.To).Loc
+	return (a.LonDeg + b.LonDeg) / 2
+}
+
+// Utilization returns the instantaneous utilization of a link in
+// (0, 0.99].
+func (n *Network) Utilization(lid topology.LinkID, t Time) float64 {
+	l := n.top.Link(lid)
+	cfg := n.cfg
+	act := n.activity(t, n.linkLon(l))
+	day := cfg.NightFloor + (1-cfg.NightFloor)*act
+	u := n.baseUtil(l) * day
+
+	seed := uint64(cfg.Seed)
+	id := uint64(lid) + 1
+	u += cfg.DriftAmp * (valueNoise(seed, id, t, cfg.DriftPeriodSec) - 0.5) * 2
+	u += cfg.JitterAmp * (valueNoise(seed^0x5555, id, t, cfg.JitterPeriodSec) - 0.5) * 2
+	if l.Exchange >= 0 {
+		// Exchange-wide congestion shared by all links at the fabric.
+		exID := uint64(l.Exchange) + 0x1000
+		u += cfg.ExchangeNoiseAmp * (valueNoise(seed^0x7777, exID, t, cfg.DriftPeriodSec) - 0.5) * 2
+	}
+	return clamp(u, 0.02, 0.99)
+}
+
+// LinkPropMs returns the link's effective fixed delay at time t: the
+// physical propagation delay modulated by the slow route-wander process
+// (reroutes change path baselines for days at a time).
+func (n *Network) LinkPropMs(lid topology.LinkID, t Time) float64 {
+	l := n.top.Link(lid)
+	amp := n.cfg.RouteWanderAmp
+	if amp == 0 {
+		return l.PropDelayMs
+	}
+	w := valueNoise(uint64(n.cfg.Seed)^0x3333, uint64(lid)+1, t, n.cfg.RouteWanderPeriodSec)
+	return l.PropDelayMs * (1 + amp*(w-0.5)*2)
+}
+
+// serviceTimeMs is the transmission time of one packet on the link.
+func (n *Network) serviceTimeMs(l *topology.Link) float64 {
+	return n.cfg.PacketBytes * 8 / (l.CapacityMbps * 1000)
+}
+
+// QueueDelayMs returns the expected queuing delay on a link at time t:
+// an M/M/1 waiting time (capped at the packet buffer) for the
+// fine-grained component, plus a standing-queue component that grows
+// quadratically once utilization crosses the overload knee — the
+// persistent full buffers of congested mid-90s exchange fabrics, whose
+// delay is set by buffer depth in time, not by a single packet's
+// transmission time.
+func (n *Network) QueueDelayMs(lid topology.LinkID, t Time) float64 {
+	l := n.top.Link(lid)
+	u := n.Utilization(lid, t)
+	s := n.serviceTimeMs(l)
+	w := s * u / (1 - u)
+	if max := s * n.cfg.BufferPackets; w > max {
+		w = max
+	}
+	if u > n.cfg.QueueKnee {
+		x := (u - n.cfg.QueueKnee) / (1 - n.cfg.QueueKnee)
+		w += n.cfg.BufferMs * x * x
+	}
+	return w
+}
+
+// LossProb returns the packet-loss probability on a link at time t,
+// combining the loss floor, congestion loss above the knee, and outage
+// windows (route flaps, failures).
+func (n *Network) LossProb(lid topology.LinkID, t Time) float64 {
+	cfg := n.cfg
+	u := n.Utilization(lid, t)
+	p := cfg.BaseLoss
+	if u > cfg.LossKnee {
+		x := (u - cfg.LossKnee) / (1 - cfg.LossKnee)
+		p += cfg.CongestionLoss * x * x * x
+	}
+	if eventAt(uint64(cfg.Seed), uint64(lid)+1, t, cfg.FlapProbPerHour, cfg.FlapWindowSec) {
+		p = 1 - (1-p)*(1-cfg.FlapLoss)
+	}
+	return clamp(p, 0, 1)
+}
+
+// LinkDelayMs returns the effective fixed delay plus expected queuing
+// delay for a link.
+func (n *Network) LinkDelayMs(lid topology.LinkID, t Time) float64 {
+	return n.LinkPropMs(lid, t) + n.QueueDelayMs(lid, t)
+}
+
+// accessState models a host's access link as a synthetic link-like
+// process keyed by the host ID.
+func (n *Network) accessState(h *topology.Host, t Time) (delayMs, loss float64) {
+	cfg := n.cfg
+	act := n.activity(t, h.Loc.LonDeg)
+	u := cfg.UtilAccess * (cfg.NightFloor + (1-cfg.NightFloor)*act)
+	id := uint64(h.ID) + 0x9000000
+	u += cfg.DriftAmp * (valueNoise(uint64(cfg.Seed)^0x1212, id, t, cfg.DriftPeriodSec) - 0.5) * 2
+	u = clamp(u, 0.02, 0.99)
+	s := cfg.PacketBytes * 8 / (h.AccessCapacityMbps * 1000)
+	w := s * u / (1 - u)
+	if max := s * cfg.BufferPackets; w > max {
+		w = max
+	}
+	if u > cfg.QueueKnee {
+		x := (u - cfg.QueueKnee) / (1 - cfg.QueueKnee)
+		w += cfg.BufferMs * x * x
+	}
+	p := cfg.BaseLoss
+	if u > cfg.LossKnee {
+		x := (u - cfg.LossKnee) / (1 - cfg.LossKnee)
+		p += cfg.CongestionLoss * x * x * x
+	}
+	return h.AccessDelayMs + w, clamp(p, 0, 1)
+}
+
+// PathState is the instantaneous expected performance of a one-way path.
+type PathState struct {
+	// DelayMs is propagation plus expected queuing delay, including the
+	// endpoints' access links where hosts are involved.
+	DelayMs float64
+	// PropDelayMs is the fixed component only.
+	PropDelayMs float64
+	// LossProb is the probability that a packet is lost anywhere on the
+	// path (links assumed independent).
+	LossProb float64
+}
+
+// EvalLinks computes the instantaneous one-way state of a sequence of
+// links at time t, without any host access links.
+func (n *Network) EvalLinks(links []topology.LinkID, t Time) PathState {
+	st := PathState{}
+	surv := 1.0
+	for _, lid := range links {
+		prop := n.LinkPropMs(lid, t)
+		st.PropDelayMs += prop
+		st.DelayMs += prop + n.QueueDelayMs(lid, t)
+		surv *= 1 - n.LossProb(lid, t)
+	}
+	st.LossProb = 1 - surv
+	return st
+}
+
+// EvalHostPath computes the one-way state of a host-to-host path,
+// including both access links.
+func (n *Network) EvalHostPath(src, dst topology.HostID, links []topology.LinkID, t Time) (PathState, error) {
+	hs, hd := n.top.Host(src), n.top.Host(dst)
+	if hs == nil || hd == nil {
+		return PathState{}, fmt.Errorf("netsim: unknown host %d or %d", src, dst)
+	}
+	st := n.EvalLinks(links, t)
+	sd, sl := n.accessState(hs, t)
+	dd, dl := n.accessState(hd, t)
+	st.DelayMs += sd + dd
+	st.PropDelayMs += hs.AccessDelayMs + hd.AccessDelayMs
+	st.LossProb = 1 - (1-st.LossProb)*(1-sl)*(1-dl)
+	return st, nil
+}
+
+// SampleDelay draws one concrete one-way delay sample: the fixed
+// propagation component, plus an exponentially distributed queuing draw
+// whose mean is the expected queuing delay (the M/M/1 waiting time is
+// approximately exponential), plus per-hop processing jitter. The
+// resulting samples have the right mean, are right-skewed like real
+// round-trip measurements, and make low quantiles a usable propagation
+// estimator — the property the paper's Section 7.2 relies on.
+func (n *Network) SampleDelay(rng *rand.Rand, st PathState, hops int) float64 {
+	queue := st.DelayMs - st.PropDelayMs
+	if queue < 0 {
+		queue = 0
+	}
+	d := st.PropDelayMs + rng.ExpFloat64()*queue
+	for i := 0; i < hops; i++ {
+		d += rng.ExpFloat64() * n.cfg.ProcessingJitterMs
+	}
+	return d
+}
+
+// SampleLoss draws whether a packet is lost on a path in the given state.
+func (n *Network) SampleLoss(rng *rand.Rand, st PathState) bool {
+	return rng.Float64() < st.LossProb
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

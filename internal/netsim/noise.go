@@ -1,0 +1,58 @@
+package netsim
+
+import "math"
+
+// Deterministic value noise. Every stochastic process in the network
+// model (load drift, jitter, outages) is a pure function of (entity ID,
+// time, seed), so that concurrent measurements of different paths observe
+// a consistent network state — exactly what the paper's UW4-A
+// "simultaneous episodes" methodology requires — and so that experiments
+// are reproducible from the seed alone.
+
+// hash64 mixes three 64-bit values into one (splitmix64-style finalizer).
+func hash64(a, b, c uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 ^ b*0xC2B2AE3D27D4EB4F ^ c*0x165667B19E3779F9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// unit converts a hash to a float64 in [0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// valueNoise returns a smooth pseudo-random signal in [0,1] for the given
+// entity, evaluated at time t with the given period (seconds). Values at
+// integer grid points are independent uniforms; between them the signal
+// is cosine-interpolated.
+func valueNoise(seed, entity uint64, t Time, period float64) float64 {
+	x := float64(t) / period
+	k := math.Floor(x)
+	frac := x - k
+	a := unit(hash64(seed, entity, uint64(int64(k))))
+	b := unit(hash64(seed, entity, uint64(int64(k)+1)))
+	// Cosine interpolation avoids derivative discontinuities at grid
+	// points that linear interpolation would introduce.
+	w := (1 - math.Cos(frac*math.Pi)) / 2
+	return a*(1-w) + b*w
+}
+
+// eventAt reports whether a rare event (an outage window) is active for
+// the entity at time t. Each window of length windowSec occurs within an
+// hour-long slot with probability probPerHour, at a pseudo-random offset
+// within the slot.
+func eventAt(seed, entity uint64, t Time, probPerHour, windowSec float64) bool {
+	slot := int64(math.Floor(float64(t) / 3600))
+	h := hash64(seed^0xABCD, entity, uint64(slot))
+	if unit(h) >= probPerHour {
+		return false
+	}
+	// Window offset within the slot, from an independent hash.
+	off := unit(hash64(seed^0xFEED, entity, uint64(slot))) * (3600 - windowSec)
+	inSlot := float64(t) - float64(slot)*3600
+	return inSlot >= off && inSlot < off+windowSec
+}

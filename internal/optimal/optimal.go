@@ -1,0 +1,124 @@
+// Package optimal computes globally optimal router-level paths over the
+// full link graph, ignoring routing policy entirely. The paper can only
+// compare default paths against host-relayed alternates; the simulator
+// can also answer the underlying question directly — how far from
+// optimal is policy routing? — and then measure how much of that
+// optimality gap the paper's synthetic alternates recover.
+//
+// "Optimal" here minimizes propagation delay, the policy-free baseline
+// that later path-inflation studies (e.g. Tangmunarunkit et al.) used.
+package optimal
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pathsel/internal/topology"
+)
+
+// Router-level shortest paths over every link in the topology,
+// regardless of AS boundaries, business relationships, or export rules.
+type Router struct {
+	top *topology.Topology
+	// dist[src] maps destination routers to minimal propagation delay.
+	dist map[topology.RouterID]map[topology.RouterID]float64
+}
+
+// New creates an optimal-path calculator. Shortest-path trees are
+// computed lazily per source and memoized.
+func New(top *topology.Topology) *Router {
+	return &Router{top: top, dist: map[topology.RouterID]map[topology.RouterID]float64{}}
+}
+
+type item struct {
+	r topology.RouterID
+	d float64
+}
+
+type queue []item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].d != q[j].d {
+		return q[i].d < q[j].d
+	}
+	return q[i].r < q[j].r
+}
+func (q queue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x any)   { *q = append(*q, x.(item)) }
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// tree runs Dijkstra from src over all links, minimizing propagation
+// delay.
+func (o *Router) tree(src topology.RouterID) map[topology.RouterID]float64 {
+	if d, ok := o.dist[src]; ok {
+		return d
+	}
+	dist := map[topology.RouterID]float64{src: 0}
+	done := map[topology.RouterID]bool{}
+	q := &queue{{r: src, d: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		if done[it.r] {
+			continue
+		}
+		done[it.r] = true
+		for _, lid := range o.top.OutLinks(it.r) {
+			l := o.top.Link(lid)
+			nd := dist[it.r] + l.PropDelayMs
+			if old, ok := dist[l.To]; !ok || nd < old {
+				dist[l.To] = nd
+				heap.Push(q, item{r: l.To, d: nd})
+			}
+		}
+	}
+	o.dist[src] = dist
+	return dist
+}
+
+// RouterDelay returns the minimal propagation delay between two routers.
+func (o *Router) RouterDelay(src, dst topology.RouterID) (float64, error) {
+	if o.top.Router(src) == nil || o.top.Router(dst) == nil {
+		return 0, fmt.Errorf("optimal: unknown router %d or %d", src, dst)
+	}
+	d, ok := o.tree(src)[dst]
+	if !ok {
+		return 0, fmt.Errorf("optimal: router %d unreachable from %d", dst, src)
+	}
+	return d, nil
+}
+
+// HostDelay returns the minimal one-way propagation delay between two
+// hosts, including their access links.
+func (o *Router) HostDelay(src, dst topology.HostID) (float64, error) {
+	hs, hd := o.top.Host(src), o.top.Host(dst)
+	if hs == nil || hd == nil {
+		return 0, fmt.Errorf("optimal: unknown host %d or %d", src, dst)
+	}
+	d, err := o.RouterDelay(hs.Attach, hd.Attach)
+	if err != nil {
+		return 0, err
+	}
+	return d + hs.AccessDelayMs + hd.AccessDelayMs, nil
+}
+
+// HostRTT returns the minimal round-trip propagation delay between two
+// hosts (forward plus reverse optimal paths; links are symmetric so this
+// is twice the one-way optimum).
+func (o *Router) HostRTT(src, dst topology.HostID) (float64, error) {
+	fwd, err := o.HostDelay(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	rev, err := o.HostDelay(dst, src)
+	if err != nil {
+		return 0, err
+	}
+	return fwd + rev, nil
+}

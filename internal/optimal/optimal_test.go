@@ -1,0 +1,179 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/forward"
+	"pathsel/internal/geo"
+	"pathsel/internal/igp"
+	"pathsel/internal/topology"
+)
+
+func testTop(t *testing.T) *topology.Topology {
+	t.Helper()
+	top, err := topology.Generate(topology.DefaultConfig(topology.Era1999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestRouterDelaySelfAndSymmetry(t *testing.T) {
+	top := testTop(t)
+	o := New(top)
+	r := top.Routers[0].ID
+	if d, err := o.RouterDelay(r, r); err != nil || d != 0 {
+		t.Errorf("self delay %f, %v", d, err)
+	}
+	// Links come in symmetric pairs, so optimal delays are symmetric.
+	for i := 0; i < 20; i++ {
+		a := top.Routers[(i*17)%len(top.Routers)].ID
+		b := top.Routers[(i*31+5)%len(top.Routers)].ID
+		d1, err1 := o.RouterDelay(a, b)
+		d2, err2 := o.RouterDelay(b, a)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unreachable routers: %v %v", err1, err2)
+		}
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("asymmetric optimal delay %f vs %f", d1, d2)
+		}
+	}
+}
+
+func TestOptimalNeverWorseThanDefault(t *testing.T) {
+	top := testTop(t)
+	o := New(top)
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := forward.New(top, g, table)
+	for i := 0; i < len(top.Hosts); i++ {
+		for j := 0; j < len(top.Hosts); j++ {
+			if i == j {
+				continue
+			}
+			src, dst := top.Hosts[i], top.Hosts[j]
+			p, err := fwd.HostPath(src.ID, dst.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defDelay := p.PropDelayMs(top) + src.AccessDelayMs + dst.AccessDelayMs
+			opt, err := o.HostDelay(src.ID, dst.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt > defDelay+1e-9 {
+				t.Fatalf("optimal %f exceeds default %f for %s->%s", opt, defDelay, src.Name, dst.Name)
+			}
+		}
+	}
+}
+
+func TestOptimalAtLeastGeographic(t *testing.T) {
+	// No path can beat straight-line fiber propagation between the
+	// endpoints.
+	top := testTop(t)
+	o := New(top)
+	for i := 0; i < len(top.Hosts); i++ {
+		for j := i + 1; j < len(top.Hosts); j++ {
+			a, b := top.Hosts[i], top.Hosts[j]
+			opt, err := o.HostDelay(a.ID, b.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			floor := geo.PropagationDelayMs(top.Router(a.Attach).Loc, top.Router(b.Attach).Loc) / geo.RouteIndirection
+			if opt < floor-1e-6 {
+				t.Fatalf("optimal %f below geographic floor %f", opt, floor)
+			}
+		}
+	}
+}
+
+func TestInflationExists(t *testing.T) {
+	// Policy routing must inflate at least some paths, or the entire
+	// study would be moot.
+	top := testTop(t)
+	o := New(top)
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := forward.New(top, g, table)
+	inflated := 0
+	pairs := 0
+	for i := 0; i < len(top.Hosts); i++ {
+		for j := 0; j < len(top.Hosts); j++ {
+			if i == j {
+				continue
+			}
+			src, dst := top.Hosts[i], top.Hosts[j]
+			p, err := fwd.HostPath(src.ID, dst.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defDelay := p.PropDelayMs(top) + src.AccessDelayMs + dst.AccessDelayMs
+			opt, err := o.HostDelay(src.ID, dst.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs++
+			if defDelay > opt*1.2 {
+				inflated++
+			}
+		}
+	}
+	if inflated == 0 {
+		t.Error("no path inflated by >=20%; policy routing is suspiciously optimal")
+	}
+	t.Logf("%d of %d pairs inflated by >=20%% over optimal", inflated, pairs)
+}
+
+func TestHostRTT(t *testing.T) {
+	top := testTop(t)
+	o := New(top)
+	a, b := top.Hosts[0].ID, top.Hosts[1].ID
+	rtt, err := o.HostRTT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow, err := o.HostDelay(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rtt-2*ow) > 1e-9 {
+		t.Errorf("RTT %f should be twice the one-way %f", rtt, ow)
+	}
+}
+
+func TestUnknownIDs(t *testing.T) {
+	top := testTop(t)
+	o := New(top)
+	if _, err := o.RouterDelay(-1, top.Routers[0].ID); err == nil {
+		t.Error("unknown router accepted")
+	}
+	if _, err := o.HostDelay(-1, top.Hosts[0].ID); err == nil {
+		t.Error("unknown host accepted")
+	}
+	if _, err := o.HostRTT(top.Hosts[0].ID, -2); err == nil {
+		t.Error("unknown host accepted")
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	top := testTop(t)
+	o := New(top)
+	a, b := top.Hosts[0].ID, top.Hosts[1].ID
+	d1, _ := o.HostDelay(a, b)
+	d2, _ := o.HostDelay(a, b)
+	if d1 != d2 {
+		t.Error("memoized result differs")
+	}
+	if len(o.dist) == 0 {
+		t.Error("no trees memoized")
+	}
+}

@@ -1,0 +1,250 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/forward"
+	"pathsel/internal/igp"
+	"pathsel/internal/netsim"
+	"pathsel/internal/topology"
+)
+
+type fixture struct {
+	top *topology.Topology
+	prb *Prober
+}
+
+func newFixture(t *testing.T, mutate func(*Config)) *fixture {
+	t.Helper()
+	top, err := topology.Generate(topology.DefaultConfig(topology.Era1999))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		t.Fatalf("bgp.Compute: %v", err)
+	}
+	fwd := forward.New(top, g, table)
+	net := netsim.New(top, netsim.DefaultConfig())
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return &fixture{top: top, prb: New(top, fwd, net, cfg)}
+}
+
+func pickHost(t *testing.T, fx *fixture, rateLimited bool, exclude topology.HostID) *topology.Host {
+	t.Helper()
+	for _, h := range fx.top.Hosts {
+		if h.RateLimitICMP == rateLimited && h.ID != exclude {
+			return h
+		}
+	}
+	t.Skipf("no host with RateLimitICMP=%v", rateLimited)
+	return nil
+}
+
+func TestTracerouteBasics(t *testing.T) {
+	fx := newFixture(t, func(c *Config) { c.ContactFailProb = 0 })
+	src := pickHost(t, fx, false, -1)
+	dst := pickHost(t, fx, false, src.ID)
+	res, err := fx.prb.Traceroute(src.ID, dst.ID, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatal("unexpected failure with ContactFailProb=0")
+	}
+	if len(res.Samples) != SamplesPerTraceroute {
+		t.Fatalf("got %d samples, want %d", len(res.Samples), SamplesPerTraceroute)
+	}
+	if len(res.HopRouters) < 2 {
+		t.Fatalf("expected hop list, got %v", res.HopRouters)
+	}
+	if res.HopRouters[0] != src.Attach || res.HopRouters[len(res.HopRouters)-1] != dst.Attach {
+		t.Fatal("hop list endpoints wrong")
+	}
+	if len(res.ASPath) < 2 {
+		t.Fatalf("AS path too short: %v", res.ASPath)
+	}
+	if res.ASPath[0] != src.AS || res.ASPath[len(res.ASPath)-1] != dst.AS {
+		t.Fatalf("AS path endpoints wrong: %v", res.ASPath)
+	}
+	for _, s := range res.Samples {
+		if !s.Lost && s.RTTMs <= 0 {
+			t.Fatalf("non-lost sample with RTT %f", s.RTTMs)
+		}
+	}
+}
+
+func TestRTTExceedsPropagationBound(t *testing.T) {
+	fx := newFixture(t, func(c *Config) { c.ContactFailProb = 0 })
+	src, dst := fx.top.Hosts[0], fx.top.Hosts[1]
+	fwdPath, err := fx.prb.path(src.ID, dst.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revPath, err := fx.prb.path(dst.ID, src.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := fwdPath.PropDelayMs(fx.top) + revPath.PropDelayMs(fx.top) +
+		src.AccessDelayMs + dst.AccessDelayMs // one-way access each direction is symmetric here
+	for i := 0; i < 30; i++ {
+		res, err := fx.prb.Ping(src.ID, dst.ID, netsim.Time(i*1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Samples[0]
+		if s.Lost {
+			continue
+		}
+		if s.RTTMs < bound {
+			t.Fatalf("RTT %f below physical bound %f", s.RTTMs, bound)
+		}
+	}
+}
+
+func TestRateLimitedTargetsLoseTrailingSamples(t *testing.T) {
+	fx := newFixture(t, func(c *Config) { c.ContactFailProb = 0 })
+	src := pickHost(t, fx, false, -1)
+	rl := pickHost(t, fx, true, src.ID)
+	firstLost, trailingLost, trailingTotal := 0, 0, 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		res, err := fx.prb.Traceroute(src.ID, rl.ID, netsim.Time(i*600))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Samples[0].Lost {
+			firstLost++
+		}
+		for _, s := range res.Samples[1:] {
+			trailingTotal++
+			if s.Lost {
+				trailingLost++
+			}
+		}
+	}
+	firstRate := float64(firstLost) / n
+	trailingRate := float64(trailingLost) / float64(trailingTotal)
+	if trailingRate < firstRate+0.3 {
+		t.Errorf("rate limiting should inflate trailing-sample loss: first %.3f, trailing %.3f",
+			firstRate, trailingRate)
+	}
+}
+
+func TestContactFailures(t *testing.T) {
+	fx := newFixture(t, func(c *Config) { c.ContactFailProb = 0.5 })
+	src, dst := fx.top.Hosts[0], fx.top.Hosts[1]
+	failed := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		res, err := fx.prb.Traceroute(src.ID, dst.ID, netsim.Time(i*100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			failed++
+			if len(res.Samples) != 0 {
+				t.Fatal("failed result should have no samples")
+			}
+		}
+	}
+	frac := float64(failed) / n
+	if math.Abs(frac-0.5) > 0.1 {
+		t.Errorf("failure fraction %f, want ~0.5", frac)
+	}
+}
+
+func TestPing(t *testing.T) {
+	fx := newFixture(t, func(c *Config) { c.ContactFailProb = 0 })
+	src, dst := fx.top.Hosts[2], fx.top.Hosts[3]
+	res, err := fx.prb.Ping(src.ID, dst.ID, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 1 {
+		t.Fatalf("ping should produce 1 sample, got %d", len(res.Samples))
+	}
+	if len(res.HopRouters) != 0 {
+		t.Error("ping should not reveal hops")
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	fx := newFixture(t, func(c *Config) { c.ContactFailProb = 0 })
+	src, dst := fx.top.Hosts[4], fx.top.Hosts[5]
+	res, err := fx.prb.Transfer(src.ID, dst.ID, 3*86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatal("unexpected failure")
+	}
+	if res.MeanRTTMs <= 0 {
+		t.Errorf("MeanRTT %f, want > 0", res.MeanRTTMs)
+	}
+	if res.LossRate < 0 || res.LossRate > 1 {
+		t.Errorf("LossRate %f out of range", res.LossRate)
+	}
+	if res.Packets <= 0 {
+		t.Errorf("Packets %d, want > 0", res.Packets)
+	}
+}
+
+func TestUnknownHosts(t *testing.T) {
+	fx := newFixture(t, nil)
+	if _, err := fx.prb.Traceroute(-1, fx.top.Hosts[0].ID, 0); err == nil {
+		t.Error("Traceroute with unknown src should error")
+	}
+	if _, err := fx.prb.Ping(fx.top.Hosts[0].ID, -2, 0); err == nil {
+		t.Error("Ping with unknown dst should error")
+	}
+	if _, err := fx.prb.Transfer(topology.HostID(999), fx.top.Hosts[0].ID, 0); err == nil {
+		t.Error("Transfer with unknown src should error")
+	}
+}
+
+func TestLostCount(t *testing.T) {
+	r := Result{Samples: []Sample{{Lost: true}, {RTTMs: 10}, {Lost: true}}}
+	if r.LostCount() != 2 {
+		t.Errorf("LostCount = %d, want 2", r.LostCount())
+	}
+}
+
+func TestPeakHoursSlower(t *testing.T) {
+	// Mean RTT at peak hours should exceed mean RTT at night for the
+	// same pair — the diurnal congestion that drives the paper's
+	// Figure 9 analysis.
+	fx := newFixture(t, func(c *Config) { c.ContactFailProb = 0 })
+	src, dst := fx.top.Hosts[0], fx.top.Hosts[6]
+	meanAt := func(hour int) float64 {
+		sum, n := 0.0, 0
+		for day := 0; day < 5; day++ {
+			for rep := 0; rep < 10; rep++ {
+				at := netsim.Time(day*86400 + hour*3600 + rep*300)
+				res, err := fx.prb.Ping(src.ID, dst.ID, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Samples[0].Lost {
+					sum += res.Samples[0].RTTMs
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			t.Fatal("all samples lost")
+		}
+		return sum / float64(n)
+	}
+	peak := meanAt(13)
+	night := meanAt(3)
+	if peak <= night {
+		t.Errorf("peak RTT %f should exceed night RTT %f", peak, night)
+	}
+}

@@ -1,0 +1,203 @@
+// Package report renders analysis results as aligned text tables, CDF
+// series dumps, and quick ASCII plots for terminal inspection — the
+// output layer for cmd/figures and cmd/altpath.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pathsel/internal/stats"
+)
+
+// Table renders rows of cells with left-aligned columns padded to the
+// widest cell. The first row is treated as a header and underlined.
+func Table(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(r []string) error {
+		var b strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			b.WriteString(cell)
+			if i < cols-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)+2))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(rows[0]); err != nil {
+		return err
+	}
+	total := 0
+	for i, width := range widths {
+		total += width
+		if i < cols-1 {
+			total += 2
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, r := range rows[1:] {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CDFSummary is a compact one-line description of a CDF: count, key
+// quantiles, and the fraction of mass above zero (the "alternate path is
+// superior" fraction for improvement CDFs).
+func CDFSummary(c stats.CDF) string {
+	if c.N() == 0 {
+		return "empty"
+	}
+	q10, _ := c.Quantile(0.10)
+	q50, _ := c.Quantile(0.50)
+	q90, _ := c.Quantile(0.90)
+	return fmt.Sprintf("n=%d p10=%.2f median=%.2f p90=%.2f above0=%.1f%%",
+		c.N(), q10, q50, q90, 100*c.FractionAbove(0))
+}
+
+// DumpCDF writes "x fraction" pairs, thinned to at most maxPoints rows,
+// in a form a plotting tool can ingest directly.
+func DumpCDF(w io.Writer, c stats.CDF, maxPoints int) error {
+	pts := c.Points()
+	step := 1
+	if maxPoints > 0 && len(pts) > maxPoints {
+		step = (len(pts) + maxPoints - 1) / maxPoints
+	}
+	for i := 0; i < len(pts); i += step {
+		if _, err := fmt.Fprintf(w, "%g\t%.4f\n", pts[i].X, pts[i].Frac); err != nil {
+			return err
+		}
+	}
+	// Always include the final point so the curve reaches its top.
+	if (len(pts)-1)%step != 0 && len(pts) > 0 {
+		p := pts[len(pts)-1]
+		if _, err := fmt.Fprintf(w, "%g\t%.4f\n", p.X, p.Frac); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsciiCDF draws a CDF as a rows x cols character plot. The x range is
+// [lo, hi]; values outside are clipped. Returns the rendered plot.
+func AsciiCDF(c stats.CDF, lo, hi float64, rows, cols int) string {
+	if rows < 2 || cols < 2 || hi <= lo || c.N() == 0 {
+		return ""
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for col := 0; col < cols; col++ {
+		x := lo + (hi-lo)*float64(col)/float64(cols-1)
+		f := c.FractionBelow(x)
+		row := rows - 1 - int(f*float64(rows-1)+0.5)
+		if row < 0 {
+			row = 0
+		}
+		if row >= rows {
+			row = rows - 1
+		}
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	for i, line := range grid {
+		frac := 1 - float64(i)/float64(rows-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", frac, string(line))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", cols+2))
+	fmt.Fprintf(&b, "      %-*.4g%*.4g\n", cols/2+1, lo, cols/2+1, hi)
+	return b.String()
+}
+
+// MultiCDF renders several labeled CDFs stacked with their summaries.
+func MultiCDF(w io.Writer, names []string, cdfs []stats.CDF, lo, hi float64) error {
+	for i, c := range cdfs {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s: %s\n", name, CDFSummary(c)); err != nil {
+			return err
+		}
+		if plot := AsciiCDF(c, lo, hi, 10, 60); plot != "" {
+			if _, err := io.WriteString(w, plot); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AsciiScatter draws (x, y) points as a rows x cols character plot with
+// both axes spanning the data's 2nd-98th percentile range, used for the
+// paper's scatter exhibits (Figures 14 and 16). Returns "" for
+// degenerate input.
+func AsciiScatter(xs, ys []float64, rows, cols int) string {
+	if len(xs) != len(ys) || len(xs) == 0 || rows < 2 || cols < 2 {
+		return ""
+	}
+	xc := stats.NewCDF(xs)
+	yc := stats.NewCDF(ys)
+	xlo, _ := xc.Quantile(0.02)
+	xhi, _ := xc.Quantile(0.98)
+	ylo, _ := yc.Quantile(0.02)
+	yhi, _ := yc.Quantile(0.98)
+	if xhi <= xlo || yhi <= ylo {
+		return ""
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for i := range xs {
+		cx := int((xs[i] - xlo) / (xhi - xlo) * float64(cols-1))
+		cy := int((ys[i] - ylo) / (yhi - ylo) * float64(rows-1))
+		if cx < 0 || cx >= cols || cy < 0 || cy >= rows {
+			continue // clipped tail point
+		}
+		row := rows - 1 - cy
+		switch grid[row][cx] {
+		case ' ':
+			grid[row][cx] = '.'
+		case '.':
+			grid[row][cx] = 'o'
+		default:
+			grid[row][cx] = '@'
+		}
+	}
+	var b strings.Builder
+	for i, line := range grid {
+		y := yhi - (yhi-ylo)*float64(i)/float64(rows-1)
+		fmt.Fprintf(&b, "%9.3g |%s|\n", y, string(line))
+	}
+	fmt.Fprintf(&b, "          %s\n", strings.Repeat("-", cols+2))
+	fmt.Fprintf(&b, "          %-*.4g%*.4g\n", cols/2+1, xlo, cols/2+1, xhi)
+	return b.String()
+}

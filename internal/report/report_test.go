@@ -1,0 +1,179 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pathsel/internal/stats"
+)
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	rows := [][]string{
+		{"Dataset", "Hosts", "Coverage"},
+		{"UW3", "39", "87%"},
+		{"D2", "33", "97%"},
+	}
+	if err := Table(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Dataset") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator line %q", lines[1])
+	}
+	// Columns align: "Hosts" column starts at the same offset everywhere.
+	h := strings.Index(lines[0], "Hosts")
+	if strings.Index(lines[2], "39") != h {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Table(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Error("empty table should render nothing")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var b strings.Builder
+	rows := [][]string{{"a", "b", "c"}, {"x"}, {"y", "z"}}
+	if err := Table(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x") {
+		t.Error("ragged row lost")
+	}
+}
+
+func TestCDFSummary(t *testing.T) {
+	c := stats.NewCDF([]float64{-10, -5, 0, 5, 10, 15, 20, 25, 30, 35})
+	s := CDFSummary(c)
+	if !strings.Contains(s, "n=10") {
+		t.Errorf("summary %q missing count", s)
+	}
+	if !strings.Contains(s, "above0=") {
+		t.Errorf("summary %q missing above0", s)
+	}
+	if CDFSummary(stats.NewCDF(nil)) != "empty" {
+		t.Error("empty CDF summary wrong")
+	}
+}
+
+func TestDumpCDF(t *testing.T) {
+	var vals []float64
+	for i := 0; i < 100; i++ {
+		vals = append(vals, float64(i))
+	}
+	c := stats.NewCDF(vals)
+	var b strings.Builder
+	if err := DumpCDF(&b, c, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) < 10 || len(lines) > 12 {
+		t.Errorf("got %d lines, want ~10", len(lines))
+	}
+	// Final point must reach fraction 1.
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(last, "1.0000") {
+		t.Errorf("last line %q should reach 1.0", last)
+	}
+	for _, ln := range lines {
+		if len(strings.Split(ln, "\t")) != 2 {
+			t.Errorf("line %q not tab-separated", ln)
+		}
+	}
+}
+
+func TestDumpCDFNoThinning(t *testing.T) {
+	c := stats.NewCDF([]float64{1, 2, 3})
+	var b strings.Builder
+	if err := DumpCDF(&b, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "\n"); n != 3 {
+		t.Errorf("got %d lines, want 3", n)
+	}
+}
+
+func TestAsciiCDF(t *testing.T) {
+	c := stats.NewCDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	plot := AsciiCDF(c, -1, 10, 8, 40)
+	if plot == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.Contains(plot, "*") {
+		t.Error("plot has no points")
+	}
+	lines := strings.Split(strings.TrimRight(plot, "\n"), "\n")
+	if len(lines) != 10 { // 8 rows + axis + labels
+		t.Errorf("got %d lines", len(lines))
+	}
+	// Degenerate parameters return "".
+	if AsciiCDF(c, 5, 5, 8, 40) != "" {
+		t.Error("degenerate x-range should return empty")
+	}
+	if AsciiCDF(stats.NewCDF(nil), 0, 1, 8, 40) != "" {
+		t.Error("empty CDF should return empty plot")
+	}
+	if AsciiCDF(c, 0, 1, 1, 40) != "" {
+		t.Error("too-few rows should return empty plot")
+	}
+}
+
+func TestMultiCDF(t *testing.T) {
+	var b strings.Builder
+	cdfs := []stats.CDF{stats.NewCDF([]float64{1, 2}), stats.NewCDF([]float64{3, 4})}
+	if err := MultiCDF(&b, []string{"one", "two"}, cdfs, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "one:") || !strings.Contains(out, "two:") {
+		t.Errorf("missing labels:\n%s", out)
+	}
+}
+
+func TestAsciiScatter(t *testing.T) {
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		xs = append(xs, float64(i))
+		ys = append(ys, float64(i)*2+10)
+	}
+	plot := AsciiScatter(xs, ys, 10, 40)
+	if plot == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.ContainsAny(plot, ".o@") {
+		t.Error("plot has no points")
+	}
+	lines := strings.Split(strings.TrimRight(plot, "\n"), "\n")
+	if len(lines) != 12 { // rows + axis + labels
+		t.Errorf("got %d lines", len(lines))
+	}
+	// Degenerate inputs.
+	if AsciiScatter(xs[:3], ys[:2], 10, 40) != "" {
+		t.Error("mismatched lengths accepted")
+	}
+	if AsciiScatter(nil, nil, 10, 40) != "" {
+		t.Error("empty input accepted")
+	}
+	if AsciiScatter([]float64{1, 1}, []float64{2, 2}, 10, 40) != "" {
+		t.Error("degenerate range accepted")
+	}
+	// Overplotted cells escalate . -> o -> @.
+	same := AsciiScatter([]float64{0, 0, 0, 1}, []float64{0, 0, 0, 1}, 5, 5)
+	if !strings.Contains(same, "o") && !strings.Contains(same, "@") {
+		t.Errorf("overplotting not marked:\n%s", same)
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is an empirical distribution: a multiset of samples kept sorted.
+// The paper's Section 6.1 composes alternate-path medians by convolving
+// the sample distributions of the constituent hops; Dist implements that
+// convolution with deterministic quantile thinning to bound cost.
+type Dist struct {
+	samples []float64 // sorted ascending
+}
+
+// NewDist builds a distribution from samples (copied and sorted).
+func NewDist(samples []float64) Dist {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return Dist{samples: s}
+}
+
+// N returns the sample count.
+func (d Dist) N() int { return len(d.samples) }
+
+// Samples returns the sorted samples (not a copy; callers must not
+// mutate).
+func (d Dist) Samples() []float64 { return d.samples }
+
+// Median returns the distribution's median.
+func (d Dist) Median() (float64, error) {
+	if len(d.samples) == 0 {
+		return 0, errors.New("stats: median of empty distribution")
+	}
+	return quantileSorted(d.samples, 0.5), nil
+}
+
+// Quantile returns the q-quantile.
+func (d Dist) Quantile(q float64) (float64, error) {
+	if len(d.samples) == 0 {
+		return 0, errors.New("stats: quantile of empty distribution")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %f out of [0,1]", q)
+	}
+	return quantileSorted(d.samples, q), nil
+}
+
+// Mean returns the distribution's mean.
+func (d Dist) Mean() (float64, error) { return Mean(d.samples) }
+
+// Thin reduces the distribution to at most n equally spaced quantile
+// points, preserving its shape deterministically.
+func (d Dist) Thin(n int) Dist {
+	if n <= 0 || len(d.samples) <= n {
+		return d
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		q := (float64(i) + 0.5) / float64(n)
+		out[i] = quantileSorted(d.samples, q)
+	}
+	return Dist{samples: out}
+}
+
+// maxConvolutionPoints bounds the size of a convolution's cross product.
+const maxConvolutionPoints = 256
+
+// Convolve returns the distribution of X+Y for independent X ~ d and
+// Y ~ other: the multiset of pairwise sums. Inputs larger than
+// maxConvolutionPoints are first thinned to that many quantile points, as
+// the paper notes the exact computation is "substantially more expensive".
+func (d Dist) Convolve(other Dist) (Dist, error) {
+	if d.N() == 0 || other.N() == 0 {
+		return Dist{}, errors.New("stats: convolve with empty distribution")
+	}
+	a := d.Thin(maxConvolutionPoints)
+	b := other.Thin(maxConvolutionPoints)
+	out := make([]float64, 0, a.N()*b.N())
+	for _, x := range a.samples {
+		for _, y := range b.samples {
+			out = append(out, x+y)
+		}
+	}
+	sort.Float64s(out)
+	// Keep the result bounded so chained convolutions stay cheap.
+	res := Dist{samples: out}
+	return res.Thin(maxConvolutionPoints * 4), nil
+}
+
+// CDF is a cumulative distribution function over a finite set of values,
+// the form in which every figure in the paper is presented.
+type CDF struct {
+	values []float64 // sorted ascending
+}
+
+// NewCDF builds a CDF from values (copied and sorted).
+func NewCDF(values []float64) CDF {
+	v := make([]float64, len(values))
+	copy(v, values)
+	sort.Float64s(v)
+	return CDF{values: v}
+}
+
+// N returns the number of points.
+func (c CDF) N() int { return len(c.values) }
+
+// Values returns the sorted values (not a copy).
+func (c CDF) Values() []float64 { return c.values }
+
+// FractionBelow returns P(X <= x).
+func (c CDF) FractionBelow(x float64) float64 {
+	if len(c.values) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.values, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.values))
+}
+
+// FractionAbove returns P(X > x).
+func (c CDF) FractionAbove(x float64) float64 {
+	if len(c.values) == 0 {
+		return math.NaN()
+	}
+	return 1 - c.FractionBelow(x)
+}
+
+// Quantile returns the q-quantile of the CDF.
+func (c CDF) Quantile(q float64) (float64, error) {
+	if len(c.values) == 0 {
+		return 0, errors.New("stats: quantile of empty CDF")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %f out of [0,1]", q)
+	}
+	return quantileSorted(c.values, q), nil
+}
+
+// Point is one (x, cumulative fraction) pair of a CDF polyline.
+type Point struct {
+	X    float64
+	Frac float64
+}
+
+// Points returns the CDF as a polyline: for each sorted value, the
+// fraction of values at or below it.
+func (c CDF) Points() []Point {
+	pts := make([]Point, len(c.values))
+	for i, v := range c.values {
+		pts[i] = Point{X: v, Frac: float64(i+1) / float64(len(c.values))}
+	}
+	return pts
+}
+
+// Trimmed returns a copy of the CDF with values outside [lo, hi] removed,
+// mirroring the paper's trimming of long tails ("we have trimmed our
+// graphs to eliminate visual scaling artifacts"; trimmed CDFs need not
+// reach 100%).
+func (c CDF) Trimmed(lo, hi float64) CDF {
+	out := make([]float64, 0, len(c.values))
+	for _, v := range c.values {
+		if v >= lo && v <= hi {
+			out = append(out, v)
+		}
+	}
+	return CDF{values: out}
+}

@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantile ensures Quantile never panics and respects ordering on
+// arbitrary inputs.
+func FuzzQuantile(f *testing.F) {
+	f.Add(float64(1), float64(2), float64(3), 0.5)
+	f.Add(math.NaN(), math.Inf(1), -0.0, 0.1)
+	f.Add(float64(-1e308), float64(1e308), float64(0), 0.99)
+	f.Fuzz(func(t *testing.T, a, b, c, q float64) {
+		data := []float64{a, b, c}
+		v, err := Quantile(data, q)
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			if err == nil {
+				t.Fatalf("out-of-range q %f accepted", q)
+			}
+			return
+		}
+		if err != nil {
+			return
+		}
+		_ = v
+		lo, err1 := Quantile(data, 0)
+		hi, err2 := Quantile(data, 1)
+		if err1 != nil || err2 != nil {
+			t.Fatal("endpoint quantiles failed")
+		}
+		// NaNs poison comparisons; only check ordering for clean data.
+		if !math.IsNaN(a) && !math.IsNaN(b) && !math.IsNaN(c) {
+			if v < lo || v > hi {
+				t.Fatalf("quantile %f outside [%f, %f]", v, lo, hi)
+			}
+		}
+	})
+}

@@ -1,0 +1,335 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumKnownValues(t *testing.T) {
+	var a Accum
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d, want 8", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %f, want 5", a.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if want := 32.0 / 7.0; math.Abs(a.Var()-want) > 1e-12 {
+		t.Errorf("Var = %f, want %f", a.Var(), want)
+	}
+}
+
+func TestAccumEmptyAndSingle(t *testing.T) {
+	var a Accum
+	if a.Mean() != 0 || a.Var() != 0 || a.N() != 0 {
+		t.Error("empty accumulator should be zero")
+	}
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Var() != 0 {
+		t.Errorf("single sample: mean %f var %f", a.Mean(), a.Var())
+	}
+}
+
+func TestAccumMatchesDirectComputation(t *testing.T) {
+	f := func(raw []float64) bool {
+		var data []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				data = append(data, x)
+			}
+		}
+		if len(data) < 2 {
+			return true
+		}
+		var a Accum
+		sum := 0.0
+		for _, x := range data {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(data))
+		ss := 0.0
+		for _, x := range data {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(data)-1)
+		scale := 1 + math.Abs(mean) + v
+		return math.Abs(a.Mean()-mean) < 1e-8*scale && math.Abs(a.Var()-v) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarySE2(t *testing.T) {
+	s := Summary{N: 25, Mean: 10, Var: 100}
+	if s.SE2() != 4 {
+		t.Errorf("SE2 = %f, want 4", s.SE2())
+	}
+	if (Summary{}).SE2() != 0 {
+		t.Error("empty summary SE2 should be 0")
+	}
+}
+
+func TestSumSummaries(t *testing.T) {
+	a := Summary{N: 100, Mean: 10, Var: 4}
+	b := Summary{N: 50, Mean: 20, Var: 9}
+	s := SumSummaries(a, b)
+	if s.Mean != 30 {
+		t.Errorf("sum mean = %f, want 30", s.Mean)
+	}
+	if s.N != 50 {
+		t.Errorf("effective N = %d, want 50 (min)", s.N)
+	}
+	wantSE2 := 4.0/100 + 9.0/50
+	if math.Abs(s.SE2()-wantSE2) > 1e-12 {
+		t.Errorf("SE2 = %f, want %f", s.SE2(), wantSE2)
+	}
+	if got := SumSummaries(); got.N != 0 || got.Mean != 0 {
+		t.Errorf("empty sum = %+v", got)
+	}
+}
+
+func TestSumSummariesAssociativeMean(t *testing.T) {
+	f := func(m1, m2, m3 float64) bool {
+		if math.IsNaN(m1) || math.IsNaN(m2) || math.IsNaN(m3) ||
+			math.Abs(m1) > 1e9 || math.Abs(m2) > 1e9 || math.Abs(m3) > 1e9 {
+			return true
+		}
+		a := Summary{N: 10, Mean: m1, Var: 1}
+		b := Summary{N: 10, Mean: m2, Var: 1}
+		c := Summary{N: 10, Mean: m3, Var: 1}
+		s1 := SumSummaries(SumSummaries(a, b), c)
+		s2 := SumSummaries(a, SumSummaries(b, c))
+		return math.Abs(s1.Mean-s2.Mean) < 1e-6*(1+math.Abs(s1.Mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Classic t-table values for t_{0.975, v}.
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{1, 12.706},
+		{2, 4.303},
+		{5, 2.571},
+		{10, 2.228},
+		{30, 2.042},
+		{100, 1.984},
+		{1e6, 1.960},
+	}
+	for _, c := range cases {
+		got := TQuantile(0.975, c.v)
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("TQuantile(0.975, %g) = %f, want %f", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, v := range []float64{1, 3, 7, 29} {
+		for _, p := range []float64{0.6, 0.9, 0.99} {
+			a := TQuantile(p, v)
+			b := TQuantile(1-p, v)
+			if math.Abs(a+b) > 1e-6 {
+				t.Errorf("TQuantile not symmetric at p=%f v=%f: %f vs %f", p, v, a, b)
+			}
+		}
+	}
+	if TQuantile(0.5, 5) != 0 {
+		t.Error("median of t distribution should be 0")
+	}
+}
+
+func TestTCDFInvertsQuantile(t *testing.T) {
+	for _, v := range []float64{2, 9, 40} {
+		for _, p := range []float64{0.55, 0.75, 0.975, 0.999} {
+			x := TQuantile(p, v)
+			if got := TCDF(x, v); math.Abs(got-p) > 1e-6 {
+				t.Errorf("TCDF(TQuantile(%f,%g)) = %f", p, v, got)
+			}
+		}
+	}
+}
+
+func TestTQuantileBadInput(t *testing.T) {
+	for _, x := range []float64{TQuantile(0, 5), TQuantile(1, 5), TQuantile(0.5, 0), TQuantile(math.NaN(), 5)} {
+		if !math.IsNaN(x) {
+			t.Errorf("expected NaN for bad input, got %f", x)
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("RegIncBeta endpoints wrong")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("RegIncBeta(1,1,%f) = %f", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.2, 0.7} {
+		a, b := 2.5, 4.0
+		if got := RegIncBeta(a, b, x) + RegIncBeta(b, a, 1-x); math.Abs(got-1) > 1e-10 {
+			t.Errorf("RegIncBeta symmetry violated at %f: %f", x, got)
+		}
+	}
+}
+
+func TestCompareMeansClearCases(t *testing.T) {
+	big := Summary{N: 100, Mean: 100, Var: 1}
+	small := Summary{N: 100, Mean: 10, Var: 1}
+	if v := CompareMeans(small, big, 0.95); v != FirstSmaller {
+		t.Errorf("got %v, want FirstSmaller", v)
+	}
+	if v := CompareMeans(big, small, 0.95); v != FirstLarger {
+		t.Errorf("got %v, want FirstLarger", v)
+	}
+	// Huge variance makes the comparison indeterminate.
+	noisy1 := Summary{N: 5, Mean: 10, Var: 10000}
+	noisy2 := Summary{N: 5, Mean: 11, Var: 10000}
+	if v := CompareMeans(noisy1, noisy2, 0.95); v != Indeterminate {
+		t.Errorf("got %v, want Indeterminate", v)
+	}
+	zero := Summary{N: 30, Mean: 0, Var: 0}
+	if v := CompareMeans(zero, zero, 0.95); v != BothZero {
+		t.Errorf("got %v, want BothZero", v)
+	}
+}
+
+func TestCompareMeansZeroVariance(t *testing.T) {
+	a := Summary{N: 3, Mean: 5, Var: 0}
+	b := Summary{N: 3, Mean: 7, Var: 0}
+	if v := CompareMeans(a, b, 0.95); v != FirstSmaller {
+		t.Errorf("got %v, want FirstSmaller", v)
+	}
+	if v := CompareMeans(b, a, 0.95); v != FirstLarger {
+		t.Errorf("got %v, want FirstLarger", v)
+	}
+	if v := CompareMeans(a, a, 0.95); v != Indeterminate {
+		t.Errorf("got %v, want Indeterminate (same nonzero mean)", v)
+	}
+}
+
+func TestCompareMeansConsistentWithCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		a := Summary{N: 5 + rng.Intn(100), Mean: rng.NormFloat64() * 10, Var: rng.Float64() * 50}
+		b := Summary{N: 5 + rng.Intn(100), Mean: rng.NormFloat64() * 10, Var: rng.Float64() * 50}
+		half := MeanDiffCI(a, b, 0.95)
+		diff := a.Mean - b.Mean
+		v := CompareMeans(a, b, 0.95)
+		switch {
+		case diff+half < 0 && v != FirstSmaller:
+			t.Fatalf("CI says smaller but verdict %v", v)
+		case diff-half > 0 && v != FirstLarger:
+			t.Fatalf("CI says larger but verdict %v", v)
+		case diff-half <= 0 && diff+half >= 0 && v != Indeterminate:
+			t.Fatalf("CI crosses zero but verdict %v", v)
+		}
+	}
+}
+
+func TestCompareMeansFalsePositiveRate(t *testing.T) {
+	// Two identical normal populations: the 95% test should call a
+	// significant difference in roughly 5% of trials.
+	rng := rand.New(rand.NewSource(99))
+	falsePos := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		var a, b Accum
+		for j := 0; j < 30; j++ {
+			a.Add(rng.NormFloat64())
+			b.Add(rng.NormFloat64())
+		}
+		if v := CompareMeans(a.Summary(), b.Summary(), 0.95); v != Indeterminate {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / trials
+	if rate > 0.09 || rate < 0.01 {
+		t.Errorf("false positive rate %f, want ~0.05", rate)
+	}
+}
+
+func TestQuantileAndMedian(t *testing.T) {
+	data := []float64{5, 1, 4, 2, 3}
+	if m, err := Median(data); err != nil || m != 3 {
+		t.Errorf("Median = %f, %v", m, err)
+	}
+	if q, _ := Quantile(data, 0); q != 1 {
+		t.Errorf("q0 = %f", q)
+	}
+	if q, _ := Quantile(data, 1); q != 5 {
+		t.Errorf("q1 = %f", q)
+	}
+	if q, _ := Quantile(data, 0.25); q != 2 {
+		t.Errorf("q.25 = %f", q)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile should error")
+	}
+	if _, err := Quantile(data, 1.5); err == nil {
+		t.Error("out-of-range q should error")
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("empty mean should error")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	data := []float64{3, 1, 2}
+	_, _ = Quantile(data, 0.5)
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		var data []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				data = append(data, x)
+			}
+		}
+		if len(data) == 0 {
+			return true
+		}
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		qa, err1 := Quantile(data, a)
+		qb, err2 := Quantile(data, b)
+		return err1 == nil && err2 == nil && qa <= qb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Indeterminate: "indeterminate", FirstSmaller: "first-smaller",
+		FirstLarger: "first-larger", BothZero: "both-zero", Verdict(9): "verdict(9)",
+	} {
+		if v.String() != want {
+			t.Errorf("Verdict(%d) = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package tcpmodel implements the macroscopic TCP throughput model of
+// Mathis, Semke, Mahdavi and Ott ("The Macroscopic Behavior of the TCP
+// Congestion Avoidance Algorithm", CCR 1997), which the paper uses to
+// convert measured round-trip time and loss rate into the bandwidth a
+// TCP connection would obtain along a path:
+//
+//	BW = (MSS / RTT) * (C / sqrt(p))
+//
+// with C a constant near 1 that depends on the acknowledgment strategy
+// and loss model.
+package tcpmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// DefaultMSS is the segment size used when none is specified (bytes);
+// 1460 is the Ethernet-path MTU minus TCP/IP headers, typical of the
+// paper's era.
+const DefaultMSS = 1460
+
+// DefaultC is the Mathis constant for periodic loss with delayed ACKs.
+const DefaultC = math.Sqrt2 // ≈ 1.22 is also common; sqrt(3/2)·... varies by derivation
+
+// Model computes TCP throughput estimates.
+type Model struct {
+	// MSSBytes is the maximum segment size in bytes.
+	MSSBytes float64
+	// C is the Mathis constant.
+	C float64
+	// MinLoss floors the loss rate: with p = 0 the model diverges, and
+	// the paper's datasets cannot resolve loss rates below one lost
+	// packet per session anyway.
+	MinLoss float64
+	// MaxBandwidthKBs optionally caps the estimate (e.g. at the
+	// bottleneck access capacity); zero means uncapped.
+	MaxBandwidthKBs float64
+}
+
+// Default returns the model configuration used throughout the
+// reproduction.
+func Default() Model {
+	return Model{MSSBytes: DefaultMSS, C: DefaultC, MinLoss: 1e-4}
+}
+
+// BandwidthKBs returns the model throughput in kilobytes per second for
+// a path with the given round-trip time (ms) and loss probability.
+func (m Model) BandwidthKBs(rttMs, loss float64) (float64, error) {
+	if rttMs <= 0 {
+		return 0, errors.New("tcpmodel: RTT must be positive")
+	}
+	if loss < 0 || loss > 1 {
+		return 0, errors.New("tcpmodel: loss must be in [0,1]")
+	}
+	p := loss
+	if p < m.MinLoss {
+		p = m.MinLoss
+	}
+	rttSec := rttMs / 1000
+	bytesPerSec := m.MSSBytes / rttSec * m.C / math.Sqrt(p)
+	kbs := bytesPerSec / 1000
+	if m.MaxBandwidthKBs > 0 && kbs > m.MaxBandwidthKBs {
+		kbs = m.MaxBandwidthKBs
+	}
+	return kbs, nil
+}

@@ -1,0 +1,95 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandwidthKnownValue(t *testing.T) {
+	m := Model{MSSBytes: 1460, C: 1, MinLoss: 0}
+	// 100 ms RTT, 1% loss: 1460/0.1 * 1/0.1 = 146000 B/s = 146 kB/s.
+	got, err := m.BandwidthKBs(100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-146) > 1e-9 {
+		t.Errorf("BandwidthKBs = %f, want 146", got)
+	}
+}
+
+func TestBandwidthMonotonicity(t *testing.T) {
+	m := Default()
+	b1, _ := m.BandwidthKBs(50, 0.01)
+	b2, _ := m.BandwidthKBs(100, 0.01)
+	if b1 <= b2 {
+		t.Errorf("lower RTT should give more bandwidth: %f vs %f", b1, b2)
+	}
+	b3, _ := m.BandwidthKBs(50, 0.04)
+	if b3 >= b1 {
+		t.Errorf("higher loss should give less bandwidth: %f vs %f", b3, b1)
+	}
+	// Quadrupling loss halves bandwidth (inverse square root).
+	if math.Abs(b3-b1/2) > 1e-9 {
+		t.Errorf("4x loss should halve bandwidth: %f vs %f", b3, b1/2)
+	}
+}
+
+func TestLossFloor(t *testing.T) {
+	m := Default()
+	b0, err := m.BandwidthKBs(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bMin, _ := m.BandwidthKBs(100, m.MinLoss)
+	if b0 != bMin {
+		t.Errorf("zero loss should be floored: %f vs %f", b0, bMin)
+	}
+	if math.IsInf(b0, 0) || math.IsNaN(b0) {
+		t.Error("zero loss should not diverge")
+	}
+}
+
+func TestBandwidthCap(t *testing.T) {
+	m := Default()
+	m.MaxBandwidthKBs = 100
+	b, err := m.BandwidthKBs(1, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 100 {
+		t.Errorf("capped bandwidth = %f, want 100", b)
+	}
+}
+
+func TestBandwidthErrors(t *testing.T) {
+	m := Default()
+	if _, err := m.BandwidthKBs(0, 0.1); err == nil {
+		t.Error("zero RTT should error")
+	}
+	if _, err := m.BandwidthKBs(-5, 0.1); err == nil {
+		t.Error("negative RTT should error")
+	}
+	if _, err := m.BandwidthKBs(10, -0.1); err == nil {
+		t.Error("negative loss should error")
+	}
+	if _, err := m.BandwidthKBs(10, 1.1); err == nil {
+		t.Error("loss > 1 should error")
+	}
+}
+
+func TestBandwidthAlwaysPositive(t *testing.T) {
+	m := Default()
+	f := func(rttRaw, lossRaw float64) bool {
+		rtt := 0.1 + math.Mod(math.Abs(rttRaw), 10000)
+		loss := math.Mod(math.Abs(lossRaw), 1)
+		if math.IsNaN(rtt) || math.IsNaN(loss) {
+			return true
+		}
+		b, err := m.BandwidthKBs(rtt, loss)
+		return err == nil && b > 0 && !math.IsInf(b, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package tcpsim simulates a single TCP Reno flow over a measured path
+// state, using the classic rounds model: each round the sender transmits
+// a congestion window of segments, waits one round-trip time, and reacts
+// to losses (halving on fast retransmit, collapsing to one segment on
+// timeout). The paper converts measured RTT and loss into bandwidth with
+// the closed-form Mathis model; this simulator provides an independent
+// check that the model's predictions hold on the reproduction's own
+// substrate (see experiments.ValidateTCPModel).
+package tcpsim
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Config parameterizes the flow.
+type Config struct {
+	// MSSBytes is the segment size.
+	MSSBytes float64
+	// InitialSSThresh caps the initial slow-start phase, in segments.
+	InitialSSThresh float64
+	// MaxWindow caps the congestion window, in segments (receiver
+	// window / bandwidth-delay ceiling).
+	MaxWindow float64
+	// RTOMultiple is the timeout penalty: a timeout costs this many
+	// RTTs of idle time (retransmission timer backoff).
+	RTOMultiple float64
+}
+
+// DefaultConfig mirrors a late-90s TCP stack: 1460-byte segments, 64 KB
+// receiver window (~45 segments).
+func DefaultConfig() Config {
+	return Config{
+		MSSBytes:        1460,
+		InitialSSThresh: 32,
+		MaxWindow:       45,
+		RTOMultiple:     4,
+	}
+}
+
+// Validate reports problems with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.MSSBytes <= 0:
+		return errors.New("tcpsim: MSSBytes must be positive")
+	case c.InitialSSThresh < 1:
+		return errors.New("tcpsim: InitialSSThresh must be at least 1")
+	case c.MaxWindow < 2:
+		return errors.New("tcpsim: MaxWindow must be at least 2")
+	case c.RTOMultiple < 1:
+		return errors.New("tcpsim: RTOMultiple must be at least 1")
+	}
+	return nil
+}
+
+// Result summarizes a simulated transfer.
+type Result struct {
+	// ThroughputKBs is delivered payload over elapsed time.
+	ThroughputKBs float64
+	// Delivered is the number of segments acknowledged.
+	Delivered int
+	// Rounds is the number of RTT rounds simulated.
+	Rounds int
+	// Timeouts counts retransmission timeouts (multiple losses in one
+	// window).
+	Timeouts int
+	// FastRetransmits counts single-loss window halvings.
+	FastRetransmits int
+}
+
+// Simulate runs a Reno flow for the given duration over a path with the
+// given round-trip time (ms) and per-segment loss probability. The rng
+// drives per-segment loss draws.
+func Simulate(cfg Config, rng *rand.Rand, rttMs, loss float64, durationSec float64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if rttMs <= 0 {
+		return Result{}, errors.New("tcpsim: RTT must be positive")
+	}
+	if loss < 0 || loss > 1 {
+		return Result{}, errors.New("tcpsim: loss must be in [0,1]")
+	}
+	if durationSec <= 0 {
+		return Result{}, errors.New("tcpsim: duration must be positive")
+	}
+
+	var res Result
+	cwnd := 1.0
+	ssthresh := cfg.InitialSSThresh
+	elapsedMs := 0.0
+	durationMs := durationSec * 1000
+
+	for elapsedMs < durationMs {
+		res.Rounds++
+		send := int(cwnd)
+		if send < 1 {
+			send = 1
+		}
+		// Count losses in this window.
+		lost := 0
+		for i := 0; i < send; i++ {
+			if rng.Float64() < loss {
+				lost++
+			}
+		}
+		res.Delivered += send - lost
+		switch {
+		case lost == 0:
+			if cwnd < ssthresh {
+				cwnd *= 2 // slow start
+			} else {
+				cwnd++ // congestion avoidance
+			}
+			if cwnd > cfg.MaxWindow {
+				cwnd = cfg.MaxWindow
+			}
+			elapsedMs += rttMs
+		case lost == 1 && cwnd >= 4:
+			// Fast retransmit: halve and continue.
+			res.FastRetransmits++
+			ssthresh = cwnd / 2
+			if ssthresh < 2 {
+				ssthresh = 2
+			}
+			cwnd = ssthresh
+			elapsedMs += rttMs
+		default:
+			// Multiple losses (or a tiny window): timeout.
+			res.Timeouts++
+			ssthresh = cwnd / 2
+			if ssthresh < 2 {
+				ssthresh = 2
+			}
+			cwnd = 1
+			elapsedMs += rttMs * cfg.RTOMultiple
+		}
+	}
+	res.ThroughputKBs = float64(res.Delivered) * cfg.MSSBytes / durationMs
+	return res, nil
+}

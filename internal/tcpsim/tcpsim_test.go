@@ -1,0 +1,160 @@
+package tcpsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathsel/internal/tcpmodel"
+)
+
+func simulate(t *testing.T, rtt, loss float64) Result {
+	t.Helper()
+	res, err := Simulate(DefaultConfig(), rand.New(rand.NewSource(1)), rtt, loss, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLosslessFlowFillsWindow(t *testing.T) {
+	res := simulate(t, 100, 0)
+	// With no loss the flow pins at MaxWindow: throughput =
+	// MaxWindow*MSS/RTT = 45*1460/0.1s = 657 kB/s.
+	want := DefaultConfig().MaxWindow * DefaultConfig().MSSBytes / 100
+	if math.Abs(res.ThroughputKBs-want) > want*0.1 {
+		t.Errorf("lossless throughput %.1f, want ~%.1f", res.ThroughputKBs, want)
+	}
+	if res.Timeouts != 0 || res.FastRetransmits != 0 {
+		t.Errorf("lossless flow saw loss events: %+v", res)
+	}
+}
+
+func TestThroughputMonotonicity(t *testing.T) {
+	lowLoss := simulate(t, 100, 0.005)
+	highLoss := simulate(t, 100, 0.05)
+	if lowLoss.ThroughputKBs <= highLoss.ThroughputKBs {
+		t.Errorf("more loss should mean less throughput: %.1f vs %.1f",
+			lowLoss.ThroughputKBs, highLoss.ThroughputKBs)
+	}
+	fastRTT := simulate(t, 50, 0.01)
+	slowRTT := simulate(t, 400, 0.01)
+	if fastRTT.ThroughputKBs <= slowRTT.ThroughputKBs {
+		t.Errorf("lower RTT should mean more throughput: %.1f vs %.1f",
+			fastRTT.ThroughputKBs, slowRTT.ThroughputKBs)
+	}
+}
+
+// TestMathisAgreement: in the congestion-avoidance regime (loss high
+// enough that MaxWindow does not bind) the simulated throughput should
+// agree with the Mathis model within a small constant factor.
+func TestMathisAgreement(t *testing.T) {
+	model := tcpmodel.Default()
+	for _, tc := range []struct{ rtt, loss float64 }{
+		{80, 0.01}, {150, 0.02}, {250, 0.01}, {100, 0.04},
+	} {
+		// Average a few independent runs to damp simulation noise.
+		var sum float64
+		const runs = 8
+		for i := 0; i < runs; i++ {
+			res, err := Simulate(DefaultConfig(), rand.New(rand.NewSource(int64(i+1))), tc.rtt, tc.loss, 600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.ThroughputKBs
+		}
+		sim := sum / runs
+		pred, err := model.BandwidthKBs(tc.rtt, tc.loss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := sim / pred
+		if ratio < 0.4 || ratio > 2.0 {
+			t.Errorf("rtt=%.0f loss=%.3f: simulated %.1f vs Mathis %.1f (ratio %.2f)",
+				tc.rtt, tc.loss, sim, pred, ratio)
+		}
+	}
+}
+
+func TestTimeoutsUnderHeavyLoss(t *testing.T) {
+	res := simulate(t, 100, 0.3)
+	if res.Timeouts == 0 {
+		t.Error("30% loss should cause timeouts")
+	}
+	if res.ThroughputKBs > 100 {
+		t.Errorf("throughput %.1f implausibly high at 30%% loss", res.ThroughputKBs)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Simulate(DefaultConfig(), rng, 0, 0.1, 10); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	if _, err := Simulate(DefaultConfig(), rng, 100, -0.1, 10); err == nil {
+		t.Error("negative loss accepted")
+	}
+	if _, err := Simulate(DefaultConfig(), rng, 100, 1.1, 10); err == nil {
+		t.Error("loss > 1 accepted")
+	}
+	if _, err := Simulate(DefaultConfig(), rng, 100, 0.1, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad := DefaultConfig()
+	bad.MSSBytes = 0
+	if _, err := Simulate(bad, rng, 100, 0.1, 10); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.MSSBytes = -1 },
+		func(c *Config) { c.InitialSSThresh = 0 },
+		func(c *Config) { c.MaxWindow = 1 },
+		func(c *Config) { c.RTOMultiple = 0.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestPropertySimulationBounds: throughput is always non-negative and
+// never exceeds the window-limited ceiling.
+func TestPropertySimulationBounds(t *testing.T) {
+	f := func(seed int64, rttRaw, lossRaw uint16) bool {
+		rtt := 10 + float64(rttRaw%1000)
+		loss := float64(lossRaw%1000) / 1000
+		res, err := Simulate(DefaultConfig(), rand.New(rand.NewSource(seed)), rtt, loss, 60)
+		if err != nil {
+			return false
+		}
+		ceiling := DefaultConfig().MaxWindow * DefaultConfig().MSSBytes / rtt
+		return res.ThroughputKBs >= 0 && res.ThroughputKBs <= ceiling*1.05 && res.Rounds > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, err := Simulate(DefaultConfig(), rand.New(rand.NewSource(7)), 120, 0.02, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(DefaultConfig(), rand.New(rand.NewSource(7)), 120, 0.02, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave different results: %+v vs %+v", a, b)
+	}
+}

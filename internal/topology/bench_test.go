@@ -1,0 +1,20 @@
+package topology
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	for _, era := range []Era{Era1995, Era1999} {
+		b.Run(era.String(), func(b *testing.B) {
+			cfg := DefaultConfig(era)
+			for i := 0; i < b.N; i++ {
+				top, err := Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(top.Hosts) == 0 {
+					b.Fatal("no hosts")
+				}
+			}
+		})
+	}
+}

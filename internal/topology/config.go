@@ -1,0 +1,177 @@
+package topology
+
+import (
+	"fmt"
+
+	"pathsel/internal/geo"
+)
+
+// Era selects a vintage of Internet infrastructure. The paper's D2/N2
+// datasets were collected in 1995 on a sparser, slower, more congested
+// Internet than the 1998-99 UW datasets; the era preset reproduces that
+// contrast.
+type Era int
+
+const (
+	// Era1995 models the mid-90s Internet: fewer providers, slower
+	// links, congested public exchange points (the NAP era).
+	Era1995 Era = iota
+	// Era1999 models the late-90s Internet: denser peering, faster
+	// backbones, more private interconnects.
+	Era1999
+)
+
+// String implements fmt.Stringer.
+func (e Era) String() string {
+	switch e {
+	case Era1995:
+		return "era-1995"
+	case Era1999:
+		return "era-1999"
+	default:
+		return fmt.Sprintf("era(%d)", int(e))
+	}
+}
+
+// Config controls topology generation. The zero value is not useful; use
+// DefaultConfig (or an era preset) and override fields as needed.
+type Config struct {
+	Seed int64
+	Era  Era
+
+	// Region from which stub ASes and hosts are drawn. Tier-1 and
+	// transit ASes always span the world (backbones are global).
+	Region geo.Region
+
+	NumTier1   int
+	NumTransit int
+	NumStub    int
+
+	// Routers per AS by class.
+	RoutersTier1   int
+	RoutersTransit int
+	RoutersStub    int
+
+	// NumHosts end hosts are attached to distinct randomly chosen stub
+	// ASes (at most one measurement host per stub, matching the paper's
+	// geographically diverse server sets).
+	NumHosts int
+
+	// NumExchanges is the number of public exchange points at which
+	// peer-to-peer links concentrate.
+	NumExchanges int
+
+	// MultihomeProb is the probability that a stub AS buys transit from
+	// two providers instead of one.
+	MultihomeProb float64
+
+	// TransitPeerProb is the probability that a pair of same-region
+	// transit ASes establishes a settlement-free peering link.
+	TransitPeerProb float64
+
+	// PolicyBiasProb is the probability that an AS applies a non-default
+	// local-pref bias to one of its neighbors (modeling cost- or
+	// contract-driven policy that ignores performance).
+	PolicyBiasProb float64
+
+	// RateLimitProb is the probability that a host (and its attachment
+	// router) rate-limits ICMP, as some of the paper's traceroute
+	// targets did.
+	RateLimitProb float64
+
+	// RemoteProviderProb is the probability that a stub buys transit
+	// from a geographically arbitrary provider instead of a nearby one,
+	// as mid-90s edge networks attached to distant NSFNET regionals or
+	// corporate backbones did. Remote providers are a major source of
+	// the geographic path inflation the paper measures.
+	RemoteProviderProb float64
+}
+
+// DefaultConfig returns the baseline configuration for the given era,
+// sized so that whole-campaign experiments run in seconds.
+func DefaultConfig(era Era) Config {
+	c := Config{
+		Seed:               1,
+		Era:                era,
+		Region:             geo.NorthAmerica,
+		NumTier1:           8,
+		NumTransit:         24,
+		NumStub:            120,
+		RoutersTier1:       10,
+		RoutersTransit:     6,
+		RoutersStub:        3,
+		NumHosts:           40,
+		NumExchanges:       6,
+		MultihomeProb:      0.35,
+		TransitPeerProb:    0.08,
+		PolicyBiasProb:     0.30,
+		RateLimitProb:      0.15,
+		RemoteProviderProb: 0.10,
+	}
+	if era == Era1995 {
+		// Sparser mid-90s Internet: fewer providers, little private
+		// peering, a handful of overloaded NAPs.
+		c.NumTier1 = 5
+		c.NumTransit = 16
+		c.NumStub = 90
+		c.NumExchanges = 4
+		c.MultihomeProb = 0.15
+		c.TransitPeerProb = 0.03
+		c.PolicyBiasProb = 0.40
+		c.RemoteProviderProb = 0.35
+	}
+	return c
+}
+
+// Validate reports a descriptive error for configurations that cannot be
+// generated.
+func (c Config) Validate() error {
+	switch {
+	case c.NumTier1 < 2:
+		return fmt.Errorf("topology: need at least 2 tier-1 ASes, have %d", c.NumTier1)
+	case c.NumTransit < 1:
+		return fmt.Errorf("topology: need at least 1 transit AS, have %d", c.NumTransit)
+	case c.NumStub < 2:
+		return fmt.Errorf("topology: need at least 2 stub ASes, have %d", c.NumStub)
+	case c.NumHosts < 2:
+		return fmt.Errorf("topology: need at least 2 hosts, have %d", c.NumHosts)
+	case c.NumHosts > c.NumStub:
+		return fmt.Errorf("topology: %d hosts exceed %d stub ASes (one host per stub)", c.NumHosts, c.NumStub)
+	case c.RoutersTier1 < 2 || c.RoutersTransit < 2 || c.RoutersStub < 1:
+		return fmt.Errorf("topology: router counts too small (tier1=%d transit=%d stub=%d)",
+			c.RoutersTier1, c.RoutersTransit, c.RoutersStub)
+	case c.NumExchanges < 1:
+		return fmt.Errorf("topology: need at least 1 exchange point, have %d", c.NumExchanges)
+	case c.MultihomeProb < 0 || c.MultihomeProb > 1:
+		return fmt.Errorf("topology: MultihomeProb %.2f out of [0,1]", c.MultihomeProb)
+	case c.TransitPeerProb < 0 || c.TransitPeerProb > 1:
+		return fmt.Errorf("topology: TransitPeerProb %.2f out of [0,1]", c.TransitPeerProb)
+	case c.PolicyBiasProb < 0 || c.PolicyBiasProb > 1:
+		return fmt.Errorf("topology: PolicyBiasProb %.2f out of [0,1]", c.PolicyBiasProb)
+	case c.RateLimitProb < 0 || c.RateLimitProb > 1:
+		return fmt.Errorf("topology: RateLimitProb %.2f out of [0,1]", c.RateLimitProb)
+	case c.RemoteProviderProb < 0 || c.RemoteProviderProb > 1:
+		return fmt.Errorf("topology: RemoteProviderProb %.2f out of [0,1]", c.RemoteProviderProb)
+	}
+	return nil
+}
+
+// capacity classes in Mbps by era and link role.
+type capacities struct {
+	core     float64 // tier1 internal and tier1-tier1 private links
+	transit  float64 // transit internal, tier1-transit
+	edge     float64 // stub links, transit-stub
+	access   float64 // host access links (campus LAN + uplink share)
+	exchange float64 // public exchange-point fabrics (peer links)
+}
+
+func (c Config) capacities() capacities {
+	if c.Era == Era1995 {
+		// T3 backbones, Ethernet/T3 regional links, fractional-T3 stub
+		// uplinks, and the famously saturated FDDI NAP fabrics.
+		return capacities{core: 45, transit: 10, edge: 4, access: 10, exchange: 10}
+	}
+	// OC-3 backbones, T3 regionals, Ethernet-class edges, faster but
+	// still heavily shared public exchanges.
+	return capacities{core: 155, transit: 45, edge: 10, access: 10, exchange: 45}
+}

@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pathsel/internal/geo"
+)
+
+// TestPropertyGenerateAlwaysValid: any in-range configuration generates
+// a topology satisfying every structural invariant.
+func TestPropertyGenerateAlwaysValid(t *testing.T) {
+	f := func(seed int64, t1, tr, st, h, ex uint8, multi, peer, bias, rl, remote uint8) bool {
+		cfg := Config{
+			Seed:               seed,
+			Era:                Era(int(seed) & 1),
+			Region:             geo.NorthAmerica,
+			NumTier1:           2 + int(t1)%5,
+			NumTransit:         1 + int(tr)%8,
+			NumStub:            4 + int(st)%20,
+			RoutersTier1:       2 + int(t1)%4,
+			RoutersTransit:     2 + int(tr)%3,
+			RoutersStub:        1 + int(st)%3,
+			NumExchanges:       1 + int(ex)%8,
+			MultihomeProb:      float64(multi%101) / 100,
+			TransitPeerProb:    float64(peer%101) / 100,
+			PolicyBiasProb:     float64(bias%101) / 100,
+			RateLimitProb:      float64(rl%101) / 100,
+			RemoteProviderProb: float64(remote%101) / 100,
+		}
+		cfg.NumHosts = 2 + int(h)%(cfg.NumStub-1)
+		top, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		return top.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLinksAlwaysPaired: the i-th and (i+1)-th links always form
+// a direction pair with equal delay and capacity.
+func TestPropertyLinksAlwaysPaired(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultConfig(Era1999)
+		cfg.Seed = seed
+		cfg.NumStub = 30
+		cfg.NumTransit = 8
+		cfg.NumTier1 = 4
+		cfg.NumHosts = 8
+		top, err := Generate(cfg)
+		if err != nil {
+			return false
+		}
+		for i := 0; i+1 < len(top.Links); i += 2 {
+			a, b := top.Links[i], top.Links[i+1]
+			if a.From != b.To || a.To != b.From {
+				return false
+			}
+			if a.PropDelayMs != b.PropDelayMs || a.CapacityMbps != b.CapacityMbps {
+				return false
+			}
+			if a.Exchange != b.Exchange {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,267 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is a generated Internet: ASes, routers, links, and hosts.
+// All slices are ordered by ID so that iteration is deterministic.
+type Topology struct {
+	Config  Config
+	ASList  []*AS
+	Routers []*Router
+	Links   []*Link
+	Hosts   []*Host
+
+	// ExchangeCount is the number of exchange points actually used.
+	ExchangeCount int
+
+	asByNum  map[ASN]*AS
+	outLinks map[RouterID][]LinkID
+	// interAS maps an ordered AS pair to the directed links from the
+	// first to the second.
+	interAS map[[2]ASN][]LinkID
+}
+
+// AS returns the AS with the given number, or nil.
+func (t *Topology) AS(n ASN) *AS { return t.asByNum[n] }
+
+// Router returns the router with the given ID, or nil.
+func (t *Topology) Router(id RouterID) *Router {
+	if int(id) < 0 || int(id) >= len(t.Routers) {
+		return nil
+	}
+	return t.Routers[id]
+}
+
+// Host returns the host with the given ID, or nil.
+func (t *Topology) Host(id HostID) *Host {
+	if int(id) < 0 || int(id) >= len(t.Hosts) {
+		return nil
+	}
+	return t.Hosts[id]
+}
+
+// Link returns the link with the given ID, or nil.
+func (t *Topology) Link(id LinkID) *Link {
+	if int(id) < 0 || int(id) >= len(t.Links) {
+		return nil
+	}
+	return t.Links[id]
+}
+
+// OutLinks returns the IDs of the links leaving a router, in ID order.
+func (t *Topology) OutLinks(r RouterID) []LinkID { return t.outLinks[r] }
+
+// InterASLinks returns the directed links from AS a to AS b.
+func (t *Topology) InterASLinks(a, b ASN) []LinkID { return t.interAS[[2]ASN{a, b}] }
+
+// HostByName returns the host with the given name, or nil.
+func (t *Topology) HostByName(name string) *Host {
+	for _, h := range t.Hosts {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// addLinkPair appends a link and its reverse, wiring the adjacency index,
+// and returns the forward link.
+func (t *Topology) addLinkPair(from, to RouterID, rel Relationship, delayMs, capMbps float64, exchange int) *Link {
+	fwd := &Link{
+		ID: LinkID(len(t.Links)), From: from, To: to, Rel: rel,
+		PropDelayMs: delayMs, CapacityMbps: capMbps, Exchange: exchange,
+	}
+	t.Links = append(t.Links, fwd)
+	rev := &Link{
+		ID: LinkID(len(t.Links)), From: to, To: from, Rel: rel.Invert(),
+		PropDelayMs: delayMs, CapacityMbps: capMbps, Exchange: exchange,
+	}
+	t.Links = append(t.Links, rev)
+	t.outLinks[from] = append(t.outLinks[from], fwd.ID)
+	t.outLinks[to] = append(t.outLinks[to], rev.ID)
+	if rel != Internal {
+		fa, ta := t.Routers[from].AS, t.Routers[to].AS
+		t.interAS[[2]ASN{fa, ta}] = append(t.interAS[[2]ASN{fa, ta}], fwd.ID)
+		t.interAS[[2]ASN{ta, fa}] = append(t.interAS[[2]ASN{ta, fa}], rev.ID)
+		t.Routers[from].Border = true
+		t.Routers[to].Border = true
+	}
+	return fwd
+}
+
+// NeighborASes returns all ASes adjacent to a, in ascending order.
+func (t *Topology) NeighborASes(a ASN) []ASN {
+	as := t.AS(a)
+	if as == nil {
+		return nil
+	}
+	set := map[ASN]bool{}
+	for _, n := range as.Providers {
+		set[n] = true
+	}
+	for _, n := range as.Customers {
+		set[n] = true
+	}
+	for _, n := range as.Peers {
+		set[n] = true
+	}
+	out := make([]ASN, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks the structural invariants of a generated topology:
+// ID consistency, intra-AS connectivity, provider coverage, link pairing,
+// and host attachment. It is used by tests and by consumers that load a
+// topology from disk.
+func (t *Topology) Validate() error {
+	if len(t.ASList) == 0 {
+		return fmt.Errorf("topology: no ASes")
+	}
+	for i, as := range t.ASList {
+		if t.asByNum[as.ASN] != as {
+			return fmt.Errorf("topology: AS index broken for %d", as.ASN)
+		}
+		if i > 0 && t.ASList[i-1].ASN >= as.ASN {
+			return fmt.Errorf("topology: ASList not sorted at %d", i)
+		}
+		if as.Class != Tier1 && len(as.Providers) == 0 {
+			return fmt.Errorf("topology: AS %d (%v) has no provider", as.ASN, as.Class)
+		}
+		if len(as.Routers) == 0 {
+			return fmt.Errorf("topology: AS %d has no routers", as.ASN)
+		}
+		for _, r := range as.Routers {
+			router := t.Router(r)
+			if router == nil || router.AS != as.ASN {
+				return fmt.Errorf("topology: AS %d router list references bad router %d", as.ASN, r)
+			}
+		}
+		if err := t.checkIntraASConnected(as); err != nil {
+			return err
+		}
+	}
+	for i, r := range t.Routers {
+		if int(r.ID) != i {
+			return fmt.Errorf("topology: router %d has ID %d", i, r.ID)
+		}
+		if t.AS(r.AS) == nil {
+			return fmt.Errorf("topology: router %d in unknown AS %d", i, r.AS)
+		}
+	}
+	if len(t.Links)%2 != 0 {
+		return fmt.Errorf("topology: odd link count %d (links must be paired)", len(t.Links))
+	}
+	for i := 0; i < len(t.Links); i += 2 {
+		f, r := t.Links[i], t.Links[i+1]
+		if f.From != r.To || f.To != r.From {
+			return fmt.Errorf("topology: links %d/%d are not a reverse pair", i, i+1)
+		}
+		if f.PropDelayMs < 0 || f.CapacityMbps <= 0 {
+			return fmt.Errorf("topology: link %d has bad delay/capacity %f/%f", i, f.PropDelayMs, f.CapacityMbps)
+		}
+		fromAS, toAS := t.Router(f.From).AS, t.Router(f.To).AS
+		if (f.Rel == Internal) != (fromAS == toAS) {
+			return fmt.Errorf("topology: link %d relationship %v inconsistent with ASes %d->%d",
+				i, f.Rel, fromAS, toAS)
+		}
+	}
+	seenAS := map[ASN]bool{}
+	for i, h := range t.Hosts {
+		if int(h.ID) != i {
+			return fmt.Errorf("topology: host %d has ID %d", i, h.ID)
+		}
+		attach := t.Router(h.Attach)
+		if attach == nil || attach.AS != h.AS {
+			return fmt.Errorf("topology: host %d attached to router %d outside its AS %d", i, h.Attach, h.AS)
+		}
+		as := t.AS(h.AS)
+		if as == nil || as.Class != Stub {
+			return fmt.Errorf("topology: host %d not in a stub AS", i)
+		}
+		if seenAS[h.AS] {
+			return fmt.Errorf("topology: multiple hosts in AS %d", h.AS)
+		}
+		seenAS[h.AS] = true
+		if h.AccessDelayMs < 0 || h.AccessCapacityMbps <= 0 {
+			return fmt.Errorf("topology: host %d has bad access link %f/%f", i, h.AccessDelayMs, h.AccessCapacityMbps)
+		}
+	}
+	return nil
+}
+
+func (t *Topology) checkIntraASConnected(as *AS) error {
+	if len(as.Routers) == 1 {
+		return nil
+	}
+	seen := map[RouterID]bool{as.Routers[0]: true}
+	queue := []RouterID{as.Routers[0]}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, lid := range t.outLinks[r] {
+			l := t.Links[lid]
+			if l.Rel != Internal {
+				continue
+			}
+			if !seen[l.To] {
+				seen[l.To] = true
+				queue = append(queue, l.To)
+			}
+		}
+	}
+	if len(seen) != len(as.Routers) {
+		return fmt.Errorf("topology: AS %d internal graph disconnected (%d of %d routers reachable)",
+			as.ASN, len(seen), len(as.Routers))
+	}
+	return nil
+}
+
+// Stats summarizes a topology for logging and reports.
+type Stats struct {
+	ASes      int
+	Tier1     int
+	Transit   int
+	Stub      int
+	Routers   int
+	Links     int
+	InterAS   int
+	Hosts     int
+	Exchanges int
+}
+
+// Stats computes summary statistics.
+func (t *Topology) Stats() Stats {
+	s := Stats{
+		ASes: len(t.ASList), Routers: len(t.Routers),
+		Links: len(t.Links), Hosts: len(t.Hosts), Exchanges: t.ExchangeCount,
+	}
+	for _, as := range t.ASList {
+		switch as.Class {
+		case Tier1:
+			s.Tier1++
+		case Transit:
+			s.Transit++
+		case Stub:
+			s.Stub++
+		}
+	}
+	for _, l := range t.Links {
+		if l.Rel != Internal {
+			s.InterAS++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d ASes (%d tier1, %d transit, %d stub), %d routers, %d links (%d inter-AS), %d hosts, %d exchanges",
+		s.ASes, s.Tier1, s.Transit, s.Stub, s.Routers, s.Links, s.InterAS, s.Hosts, s.Exchanges)
+}

@@ -1,0 +1,170 @@
+// Package topology generates and represents the synthetic Internet over
+// which the reproduction's measurements are taken: a hierarchy of
+// autonomous systems (tier-1 backbones, transit providers, and stub edge
+// networks), routers within each AS, inter-AS links with business
+// relationships, and end hosts attached to stub networks.
+//
+// The generator is fully deterministic given a seed, so every experiment
+// in the paper reproduction can be re-run bit-for-bit.
+package topology
+
+import (
+	"fmt"
+
+	"pathsel/internal/geo"
+)
+
+// ASN identifies an autonomous system.
+type ASN int
+
+// RouterID identifies a router globally (across all ASes).
+type RouterID int
+
+// HostID identifies an end host.
+type HostID int
+
+// ASClass is the tier of an autonomous system in the routing hierarchy.
+type ASClass int
+
+const (
+	// Tier1 ASes form the default-free core; they peer with each other
+	// and sell transit to everyone below.
+	Tier1 ASClass = iota
+	// Transit ASes are regional providers: customers of tier-1s (or other
+	// transits), providers of stubs, and occasionally peers of each other.
+	Transit
+	// Stub ASes are edge networks (universities, enterprises). End hosts
+	// attach only to stubs.
+	Stub
+)
+
+// String implements fmt.Stringer.
+func (c ASClass) String() string {
+	switch c {
+	case Tier1:
+		return "tier1"
+	case Transit:
+		return "transit"
+	case Stub:
+		return "stub"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Relationship describes the business relationship of an inter-AS link,
+// from the perspective of the link's From AS.
+type Relationship int
+
+const (
+	// ProviderToCustomer: From sells transit to To.
+	ProviderToCustomer Relationship = iota
+	// CustomerToProvider: From buys transit from To.
+	CustomerToProvider
+	// PeerToPeer: settlement-free peering.
+	PeerToPeer
+	// Internal: both endpoints are in the same AS.
+	Internal
+)
+
+// String implements fmt.Stringer.
+func (r Relationship) String() string {
+	switch r {
+	case ProviderToCustomer:
+		return "provider-to-customer"
+	case CustomerToProvider:
+		return "customer-to-provider"
+	case PeerToPeer:
+		return "peer-to-peer"
+	case Internal:
+		return "internal"
+	default:
+		return fmt.Sprintf("relationship(%d)", int(r))
+	}
+}
+
+// Invert returns the relationship as seen from the other side of the link.
+func (r Relationship) Invert() Relationship {
+	switch r {
+	case ProviderToCustomer:
+		return CustomerToProvider
+	case CustomerToProvider:
+		return ProviderToCustomer
+	default:
+		return r
+	}
+}
+
+// AS is an autonomous system.
+type AS struct {
+	ASN     ASN
+	Class   ASClass
+	Home    geo.Point  // geographic center of the AS
+	Routers []RouterID // routers belonging to this AS
+
+	// Providers, Customers, and Peers list neighbor ASes by relationship.
+	Providers []ASN
+	Customers []ASN
+	Peers     []ASN
+
+	// LocalPrefBias perturbs BGP route selection to model per-network
+	// policies that are not performance-driven (contracts, cost).
+	// Keyed by neighbor ASN; higher is preferred within a relationship
+	// class. Zero for neighbors not present.
+	LocalPrefBias map[ASN]int
+}
+
+// Router is a single router.
+type Router struct {
+	ID  RouterID
+	AS  ASN
+	Loc geo.Point
+	// Border reports whether the router terminates at least one
+	// inter-AS link.
+	Border bool
+	// RateLimitICMP marks routers that rate-limit ICMP responses
+	// (traceroute replies), as observed for some hosts in the paper's
+	// datasets; the dataset layer filters or corrects for these.
+	RateLimitICMP bool
+}
+
+// LinkID identifies a link globally.
+type LinkID int
+
+// Link is a unidirectional network link between two routers. Links are
+// generated in pairs (one for each direction) sharing capacity class and
+// propagation delay but with independent congestion state, which lets the
+// simulator reproduce the asymmetric path performance Paxson observed.
+type Link struct {
+	ID   LinkID
+	From RouterID
+	To   RouterID
+	// Rel is the business relationship as seen from the From side
+	// (Internal for intra-AS links).
+	Rel Relationship
+	// PropDelayMs is the one-way propagation delay.
+	PropDelayMs float64
+	// CapacityMbps is the nominal link capacity.
+	CapacityMbps float64
+	// Exchange is the exchange-point index for inter-AS links placed at
+	// a shared public exchange, or -1. Links at the same exchange share
+	// congestion in the network simulator, modeling the congested
+	// exchange points the paper discusses.
+	Exchange int
+}
+
+// Host is a measurement endpoint: in the paper these are public
+// traceroute servers and npd daemons at edge networks.
+type Host struct {
+	ID     HostID
+	Name   string
+	AS     ASN
+	Attach RouterID  // first-hop router
+	Loc    geo.Point // host location (near its attachment router)
+	// AccessDelayMs is the delay of the host's access link (one way).
+	AccessDelayMs float64
+	// AccessCapacityMbps is the capacity of the host's access link.
+	AccessCapacityMbps float64
+	// RateLimitICMP marks hosts that rate-limit ICMP echo replies.
+	RateLimitICMP bool
+}

@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the traceroute parser never panics: arbitrary input
+// either parses or errors.
+func FuzzParse(f *testing.F) {
+	f.Add("traceroute to h (1) from g (0) at 5\n 1  router3 AS7  1.000 ms\nrtt:  10.000 ms  *\n\n")
+	f.Add("traceroute to h (1) from g (0) at 5: no response\n\n")
+	f.Add("garbage\nrtt: zzz\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := Parse(strings.NewReader(input))
+		if err == nil {
+			for _, r := range recs {
+				_, _, _ = r.ToEcho()
+			}
+		}
+	})
+}

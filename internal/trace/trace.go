@@ -1,0 +1,258 @@
+// Package trace renders and parses textual traceroute records in the
+// classic `traceroute` output style. The original study drove public
+// traceroute servers and parsed their text output; this package closes
+// the same loop for the simulator: probe results can be dumped to the
+// wire format and re-ingested, so archived campaigns are plain text a
+// human (or an unrelated tool) can read.
+//
+// Format, one record per traceroute:
+//
+//	traceroute to host03.as112 (3) from host00.as79 (0) at 1732.5
+//	 1  router362 AS79  1.563 ms
+//	 2  router143 AS19  3.371 ms
+//	 ...
+//	rtt: 142.1 ms  188.9 ms  *
+//
+// A `*` marks a lost echo sample, as in the real tool.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pathsel/internal/netsim"
+	"pathsel/internal/probe"
+	"pathsel/internal/topology"
+)
+
+// Record is a parsed textual traceroute.
+type Record struct {
+	Src, Dst topology.HostID
+	SrcName  string
+	DstName  string
+	At       netsim.Time
+	// Hops lists the forward routers with their AS numbers.
+	Hops []Hop
+	// Samples are the end-to-end echo results.
+	Samples []probe.Sample
+}
+
+// Hop is one line of the hop list.
+type Hop struct {
+	Router     topology.RouterID
+	AS         topology.ASN
+	CumDelayMs float64
+}
+
+// Write renders a probe result in the textual format. Per-hop cumulative
+// delays are taken from the path's links evaluated at the probe time.
+func Write(w io.Writer, top *topology.Topology, net *netsim.Network, res probe.Result) error {
+	if res.Failed {
+		_, err := fmt.Fprintf(w, "traceroute to %s (%d) from %s (%d) at %.1f: no response\n\n",
+			hostName(top, res.Dst), res.Dst, hostName(top, res.Src), res.Src, float64(res.At))
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "traceroute to %s (%d) from %s (%d) at %.1f\n",
+		hostName(top, res.Dst), res.Dst, hostName(top, res.Src), res.Src, float64(res.At)); err != nil {
+		return err
+	}
+	cum := 0.0
+	for i, r := range res.HopRouters {
+		router := top.Router(r)
+		if router == nil {
+			return fmt.Errorf("trace: unknown router %d in result", r)
+		}
+		if i > 0 {
+			// Locate the connecting link to accumulate delay.
+			for _, lid := range top.OutLinks(res.HopRouters[i-1]) {
+				if top.Link(lid).To == r {
+					cum += net.LinkDelayMs(lid, res.At)
+					break
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%2d  router%d AS%d  %.3f ms\n", i+1, r, router.AS, cum); err != nil {
+			return err
+		}
+	}
+	var b strings.Builder
+	b.WriteString("rtt:")
+	for _, s := range res.Samples {
+		if s.Lost {
+			b.WriteString("  *")
+		} else {
+			fmt.Fprintf(&b, "  %.3f ms", s.RTTMs)
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s\n\n", b.String())
+	return err
+}
+
+func hostName(top *topology.Topology, id topology.HostID) string {
+	if h := top.Host(id); h != nil {
+		return h.Name
+	}
+	return fmt.Sprintf("host%d", id)
+}
+
+// Parse reads all records from textual traceroute output. Failed
+// traceroutes ("no response") are skipped, matching how the paper's
+// pipeline treated unanswered requests.
+func Parse(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Record
+	var cur *Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "traceroute to "):
+			if strings.HasSuffix(line, ": no response") {
+				cur = nil
+				continue
+			}
+			rec, err := parseHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			out = append(out, rec)
+			cur = &out[len(out)-1]
+		case strings.HasPrefix(line, "rtt:"):
+			if cur == nil {
+				continue
+			}
+			samples, err := parseSamples(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			cur.Samples = samples
+			cur = nil
+		default:
+			if cur == nil {
+				continue
+			}
+			hop, err := parseHop(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			cur.Hops = append(cur.Hops, hop)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// parseHeader parses "traceroute to NAME (ID) from NAME (ID) at T".
+func parseHeader(line string) (Record, error) {
+	var rec Record
+	rest := strings.TrimPrefix(line, "traceroute to ")
+	parts := strings.Split(rest, " from ")
+	if len(parts) != 2 {
+		return rec, fmt.Errorf("malformed header %q", line)
+	}
+	var err error
+	rec.DstName, rec.Dst, err = parseNameID(parts[0])
+	if err != nil {
+		return rec, err
+	}
+	tail := strings.Split(parts[1], " at ")
+	if len(tail) != 2 {
+		return rec, fmt.Errorf("malformed header tail %q", parts[1])
+	}
+	rec.SrcName, rec.Src, err = parseNameID(tail[0])
+	if err != nil {
+		return rec, err
+	}
+	at, err := strconv.ParseFloat(strings.TrimSpace(tail[1]), 64)
+	if err != nil {
+		return rec, fmt.Errorf("bad timestamp %q", tail[1])
+	}
+	rec.At = netsim.Time(at)
+	return rec, nil
+}
+
+// parseNameID parses "name (id)".
+func parseNameID(s string) (string, topology.HostID, error) {
+	s = strings.TrimSpace(s)
+	open := strings.LastIndex(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", 0, fmt.Errorf("malformed name/id %q", s)
+	}
+	id, err := strconv.Atoi(s[open+1 : len(s)-1])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad host id in %q", s)
+	}
+	return strings.TrimSpace(s[:open]), topology.HostID(id), nil
+}
+
+// parseHop parses " 1  router362 AS79  1.563 ms".
+func parseHop(line string) (Hop, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 || fields[4] != "ms" {
+		return Hop{}, fmt.Errorf("malformed hop %q", line)
+	}
+	if !strings.HasPrefix(fields[1], "router") || !strings.HasPrefix(fields[2], "AS") {
+		return Hop{}, fmt.Errorf("malformed hop identifiers %q", line)
+	}
+	r, err := strconv.Atoi(strings.TrimPrefix(fields[1], "router"))
+	if err != nil {
+		return Hop{}, fmt.Errorf("bad router in %q", line)
+	}
+	asn, err := strconv.Atoi(strings.TrimPrefix(fields[2], "AS"))
+	if err != nil {
+		return Hop{}, fmt.Errorf("bad AS in %q", line)
+	}
+	d, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return Hop{}, fmt.Errorf("bad delay in %q", line)
+	}
+	return Hop{Router: topology.RouterID(r), AS: topology.ASN(asn), CumDelayMs: d}, nil
+}
+
+// parseSamples parses "rtt:  142.1 ms  *  90.3 ms".
+func parseSamples(line string) ([]probe.Sample, error) {
+	fields := strings.Fields(strings.TrimPrefix(line, "rtt:"))
+	var out []probe.Sample
+	for i := 0; i < len(fields); i++ {
+		if fields[i] == "*" {
+			out = append(out, probe.Sample{Lost: true})
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sample %q", fields[i])
+		}
+		if i+1 >= len(fields) || fields[i+1] != "ms" {
+			return nil, fmt.Errorf("sample %q missing unit", fields[i])
+		}
+		i++
+		out = append(out, probe.Sample{RTTMs: v})
+	}
+	return out, nil
+}
+
+// ToEcho converts a parsed record into the dataset layer's echo-record
+// arguments: RTT values and loss flags plus the AS path.
+func (r Record) ToEcho() (rtts []float64, lost []bool, asPath []topology.ASN) {
+	for _, s := range r.Samples {
+		rtts = append(rtts, s.RTTMs)
+		lost = append(lost, s.Lost)
+	}
+	var last topology.ASN = -1
+	for _, h := range r.Hops {
+		if h.AS != last {
+			asPath = append(asPath, h.AS)
+			last = h.AS
+		}
+	}
+	return rtts, lost, asPath
+}

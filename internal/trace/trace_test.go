@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/dataset"
+	"pathsel/internal/forward"
+	"pathsel/internal/igp"
+	"pathsel/internal/netsim"
+	"pathsel/internal/probe"
+	"pathsel/internal/topology"
+)
+
+type fixture struct {
+	top *topology.Topology
+	net *netsim.Network
+	prb *probe.Prober
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	cfg := topology.DefaultConfig(topology.Era1999)
+	cfg.NumHosts = 8
+	top, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := igp.New(top, igp.DefaultConfig())
+	table, err := bgp.Compute(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := forward.New(top, g, table)
+	net := netsim.New(top, netsim.DefaultConfig())
+	prbCfg := probe.DefaultConfig()
+	prbCfg.ContactFailProb = 0
+	return &fixture{top: top, net: net, prb: probe.New(top, fwd, net, prbCfg)}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	fx := newFixture(t)
+	var b strings.Builder
+	var want []probe.Result
+	for i := 0; i < 5; i++ {
+		res, err := fx.prb.Traceroute(fx.top.Hosts[i].ID, fx.top.Hosts[i+1].ID, netsim.Time(1000*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+		if err := Write(&b, fx.top, fx.net, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Parse: %v\noutput was:\n%s", err, b.String())
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		w := want[i]
+		if rec.Src != w.Src || rec.Dst != w.Dst || rec.At != w.At {
+			t.Fatalf("record %d header mismatch: %+v vs src=%d dst=%d at=%v", i, rec, w.Src, w.Dst, w.At)
+		}
+		if len(rec.Hops) != len(w.HopRouters) {
+			t.Fatalf("record %d: %d hops, want %d", i, len(rec.Hops), len(w.HopRouters))
+		}
+		for j, h := range rec.Hops {
+			if h.Router != w.HopRouters[j] {
+				t.Fatalf("record %d hop %d: router %d, want %d", i, j, h.Router, w.HopRouters[j])
+			}
+			if h.AS != fx.top.Router(w.HopRouters[j]).AS {
+				t.Fatalf("record %d hop %d: AS mismatch", i, j)
+			}
+		}
+		if len(rec.Samples) != len(w.Samples) {
+			t.Fatalf("record %d: %d samples, want %d", i, len(rec.Samples), len(w.Samples))
+		}
+		for j, s := range rec.Samples {
+			if s.Lost != w.Samples[j].Lost {
+				t.Fatalf("record %d sample %d: lost mismatch", i, j)
+			}
+			if !s.Lost && !closeEnough(s.RTTMs, w.Samples[j].RTTMs) {
+				t.Fatalf("record %d sample %d: rtt %f vs %f", i, j, s.RTTMs, w.Samples[j].RTTMs)
+			}
+		}
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 0.001 // the format keeps three decimals
+}
+
+func TestFailedTracerouteSkipped(t *testing.T) {
+	fx := newFixture(t)
+	var b strings.Builder
+	failed := probe.Result{Src: 0, Dst: 1, At: 5, Failed: true}
+	if err := Write(&b, fx.top, fx.net, failed); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := fx.prb.Traceroute(fx.top.Hosts[0].ID, fx.top.Hosts[1].ID, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, fx.top, fx.net, ok); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed %d records, want 1 (failed skipped)", len(recs))
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := []string{
+		"traceroute to x from y at notatime\nrtt: 1 ms\n",
+		"traceroute to h (1) from g (0) at 5\n 1  bogus AS7  1.0 ms\nrtt: 1.0 ms\n",
+		"traceroute to h (1) from g (0) at 5\n 1  router3 AS7  abc ms\nrtt: 1.0 ms\n",
+		"traceroute to h (1) from g (0) at 5\nrtt: nonsense\n",
+		"traceroute to h (one) from g (0) at 5\nrtt: 1.0 ms\n",
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestParseIgnoresStrayLines(t *testing.T) {
+	input := "rtt: 5.0 ms\n 1  router3 AS7  1.0 ms\n\n"
+	recs, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("stray lines produced %d records", len(recs))
+	}
+}
+
+func TestToEcho(t *testing.T) {
+	rec := Record{
+		Samples: []probe.Sample{{RTTMs: 10}, {Lost: true}, {RTTMs: 12}},
+		Hops: []Hop{
+			{Router: 1, AS: 7}, {Router: 2, AS: 7}, {Router: 3, AS: 9}, {Router: 4, AS: 12},
+		},
+	}
+	rtts, lost, asPath := rec.ToEcho()
+	if len(rtts) != 3 || len(lost) != 3 {
+		t.Fatalf("echo lengths %d/%d", len(rtts), len(lost))
+	}
+	if !lost[1] || lost[0] || lost[2] {
+		t.Error("loss flags wrong")
+	}
+	if len(asPath) != 3 || asPath[0] != 7 || asPath[1] != 9 || asPath[2] != 12 {
+		t.Errorf("AS path %v", asPath)
+	}
+}
+
+// TestIngestIntoDataset closes the loop: textual records feed a dataset
+// whose aggregates match the original probe results.
+func TestIngestIntoDataset(t *testing.T) {
+	fx := newFixture(t)
+	var b strings.Builder
+	src, dst := fx.top.Hosts[0].ID, fx.top.Hosts[1].ID
+	for i := 0; i < 40; i++ {
+		res, err := fx.prb.Traceroute(src, dst, netsim.Time(i*600))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(&b, fx.top, fx.net, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.New("ingest", []topology.HostID{src, dst})
+	for _, rec := range recs {
+		rtts, lost, asPath := rec.ToEcho()
+		ds.RecordEcho(dataset.PairKey{Src: rec.Src, Dst: rec.Dst}, rec.At, rtts, lost, asPath, len(lost))
+	}
+	sum, ok := ds.MeanRTT(dataset.PairKey{Src: src, Dst: dst})
+	if !ok || sum.N == 0 {
+		t.Fatal("no RTT data after ingestion")
+	}
+	if sum.Mean <= 0 {
+		t.Errorf("mean RTT %f", sum.Mean)
+	}
+	p := ds.Paths[dataset.PairKey{Src: src, Dst: dst}]
+	if len(p.ASPath) < 2 {
+		t.Errorf("AS path %v too short", p.ASPath)
+	}
+}
