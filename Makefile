@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The analysis engine is the only concurrent code; run it and its
+# drivers under the race detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/experiments/...
+
+bench:
+	$(GO) test -bench 'BestAlternates|GreedyRemoveTop' -benchmem -run '^$$' ./internal/core/
+
+check: vet test race

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-plot] [-episodes] dataset.gob.gz
+//	altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] dataset.gob.gz
 //
 // The bw metric needs a dataset with TCP transfer measurements (pathsim
 // -method transfer); -episodes needs one collected with the episodes
@@ -27,20 +27,21 @@ import (
 func main() {
 	metricStr := flag.String("metric", "rtt", "metric: rtt, loss, prop or bw")
 	maxVia := flag.Int("maxvia", 0, "max intermediate hosts per alternate (0 = unlimited)")
+	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
 	plot := flag.Bool("plot", false, "draw an ASCII CDF")
 	episodes := flag.Bool("episodes", false, "run the simultaneous-episode analysis instead")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-plot] [-episodes] dataset.gob.gz")
+		fmt.Fprintln(os.Stderr, "usage: altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] dataset.gob.gz")
 		os.Exit(2)
 	}
-	if err := run(*metricStr, *maxVia, *plot, *episodes, flag.Arg(0)); err != nil {
+	if err := run(*metricStr, *maxVia, *workers, *plot, *episodes, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "altpath:", err)
 		os.Exit(1)
 	}
 }
 
-func run(metricStr string, maxVia int, plot, episodes bool, path string) error {
+func run(metricStr string, maxVia, workers int, plot, episodes bool, path string) error {
 	ds, err := dataset.Load(path)
 	if err != nil {
 		return err
@@ -48,7 +49,7 @@ func run(metricStr string, maxVia int, plot, episodes bool, path string) error {
 	c := ds.Characteristics()
 	fmt.Printf("dataset %s: %d hosts, %d measurements, %.0f%% coverage\n",
 		c.Name, c.Hosts, c.Measurements, c.PercentCovered)
-	analyzer := core.NewAnalyzer(ds)
+	analyzer := core.NewAnalyzer(ds).WithConcurrency(workers)
 
 	if episodes {
 		return runEpisodes(analyzer)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	figures [-preset quick|full] [-seed N] [-out DIR]
+//	figures [-preset quick|full] [-seed N] [-workers N] [-out DIR]
 package main
 
 import (
@@ -24,10 +24,11 @@ import (
 func main() {
 	preset := flag.String("preset", "full", "campaign scale: quick or full")
 	seed := flag.Int64("seed", 1, "master seed for topology, network and campaigns")
+	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
 	out := flag.String("out", "", "directory for per-figure CDF data files (optional)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed}
+	cfg := experiments.Config{Seed: *seed, Concurrency: *workers}
 	switch *preset {
 	case "quick":
 		cfg.Preset = experiments.Quick
@@ -269,7 +270,7 @@ func run(cfg experiments.Config, outDir string) error {
 	if err != nil {
 		return fmt.Errorf("path inflation: %w", err)
 	}
-	ep, err := core.NewAnalyzer(s.UW4A).AnalyzeEpisodes()
+	ep, err := core.NewAnalyzer(s.UW4A).WithConcurrency(cfg.Concurrency).AnalyzeEpisodes()
 	if err != nil {
 		return fmt.Errorf("episode churn: %w", err)
 	}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	serve [-addr :8410] [-preset quick|full] [-seed N]
+//	serve [-addr :8410] [-preset quick|full] [-seed N] [-workers N]
 //
 // Endpoints:
 //
@@ -34,9 +34,10 @@ func main() {
 	addr := flag.String("addr", ":8410", "listen address")
 	preset := flag.String("preset", "quick", "campaign scale: quick or full")
 	seed := flag.Int64("seed", 1, "suite seed")
+	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed}
+	cfg := experiments.Config{Seed: *seed, Concurrency: *workers}
 	switch *preset {
 	case "quick":
 		cfg.Preset = experiments.Quick

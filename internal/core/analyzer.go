@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"pathsel/internal/dataset"
 	"pathsel/internal/stats"
@@ -39,10 +40,57 @@ func (r PairResult) Ratio() float64 {
 // Analyzer runs the paper's comparisons over one dataset.
 type Analyzer struct {
 	ds *dataset.Dataset
+
+	// Concurrency caps the worker goroutines the engine shards pair and
+	// candidate searches across: 0 (the default) means one worker per
+	// available CPU, 1 forces the sequential engine, and any other
+	// positive value is used as-is. Results are bit-identical for every
+	// setting; the knob only trades wall-clock time for cores.
+	Concurrency int
+
+	// graphMu guards the per-metric graph cache. Building a graph
+	// touches every pair's sample set, so analyses that revisit a
+	// metric (figure drivers, the greedy-removal loop, benchmarks)
+	// reuse the build; the cache is dropped when the dataset's
+	// revision or pair count changes.
+	graphMu   sync.Mutex
+	graphs    map[Metric]*graph
+	graphsRev int64
+	graphsLen int
+}
+
+// graphFor returns the measurement graph for a metric, building and
+// caching it on first use.
+func (a *Analyzer) graphFor(metric Metric) (*graph, error) {
+	a.graphMu.Lock()
+	defer a.graphMu.Unlock()
+	if rev, n := a.ds.Revision(), len(a.ds.Paths); a.graphs == nil || rev != a.graphsRev || n != a.graphsLen {
+		a.graphs = map[Metric]*graph{}
+		a.graphsRev, a.graphsLen = rev, n
+	}
+	if g, ok := a.graphs[metric]; ok {
+		return g, nil
+	}
+	g, err := buildGraph(a.ds, metric)
+	if err != nil {
+		return nil, err
+	}
+	a.graphs[metric] = g
+	return g, nil
 }
 
 // NewAnalyzer wraps a dataset.
 func NewAnalyzer(ds *dataset.Dataset) *Analyzer { return &Analyzer{ds: ds} }
+
+// WithConcurrency sets the Concurrency knob and returns the analyzer,
+// for chaining at construction sites.
+func (a *Analyzer) WithConcurrency(n int) *Analyzer {
+	a.Concurrency = n
+	return a
+}
+
+// workers resolves the Concurrency knob to a worker count.
+func (a *Analyzer) workers() int { return autoWorkers(a.Concurrency) }
 
 // Dataset returns the underlying dataset.
 func (a *Analyzer) Dataset() *dataset.Dataset { return a.ds }
@@ -51,9 +99,9 @@ func (a *Analyzer) Dataset() *dataset.Dataset { return a.ds }
 // synthetic alternate for the given metric. maxVia limits alternate
 // length in intermediate hosts (0 = unlimited). Pairs without a measured
 // default path or without any alternate are skipped. Results are in
-// deterministic (PairKeys) order.
+// deterministic (PairKeys) order regardless of Concurrency.
 func (a *Analyzer) BestAlternates(metric Metric, maxVia int) ([]PairResult, error) {
-	g, err := buildGraph(a.ds, metric)
+	g, err := a.graphFor(metric)
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +109,24 @@ func (a *Analyzer) BestAlternates(metric Metric, maxVia int) ([]PairResult, erro
 }
 
 // bestAlternatesOn runs the comparison on a prebuilt graph, optionally
-// excluding hosts (used by the greedy-removal analysis).
+// excluding hosts (used by the greedy-removal analysis), with the
+// analyzer's configured concurrency.
 func (a *Analyzer) bestAlternatesOn(g *graph, metric Metric, maxVia int, excluded []bool) ([]PairResult, error) {
-	var out []PairResult
-	for _, k := range a.ds.PairKeys() {
+	return a.bestAlternatesWith(g, metric, maxVia, excluded, a.workers())
+}
+
+// bestAlternatesWith is the engine under BestAlternates: pairs are
+// prefiltered sequentially, searched across the given number of workers
+// with results written into per-pair slots, then compacted in pair-key
+// order — so the output is byte-identical for any worker count.
+func (a *Analyzer) bestAlternatesWith(g *graph, metric Metric, maxVia int, excluded []bool, workers int) ([]PairResult, error) {
+	keys := a.ds.PairKeys()
+	type pairJob struct {
+		key    dataset.PairKey
+		si, di int32
+	}
+	jobs := make([]pairJob, 0, len(keys))
+	for _, k := range keys {
 		si, ok1 := g.index[k.Src]
 		di, ok2 := g.index[k.Dst]
 		if !ok1 || !ok2 {
@@ -73,20 +135,18 @@ func (a *Analyzer) bestAlternatesOn(g *graph, metric Metric, maxVia int, exclude
 		if excluded != nil && (excluded[si] || excluded[di]) {
 			continue
 		}
-		direct, found := g.directEdge(si, di)
-		if !found {
-			continue
-		}
-		path, found := g.shortestAlternate(si, di, maxVia, excluded)
-		if !found {
-			continue
-		}
+		jobs = append(jobs, pairJob{key: k, si: int32(si), di: int32(di)})
+	}
+	results := make([]PairResult, len(jobs))
+	valid := make([]bool, len(jobs))
+	fill := func(i int, direct edge, path []int) error {
+		j := jobs[i]
 		altValue, altSum, err := g.composePath(metric, path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res := PairResult{
-			Key:          k,
+			Key:          j.key,
 			Default:      direct.summary,
 			Alternate:    altSum,
 			DefaultValue: direct.value,
@@ -95,7 +155,79 @@ func (a *Analyzer) bestAlternatesOn(g *graph, metric Metric, maxVia int, exclude
 		for _, v := range path[1 : len(path)-1] {
 			res.Via = append(res.Via, g.hosts[v])
 		}
-		out = append(out, res)
+		results[i], valid[i] = res, true
+		return nil
+	}
+	var err error
+	if maxVia == 0 {
+		// Unlimited searches share one shortest-path tree per source:
+		// jobs are in PairKeys order, so equal sources are consecutive.
+		type span struct{ start, end int }
+		var groups []span
+		for start := 0; start < len(jobs); {
+			end := start + 1
+			for end < len(jobs) && jobs[end].si == jobs[start].si {
+				end++
+			}
+			groups = append(groups, span{start, end})
+			start = end
+		}
+		err = parallelFor(workers, len(groups), func(_, gi int) error {
+			gr := groups[gi]
+			src := int(jobs[gr.start].si)
+			s := g.scratch.Get().(*searchScratch)
+			defer g.scratch.Put(s)
+			g.sourceTree(src, excluded, s)
+			for i := gr.start; i < gr.end; i++ {
+				di := int(jobs[i].di)
+				direct, found := g.directEdge(src, di)
+				if !found {
+					continue
+				}
+				var path []int
+				if p := s.prev[di]; p != -1 && int(p) != src {
+					path, found = pathFromPrev(s.prev, src, di)
+				} else if int(p) == src && !s.parent[di] {
+					// The direct edge won but dst is a tree leaf: the
+					// per-pair search can be replayed from the tree.
+					path, found = g.replayLastHop(src, di, s)
+				} else {
+					// The direct edge won and dst is a tree interior
+					// vertex (or dst is unreachable); search with the
+					// direct edge excluded.
+					path, found = g.shortestAlternate(src, di, 0, excluded)
+				}
+				if !found {
+					continue
+				}
+				if err := fill(i, direct, path); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	} else {
+		err = parallelFor(workers, len(jobs), func(_, i int) error {
+			j := jobs[i]
+			direct, found := g.directEdge(int(j.si), int(j.di))
+			if !found {
+				return nil
+			}
+			path, found := g.shortestAlternate(int(j.si), int(j.di), maxVia, excluded)
+			if !found {
+				return nil
+			}
+			return fill(i, direct, path)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PairResult, 0, len(jobs))
+	for i, ok := range valid {
+		if ok {
+			out = append(out, results[i])
+		}
 	}
 	return out, nil
 }
@@ -184,15 +316,18 @@ func (a *Analyzer) BestBandwidthAlternates(model tcpmodel.Model, mode BandwidthM
 		}
 		st[k] = pathStat{rtt: rtt.Mean, loss: loss.Mean}
 	}
-	var out []BandwidthResult
-	for _, k := range a.ds.PairKeys() {
+	keys := a.ds.PairKeys()
+	results := make([]BandwidthResult, len(keys))
+	valid := make([]bool, len(keys))
+	err := parallelFor(a.workers(), len(keys), func(_, i int) error {
+		k := keys[i]
 		direct, ok := st[k]
 		if !ok {
-			continue
+			return nil
 		}
 		defBW, err := model.BandwidthKBs(direct.rtt, direct.loss)
 		if err != nil {
-			return nil, fmt.Errorf("core: default bandwidth for %v: %w", k, err)
+			return fmt.Errorf("core: default bandwidth for %v: %w", k, err)
 		}
 		bestBW := math.Inf(-1)
 		bestVia := topology.HostID(-1)
@@ -213,20 +348,31 @@ func (a *Analyzer) BestBandwidthAlternates(model tcpmodel.Model, mode BandwidthM
 			case Pessimistic:
 				loss = 1 - (1-s1.loss)*(1-s2.loss)
 			default:
-				return nil, fmt.Errorf("core: unknown bandwidth mode %v", mode)
+				return fmt.Errorf("core: unknown bandwidth mode %v", mode)
 			}
 			bw, err := model.BandwidthKBs(rtt, loss)
 			if err != nil {
-				return nil, fmt.Errorf("core: alternate bandwidth for %v via %d: %w", k, via, err)
+				return fmt.Errorf("core: alternate bandwidth for %v via %d: %w", k, via, err)
 			}
 			if bw > bestBW {
 				bestBW, bestVia = bw, via
 			}
 		}
 		if bestVia == -1 {
-			continue
+			return nil
 		}
-		out = append(out, BandwidthResult{Key: k, DefaultKBs: defBW, AltKBs: bestBW, Via: bestVia})
+		results[i] = BandwidthResult{Key: k, DefaultKBs: defBW, AltKBs: bestBW, Via: bestVia}
+		valid[i] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BandwidthResult, 0, len(keys))
+	for i, ok := range valid {
+		if ok {
+			out = append(out, results[i])
+		}
 	}
 	return out, nil
 }
@@ -249,7 +395,7 @@ type MedianResult struct {
 // computational costs reasonable"; each statistic selects its own best
 // alternate.
 func (a *Analyzer) BestMedianAlternates() ([]MedianResult, error) {
-	g, err := buildGraph(a.ds, MetricRTT)
+	g, err := a.graphFor(MetricRTT)
 	if err != nil {
 		return nil, err
 	}
@@ -268,29 +414,32 @@ func (a *Analyzer) BestMedianAlternates() ([]MedianResult, error) {
 		dists[k] = d
 		medians[k] = m
 	}
-	var out []MedianResult
-	for _, k := range a.ds.PairKeys() {
+	keys := a.ds.PairKeys()
+	results := make([]MedianResult, len(keys))
+	valid := make([]bool, len(keys))
+	err = parallelFor(a.workers(), len(keys), func(_, i int) error {
+		k := keys[i]
 		si, ok1 := g.index[k.Src]
 		di, ok2 := g.index[k.Dst]
 		if !ok1 || !ok2 {
-			continue
+			return nil
 		}
 		direct, found := g.directEdge(si, di)
 		if !found {
-			continue
+			return nil
 		}
 		directDist, ok := dists[k]
 		if !ok {
-			continue
+			return nil
 		}
 		// Best one-hop alternate by mean.
 		meanPath, foundMean := g.shortestAlternate(si, di, 1, nil)
 		if !foundMean {
-			continue
+			return nil
 		}
 		meanVal, _, err := g.composePath(MetricRTT, meanPath)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Best one-hop alternate by median: enumerate intermediates and
 		// convolve.
@@ -319,17 +468,28 @@ func (a *Analyzer) BestMedianAlternates() ([]MedianResult, error) {
 			}
 		}
 		if !foundMedian {
-			continue
+			return nil
 		}
 		directMedian, err := directDist.Median()
 		if err != nil {
-			continue
+			return nil
 		}
-		out = append(out, MedianResult{
+		results[i] = MedianResult{
 			Key:               k,
 			MeanImprovement:   direct.value - meanVal,
 			MedianImprovement: directMedian - bestMedian,
-		})
+		}
+		valid[i] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MedianResult, 0, len(keys))
+	for i, ok := range valid {
+		if ok {
+			out = append(out, results[i])
+		}
 	}
 	return out, nil
 }
@@ -352,7 +512,9 @@ type EpisodeAnalysis struct {
 
 // AnalyzeEpisodes computes, within each episode, the best alternate path
 // using only that episode's simultaneous measurements, and aggregates the
-// per-episode differences both pair-averaged and raw.
+// per-episode differences both pair-averaged and raw. Episodes are
+// independent, so they are analyzed concurrently and merged in episode
+// order; the aggregation is identical to the sequential one.
 func (a *Analyzer) AnalyzeEpisodes() (EpisodeAnalysis, error) {
 	if len(a.ds.Episodes) == 0 {
 		return EpisodeAnalysis{}, fmt.Errorf("core: dataset %q has no episodes", a.ds.Name)
@@ -363,11 +525,16 @@ func (a *Analyzer) AnalyzeEpisodes() (EpisodeAnalysis, error) {
 		index[h] = len(hosts)
 		hosts = append(hosts, h)
 	}
-	perPair := map[dataset.PairKey]*stats.Accum{}
-	relaySeq := map[dataset.PairKey][]topology.HostID{}
-	var unaveraged []float64
-	for _, ep := range a.ds.Episodes {
-		g := &graph{hosts: hosts, index: index, adj: make([][]edge, len(hosts))}
+	// Per-episode outputs, aligned: keys[i], diffs[i], relays[i].
+	type episodeOut struct {
+		keys   []dataset.PairKey
+		diffs  []float64
+		relays []topology.HostID
+	}
+	outs := make([]episodeOut, len(a.ds.Episodes))
+	err := parallelFor(a.workers(), len(a.ds.Episodes), func(_, ei int) error {
+		ep := a.ds.Episodes[ei]
+		g := newGraph(hosts, index)
 		// Deterministic edge insertion order.
 		keys := make([]dataset.PairKey, 0, len(ep.RTTMs))
 		for k := range ep.RTTMs {
@@ -382,8 +549,9 @@ func (a *Analyzer) AnalyzeEpisodes() (EpisodeAnalysis, error) {
 		for _, k := range keys {
 			v := ep.RTTMs[k]
 			si, di := index[k.Src], index[k.Dst]
-			g.adj[si] = append(g.adj[si], edge{to: di, weight: v, value: v})
+			g.addEdge(si, edge{to: di, weight: v, value: v})
 		}
+		out := &outs[ei]
 		for _, k := range keys {
 			si, di := index[k.Src], index[k.Dst]
 			path, found := g.shortestAlternate(si, di, 0, nil)
@@ -392,17 +560,32 @@ func (a *Analyzer) AnalyzeEpisodes() (EpisodeAnalysis, error) {
 			}
 			altVal, _, err := g.composePath(MetricRTT, path)
 			if err != nil {
-				return EpisodeAnalysis{}, err
+				return err
 			}
-			diff := ep.RTTMs[k] - altVal
-			unaveraged = append(unaveraged, diff)
+			out.keys = append(out.keys, k)
+			out.diffs = append(out.diffs, ep.RTTMs[k]-altVal)
+			out.relays = append(out.relays, hosts[path[1]])
+		}
+		return nil
+	})
+	if err != nil {
+		return EpisodeAnalysis{}, err
+	}
+	// Merge in episode order: identical accumulation order to a
+	// sequential pass, so the result is independent of worker count.
+	perPair := map[dataset.PairKey]*stats.Accum{}
+	relaySeq := map[dataset.PairKey][]topology.HostID{}
+	var unaveraged []float64
+	for _, out := range outs {
+		for i, k := range out.keys {
+			unaveraged = append(unaveraged, out.diffs[i])
 			acc, ok := perPair[k]
 			if !ok {
 				acc = &stats.Accum{}
 				perPair[k] = acc
 			}
-			acc.Add(diff)
-			relaySeq[k] = append(relaySeq[k], hosts[path[1]])
+			acc.Add(out.diffs[i])
+			relaySeq[k] = append(relaySeq[k], out.relays[i])
 		}
 	}
 	var pairAveraged []float64

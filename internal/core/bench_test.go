@@ -51,6 +51,7 @@ func BenchmarkBestAlternates(b *testing.B) {
 		{"prop-unrestricted", MetricPropDelay, 0},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				results, err := a.BestAlternates(bc.metric, bc.maxVia)
 				if err != nil {
@@ -58,6 +59,64 @@ func BenchmarkBestAlternates(b *testing.B) {
 				}
 				if len(results) == 0 {
 					b.Fatal("no results")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBestAlternatesParallel compares the sequential engine with
+// the worker pool on the same dataset. With one CPU the two are
+// expected to be on par; the parallel/auto case shows the scaling on
+// multicore machines.
+func BenchmarkBestAlternatesParallel(b *testing.B) {
+	ds := benchDataset(40)
+	for _, bc := range []struct {
+		name        string
+		concurrency int
+	}{
+		{"sequential", 1},
+		{"parallel-auto", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			a := NewAnalyzer(ds).WithConcurrency(bc.concurrency)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := a.BestAlternates(MetricRTT, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyRemoveTop exercises the iterated remove-the-best-relay
+// hypothesis test, the heaviest analysis in the paper's Section 6.2.
+func BenchmarkGreedyRemoveTop(b *testing.B) {
+	ds := benchDataset(40)
+	for _, bc := range []struct {
+		name        string
+		concurrency int
+	}{
+		{"sequential", 1},
+		{"parallel-auto", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			a := NewAnalyzer(ds).WithConcurrency(bc.concurrency)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				steps, _, err := a.GreedyRemoveTop(MetricRTT, 0, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(steps) == 0 {
+					b.Fatal("no steps")
 				}
 			}
 		})

@@ -9,12 +9,19 @@
 // convolution, simultaneous-episode analysis) and the hypothesis
 // evaluations of Section 7 (host/AS influence, congestion vs. propagation
 // decomposition).
+//
+// The alternate search is embarrassingly parallel across host pairs, and
+// the engine exploits that: graphs carry an O(1) directed-edge index,
+// each search borrows its working arrays from a pool instead of
+// allocating, and the Analyzer shards pairs across a worker pool (see
+// Analyzer.Concurrency). Output is bit-identical regardless of worker
+// count.
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"pathsel/internal/dataset"
 	"pathsel/internal/stats"
@@ -68,11 +75,61 @@ type edge struct {
 	summary stats.Summary
 }
 
-// graph is the measurement graph for one metric.
+// maxDenseVertices bounds the flat src*n+dst edge index: up to this many
+// vertices the index costs n*n int32 cells (16 MiB at the limit); larger
+// graphs fall back to a map keyed by the packed vertex pair.
+const maxDenseVertices = 2048
+
+// graph is the measurement graph for one metric. After construction
+// (addEdge calls) it is read-only and safe for concurrent searches.
 type graph struct {
 	hosts []topology.HostID
 	index map[topology.HostID]int
 	adj   [][]edge // adjacency by vertex index
+
+	// Directed-edge index for O(1) lookup: the stored value is the edge's
+	// position within adj[src] plus one, so zero means absent. Exactly one
+	// of dense/sparse is non-nil.
+	dense  []int32         // dense[src*n+dst], for small vertex counts
+	sparse map[int64]int32 // keyed src<<32|dst, for large vertex counts
+
+	// scratch pools per-search working state (distance/predecessor arrays
+	// and the priority queue) so searches allocate nothing proportional
+	// to the graph.
+	scratch sync.Pool
+}
+
+// newGraph creates an empty graph over the given hosts. If index is nil
+// a host-to-vertex index is built (hosts must then be duplicate-free);
+// passing a prebuilt index lets callers share one across many graphs.
+func newGraph(hosts []topology.HostID, index map[topology.HostID]int) *graph {
+	if index == nil {
+		index = make(map[topology.HostID]int, len(hosts))
+		for i, h := range hosts {
+			index[h] = i
+		}
+	}
+	n := len(hosts)
+	g := &graph{hosts: hosts, index: index, adj: make([][]edge, n)}
+	if n <= maxDenseVertices {
+		g.dense = make([]int32, n*n)
+	} else {
+		g.sparse = make(map[int64]int32)
+	}
+	g.scratch.New = func() any { return newSearchScratch(n) }
+	return g
+}
+
+// addEdge appends a directed edge and records it in the O(1) index. At
+// most one edge may exist per (src, dst) pair.
+func (g *graph) addEdge(src int, e edge) {
+	g.adj[src] = append(g.adj[src], e)
+	pos := int32(len(g.adj[src])) // position + 1; 0 means absent
+	if g.dense != nil {
+		g.dense[src*len(g.hosts)+e.to] = pos
+	} else {
+		g.sparse[int64(src)<<32|int64(uint32(e.to))] = pos
+	}
 }
 
 // lossWeight converts a loss probability to an additive cost.
@@ -91,81 +148,163 @@ func lossFromWeight(w float64) float64 {
 	return -math.Expm1(-w)
 }
 
+// metricEdge builds the edge for one measured pair under a metric: the
+// value is the summary mean in natural units, and the Dijkstra weight is
+// the (clamped) loss weight for loss or the mean itself otherwise. Every
+// graph construction routes through this helper so the weight logic
+// cannot drift between call sites.
+func metricEdge(metric Metric, to int, s stats.Summary) edge {
+	e := edge{to: to, value: s.Mean, summary: s}
+	if metric == MetricLoss {
+		e.weight = lossWeight(s.Mean)
+	} else {
+		e.weight = s.Mean
+	}
+	return e
+}
+
 // buildGraph constructs the per-metric measurement graph from a dataset.
 func buildGraph(ds *dataset.Dataset, metric Metric) (*graph, error) {
-	g := &graph{index: map[topology.HostID]int{}}
-	for _, h := range ds.Hosts {
-		g.index[h] = len(g.hosts)
-		g.hosts = append(g.hosts, h)
-	}
-	g.adj = make([][]edge, len(g.hosts))
+	g := newGraph(ds.Hosts, nil)
 	for _, k := range ds.PairKeys() {
 		si, ok1 := g.index[k.Src]
 		di, ok2 := g.index[k.Dst]
 		if !ok1 || !ok2 {
 			return nil, fmt.Errorf("core: path %v references host outside dataset host list", k)
 		}
-		e := edge{to: di}
+		var s stats.Summary
 		switch metric {
 		case MetricRTT:
-			s, ok := ds.MeanRTT(k)
+			sum, ok := ds.MeanRTT(k)
 			if !ok {
 				continue
 			}
-			e.weight, e.value, e.summary = s.Mean, s.Mean, s
+			s = sum
 		case MetricLoss:
-			s, ok := ds.LossRate(k)
+			sum, ok := ds.LossRate(k)
 			if !ok {
 				continue
 			}
-			e.weight, e.value, e.summary = lossWeight(s.Mean), s.Mean, s
+			s = sum
 		case MetricPropDelay:
 			v, ok := ds.PropagationDelay(k, PropagationQuantile)
 			if !ok {
 				continue
 			}
-			e.weight, e.value = v, v
-			e.summary = stats.Summary{N: ds.Paths[k].Measurements, Mean: v}
+			s = stats.Summary{N: ds.Paths[k].Measurements, Mean: v}
 		default:
 			return nil, fmt.Errorf("core: unknown metric %v", metric)
 		}
-		g.adj[si] = append(g.adj[si], e)
+		g.addEdge(si, metricEdge(metric, di, s))
 	}
 	return g, nil
 }
 
 // directEdge returns the direct edge between two vertices, if measured.
 func (g *graph) directEdge(src, dst int) (edge, bool) {
-	for _, e := range g.adj[src] {
-		if e.to == dst {
-			return e, true
-		}
+	var pos int32
+	if g.dense != nil {
+		pos = g.dense[src*len(g.hosts)+dst]
+	} else {
+		pos = g.sparse[int64(src)<<32|int64(uint32(dst))]
 	}
-	return edge{}, false
+	if pos == 0 {
+		return edge{}, false
+	}
+	return g.adj[src][pos-1], true
 }
 
+// pqItem is one priority-queue entry of the Dijkstra search.
 type pqItem struct {
 	vertex int
 	dist   float64
 }
 
+// pqLess orders items by distance, breaking ties by vertex so the pop
+// order (and therefore the search) is fully deterministic.
+func pqLess(a, b pqItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.vertex < b.vertex
+}
+
+// pq is a hand-rolled binary min-heap. Unlike container/heap it moves
+// concrete pqItem values, so pushes never box through an interface and
+// the search allocates only when the backing array grows (amortized to
+// nothing once the scratch is warm).
 type pq []pqItem
 
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	return q[i].vertex < q[j].vertex
 }
-func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+func (q *pq) pop() pqItem {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && pqLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && pqLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
+// searchScratch is the reusable working state of one shortest-path
+// search: Dijkstra's arrays, the heap, and (grown on demand) the layered
+// buffers of the bounded DP. Scratches live in the graph's pool; a
+// search borrows one, so concurrent searches never share state.
+type searchScratch struct {
+	dist []float64
+	prev []int32
+	done []bool
+	// order records vertices in finalize order; replayLastHop walks it
+	// to re-create the relaxation sequence of a per-pair search.
+	order []int32
+	// parent[v] reports whether v is an interior vertex of the latest
+	// source tree (some vertex's predecessor).
+	parent []bool
+	q      pq
+	// Layered DP state for boundedAlternate: (maxEdges+1)*n cells each,
+	// laid out as layer*n+vertex.
+	ldist []float64
+	lprev []int32
+}
+
+func newSearchScratch(n int) *searchScratch {
+	return &searchScratch{
+		dist:   make([]float64, n),
+		prev:   make([]int32, n),
+		done:   make([]bool, n),
+		order:  make([]int32, 0, n),
+		parent: make([]bool, n),
+		q:      make(pq, 0, 64),
+	}
 }
 
 // shortestAlternate finds the minimum-weight path src->dst that does not
@@ -174,7 +313,7 @@ func (q *pq) Pop() any {
 // intermediate hosts: 0 means unlimited, 1 restricts to one-hop
 // alternates (the paper's bandwidth and median analyses). It returns the
 // vertex sequence including endpoints, or ok=false if no alternate
-// exists.
+// exists. Safe for concurrent use on a fully built graph.
 func (g *graph) shortestAlternate(src, dst, maxVia int, excluded []bool) (path []int, ok bool) {
 	switch {
 	case maxVia == 1:
@@ -205,48 +344,42 @@ func (g *graph) shortestAlternate(src, dst, maxVia int, excluded []bool) (path [
 	}
 }
 
-// dijkstraAlternate is the unlimited-length search.
+// scanMinVertices is the size below which the unlimited search uses the
+// O(n^2) array-scan Dijkstra instead of the heap. Measurement graphs are
+// small (tens of hosts) and nearly complete, so scanning an n-element
+// distance array for the next vertex is cheaper than maintaining a heap
+// over ~n^2 lazily deleted entries; above the threshold the sparser
+// heap variant wins.
+const scanMinVertices = 512
+
+// dijkstraAlternate is the unlimited-length search. Both variants
+// finalize vertices in (distance, vertex) order, so they produce
+// identical paths.
 func (g *graph) dijkstraAlternate(src, dst int, excluded []bool) (path []int, ok bool) {
 	n := len(g.hosts)
-	const inf = math.MaxFloat64
-	dist := make([]float64, n)
-	prev := make([]int, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i], prev[i] = inf, -1
+	s := g.scratch.Get().(*searchScratch)
+	defer g.scratch.Put(s)
+	dist, prev, done := s.dist, s.prev, s.done
+	for i := 0; i < n; i++ {
+		dist[i], prev[i], done[i] = math.MaxFloat64, -1, false
 	}
 	dist[src] = 0
-	q := &pq{{vertex: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		u := it.vertex
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		if u == dst {
-			break
-		}
-		for _, e := range g.adj[u] {
-			v := e.to
-			if excluded != nil && excluded[v] && v != dst {
-				continue
-			}
-			if u == src && v == dst {
-				continue // forbid the direct edge
-			}
-			nd := dist[u] + e.weight
-			if nd < dist[v] {
-				dist[v] = nd
-				prev[v] = u
-				heap.Push(q, pqItem{vertex: v, dist: nd})
-			}
-		}
+	s.order = s.order[:0]
+	if n <= scanMinVertices {
+		g.dijkstraScan(src, dst, excluded, s)
+	} else {
+		g.dijkstraHeap(src, dst, excluded, s)
 	}
+	return pathFromPrev(prev, src, dst)
+}
+
+// pathFromPrev reconstructs the src->dst vertex sequence from a
+// predecessor array.
+func pathFromPrev(prev []int32, src, dst int) (path []int, ok bool) {
 	if prev[dst] == -1 {
 		return nil, false
 	}
-	for v := dst; v != -1; v = prev[v] {
+	for v := dst; v != -1; v = int(prev[v]) {
 		path = append(path, v)
 		if v == src {
 			break
@@ -261,6 +394,156 @@ func (g *graph) dijkstraAlternate(src, dst int, excluded []bool) (path []int, ok
 	return path, true
 }
 
+// sourceTree runs one full Dijkstra from src with every direct edge
+// present (dst=-1 disables both the early exit and the direct-edge
+// exclusion) into a scratch borrowed by the caller. Whenever the
+// resulting tree reaches a destination through a relay — prev[dst] is
+// neither src nor -1 — the tree path is exactly what the per-pair
+// direct-edge-excluded search would find: src pops first and seeds
+// dst with the direct edge, so a different predecessor means some
+// relayed path won a strict improvement, and the two searches accept
+// the same improvement sequence below the direct weight. Only when the
+// direct edge wins (prev[dst]==src) does the caller need the per-pair
+// fallback. This amortizes one search per source across all its
+// destinations.
+func (g *graph) sourceTree(src int, excluded []bool, s *searchScratch) {
+	n := len(g.hosts)
+	for i := 0; i < n; i++ {
+		s.dist[i], s.prev[i], s.done[i], s.parent[i] = math.MaxFloat64, -1, false, false
+	}
+	s.dist[src] = 0
+	s.order = s.order[:0]
+	if n <= scanMinVertices {
+		g.dijkstraScan(src, -1, excluded, s)
+	} else {
+		g.dijkstraHeap(src, -1, excluded, s)
+	}
+	for v := 0; v < n; v++ {
+		if p := s.prev[v]; p >= 0 {
+			s.parent[p] = true
+		}
+	}
+}
+
+// replayLastHop resolves a pair whose direct edge won the source tree
+// and whose destination is a tree leaf, without another search. When
+// dst has no tree children, removing the direct edge changes nothing
+// about the rest of the tree: every other vertex keeps its distance and
+// predecessor, and the per-pair search would finalize them in exactly
+// the recorded order, stopping once dst itself becomes the minimum. So
+// the search's whole effect on dst can be replayed from the tree: walk
+// the finalize order, apply each vertex's relaxation of dst (skipping
+// the forbidden direct edge), and stop where dst would have popped.
+// Returns the alternate path per-pair Dijkstra would return, or
+// ok=false if none exists. Only valid when !s.parent[dst] and
+// s.prev[dst]==src.
+func (g *graph) replayLastHop(src, dst int, s *searchScratch) (path []int, ok bool) {
+	cur := math.MaxFloat64
+	best := -1
+	for _, u32 := range s.order {
+		u := int(u32)
+		// dst pops before u does: the search is over.
+		if s.dist[u] > cur || (s.dist[u] == cur && u > dst) {
+			break
+		}
+		if u == src || u == dst {
+			continue
+		}
+		e, found := g.directEdge(u, dst)
+		if !found {
+			continue
+		}
+		if nd := s.dist[u] + e.weight; nd < cur {
+			cur, best = nd, u
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	path, ok = pathFromPrev(s.prev, src, best)
+	if !ok {
+		return nil, false
+	}
+	return append(path, dst), true
+}
+
+// dijkstraScan selects the next vertex by scanning the distance array:
+// strict less-than keeps the lowest vertex on ties, matching the heap's
+// (distance, vertex) pop order.
+func (g *graph) dijkstraScan(src, dst int, excluded []bool, s *searchScratch) {
+	n := len(g.hosts)
+	dist, prev, done := s.dist, s.prev, s.done
+	for {
+		u, du := -1, math.MaxFloat64
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < du {
+				u, du = v, dist[v]
+			}
+		}
+		if u == -1 || u == dst {
+			return
+		}
+		done[u] = true
+		s.order = append(s.order, int32(u))
+		for _, e := range g.adj[u] {
+			v := e.to
+			if done[v] {
+				continue
+			}
+			if excluded != nil && excluded[v] && v != dst {
+				continue
+			}
+			if u == src && v == dst {
+				continue // forbid the direct edge
+			}
+			nd := du + e.weight
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = int32(u)
+			}
+		}
+	}
+}
+
+// dijkstraHeap is the classic lazy-deletion heap variant for large
+// sparse graphs.
+func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch) {
+	dist, prev, done := s.dist, s.prev, s.done
+	q := s.q[:0]
+	q.push(pqItem{vertex: src, dist: 0})
+	for len(q) > 0 {
+		it := q.pop()
+		u := it.vertex
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		s.order = append(s.order, int32(u))
+		for _, e := range g.adj[u] {
+			v := e.to
+			if done[v] {
+				continue
+			}
+			if excluded != nil && excluded[v] && v != dst {
+				continue
+			}
+			if u == src && v == dst {
+				continue // forbid the direct edge
+			}
+			nd := it.dist + e.weight
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = int32(u)
+				q.push(pqItem{vertex: v, dist: nd})
+			}
+		}
+	}
+	s.q = q[:0] // keep the grown backing array for the next search
+}
+
 // boundedAlternate finds the minimum-weight alternate using at most
 // maxVia intermediate hosts (i.e. maxVia+1 edges), by dynamic
 // programming over (edge count, vertex) states — plain Dijkstra with a
@@ -270,22 +553,27 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []
 	n := len(g.hosts)
 	maxEdges := maxVia + 1
 	const inf = math.MaxFloat64
-	// dist[h][v]: min weight of a path src->v with exactly <=h edges.
-	dist := make([][]float64, maxEdges+1)
-	prev := make([][]int, maxEdges+1) // predecessor vertex at layer h
-	for h := range dist {
-		dist[h] = make([]float64, n)
-		prev[h] = make([]int, n)
-		for v := range dist[h] {
-			dist[h][v], prev[h][v] = inf, -1
-		}
+	s := g.scratch.Get().(*searchScratch)
+	defer g.scratch.Put(s)
+	// dist[h*n+v]: min weight of a path src->v with <=h edges.
+	cells := (maxEdges + 1) * n
+	if cap(s.ldist) < cells {
+		s.ldist = make([]float64, cells)
+		s.lprev = make([]int32, cells)
 	}
-	dist[0][src] = 0
+	dist := s.ldist[:cells]
+	prev := s.lprev[:cells]
+	for i := range dist {
+		dist[i], prev[i] = inf, -1
+	}
+	dist[src] = 0
 	for h := 1; h <= maxEdges; h++ {
-		copy(dist[h], dist[h-1])
-		copy(prev[h], prev[h-1])
+		cur, last := dist[h*n:(h+1)*n], dist[(h-1)*n:h*n]
+		curPrev, lastPrev := prev[h*n:(h+1)*n], prev[(h-1)*n:h*n]
+		copy(cur, last)
+		copy(curPrev, lastPrev)
 		for u := 0; u < n; u++ {
-			if dist[h-1][u] == inf {
+			if last[u] == inf {
 				continue
 			}
 			for _, e := range g.adj[u] {
@@ -299,15 +587,15 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []
 				if v == src {
 					continue
 				}
-				nd := dist[h-1][u] + e.weight
-				if nd < dist[h][v] {
-					dist[h][v] = nd
-					prev[h][v] = u
+				nd := last[u] + e.weight
+				if nd < cur[v] {
+					cur[v] = nd
+					curPrev[v] = int32(u)
 				}
 			}
 		}
 	}
-	if dist[maxEdges][dst] == inf {
+	if dist[maxEdges*n+dst] == inf {
 		return nil, false
 	}
 	// Reconstruct by walking layers backwards.
@@ -320,10 +608,10 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []
 			break
 		}
 		// Find the layer where v's best distance was set.
-		for h > 0 && dist[h-1][v] == dist[h][v] && prev[h-1][v] == prev[h][v] {
+		for h > 0 && dist[(h-1)*n+v] == dist[h*n+v] && prev[(h-1)*n+v] == prev[h*n+v] {
 			h--
 		}
-		v = prev[h][v]
+		v = int(prev[h*n+v])
 		h--
 		if len(rev) > maxEdges+2 {
 			return nil, false // defensive
@@ -346,7 +634,7 @@ func (g *graph) composePath(metric Metric, path []int) (value float64, sum stats
 	if len(path) < 2 {
 		return 0, stats.Summary{}, fmt.Errorf("core: path too short: %v", path)
 	}
-	var parts []stats.Summary
+	parts := make([]stats.Summary, 0, len(path)-1)
 	weightTotal := 0.0
 	for i := 0; i+1 < len(path); i++ {
 		e, found := g.directEdge(path[i], path[i+1])

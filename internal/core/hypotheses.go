@@ -81,12 +81,7 @@ func (a *Analyzer) BucketResults(metric Metric, b netsim.Bucket, maxVia int) ([]
 	if metric != MetricRTT && metric != MetricLoss {
 		return nil, fmt.Errorf("core: bucketed analysis supports RTT and loss, not %v", metric)
 	}
-	g := &graph{index: map[topology.HostID]int{}}
-	for _, h := range a.ds.Hosts {
-		g.index[h] = len(g.hosts)
-		g.hosts = append(g.hosts, h)
-	}
-	g.adj = make([][]edge, len(g.hosts))
+	g := newGraph(a.ds.Hosts, nil)
 	for _, k := range a.ds.PairKeys() {
 		si, di := g.index[k.Src], g.index[k.Dst]
 		var s stats.Summary
@@ -99,13 +94,7 @@ func (a *Analyzer) BucketResults(metric Metric, b netsim.Bucket, maxVia int) ([]
 		if !ok {
 			continue
 		}
-		e := edge{to: di, value: s.Mean, summary: s}
-		if metric == MetricLoss {
-			e.weight = lossWeight(s.Mean)
-		} else {
-			e.weight = s.Mean
-		}
-		g.adj[si] = append(g.adj[si], e)
+		g.addEdge(si, metricEdge(metric, di, s))
 	}
 	return a.bestAlternatesOn(g, metric, maxVia, nil)
 }
@@ -122,37 +111,68 @@ type RemovalStep struct {
 // remove the host whose removal shifts the improvement CDF farthest left
 // (here: minimizes the mean improvement over remaining pairs), n times.
 // It returns the removal sequence and the pair results after all
-// removals.
+// removals. Candidate removals within one iteration are independent, so
+// they are evaluated concurrently (each worker owns a private exclusion
+// buffer); the winning host is reduced in candidate order, making the
+// sequence identical to the sequential engine's.
 func (a *Analyzer) GreedyRemoveTop(metric Metric, maxVia, n int) ([]RemovalStep, []PairResult, error) {
-	g, err := buildGraph(a.ds, metric)
+	g, err := a.graphFor(metric)
 	if err != nil {
 		return nil, nil, err
 	}
 	excluded := make([]bool, len(g.hosts))
+	workers := a.workers()
+	// Per-worker exclusion buffers, refreshed from the committed set each
+	// iteration; the per-pair searches inside a candidate evaluation run
+	// sequentially because the candidates already saturate the workers.
+	bufs := make([][]bool, workers)
+	for w := range bufs {
+		bufs[w] = make([]bool, len(g.hosts))
+	}
 	var steps []RemovalStep
 	for iter := 0; iter < n; iter++ {
-		bestHost := -1
-		bestMean := math.Inf(1)
+		candidates := make([]int, 0, len(g.hosts))
 		for h := range g.hosts {
-			if excluded[h] {
-				continue
+			if !excluded[h] {
+				candidates = append(candidates, h)
 			}
-			excluded[h] = true
-			results, err := a.bestAlternatesOn(g, metric, maxVia, excluded)
-			excluded[h] = false
+		}
+		for w := range bufs {
+			copy(bufs[w], excluded)
+		}
+		means := make([]float64, len(candidates))
+		counts := make([]int, len(candidates))
+		err := parallelFor(workers, len(candidates), func(w, i int) error {
+			h := candidates[i]
+			excl := bufs[w]
+			excl[h] = true
+			results, err := a.bestAlternatesWith(g, metric, maxVia, excl, 1)
+			excl[h] = false
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
+			counts[i] = len(results)
 			if len(results) == 0 {
-				continue
+				return nil
 			}
 			sum := 0.0
 			for _, r := range results {
 				sum += r.Improvement()
 			}
-			mean := sum / float64(len(results))
-			if mean < bestMean {
-				bestMean, bestHost = mean, h
+			means[i] = sum / float64(len(results))
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		bestHost := -1
+		bestMean := math.Inf(1)
+		for i, h := range candidates {
+			if counts[i] == 0 {
+				continue
+			}
+			if means[i] < bestMean {
+				bestMean, bestHost = means[i], h
 			}
 		}
 		if bestHost == -1 {
@@ -179,16 +199,21 @@ type Contribution struct {
 // ImprovementContributions computes per-host contributions over superior
 // one-hop alternates (every superior alternate, not just the best),
 // normalized so the mean contribution is 100 — giving the paper's
-// "normalized improvement contribution" axis.
+// "normalized improvement contribution" axis. The per-host sums are
+// computed concurrently, one relay host per task; each host's sum
+// accumulates in pair-key order, so the result is independent of worker
+// count.
 func (a *Analyzer) ImprovementContributions(metric Metric) ([]Contribution, error) {
-	g, err := buildGraph(a.ds, metric)
+	g, err := a.graphFor(metric)
 	if err != nil {
 		return nil, err
 	}
-	contrib := map[topology.HostID]float64{}
-	for _, h := range a.ds.Hosts {
-		contrib[h] = 0
+	// Prefilter the pairs once: vertex indices plus the direct value.
+	type pairRef struct {
+		si, di int32
+		direct float64
 	}
+	var pairs []pairRef
 	for _, k := range a.ds.PairKeys() {
 		si, ok1 := g.index[k.Src]
 		di, ok2 := g.index[k.Dst]
@@ -199,13 +224,22 @@ func (a *Analyzer) ImprovementContributions(metric Metric) ([]Contribution, erro
 		if !found {
 			continue
 		}
-		for vi := range g.hosts {
+		pairs = append(pairs, pairRef{si: int32(si), di: int32(di), direct: direct.value})
+	}
+	vals := make([]float64, len(g.hosts))
+	err = parallelFor(a.workers(), len(g.hosts), func(_, vi int) error {
+		total := 0.0
+		for _, p := range pairs {
+			si, di := int(p.si), int(p.di)
 			if vi == si || vi == di {
 				continue
 			}
 			e1, f1 := g.directEdge(si, vi)
+			if !f1 {
+				continue
+			}
 			e2, f2 := g.directEdge(vi, di)
-			if !f1 || !f2 {
+			if !f2 {
 				continue
 			}
 			altWeight := e1.weight + e2.weight
@@ -215,20 +249,25 @@ func (a *Analyzer) ImprovementContributions(metric Metric) ([]Contribution, erro
 			} else {
 				altValue = altWeight
 			}
-			if improvement := direct.value - altValue; improvement > 0 {
-				contrib[g.hosts[vi]] += improvement
+			if improvement := p.direct - altValue; improvement > 0 {
+				total += improvement
 			}
 		}
+		vals[vi] = total
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Normalize to mean 100.
 	total := 0.0
-	for _, v := range contrib {
+	for _, v := range vals {
 		total += v
 	}
-	out := make([]Contribution, 0, len(contrib))
-	mean := total / float64(len(contrib))
-	for _, h := range a.ds.Hosts {
-		v := contrib[h]
+	out := make([]Contribution, 0, len(vals))
+	mean := total / float64(len(vals))
+	for vi, h := range g.hosts {
+		v := vals[vi]
 		if mean > 0 {
 			v = 100 * v / mean
 		}
@@ -442,11 +481,11 @@ func (a *Analyzer) CrossMetric(selectMetric, judgeMetric Metric, maxVia int) ([]
 	if selectMetric == judgeMetric {
 		return nil, fmt.Errorf("core: select and judge metrics are both %v", selectMetric)
 	}
-	selGraph, err := buildGraph(a.ds, selectMetric)
+	selGraph, err := a.graphFor(selectMetric)
 	if err != nil {
 		return nil, err
 	}
-	judgeGraph, err := buildGraph(a.ds, judgeMetric)
+	judgeGraph, err := a.graphFor(judgeMetric)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(worker, i) for every i in [0, n), fanning the
+// indices out across at most workers goroutines (clamped to n; one or
+// fewer workers runs inline with no goroutines). Indices are handed out
+// dynamically, so callers get determinism by writing only to slot i of
+// pre-sized slices — never by relying on execution order — and by
+// keying any mutable buffers off the worker number, which is unique per
+// concurrently running goroutine. Errors are collected per index and
+// the lowest-index error is returned, so the reported failure does not
+// depend on scheduling either.
+func parallelFor(workers, n int, fn func(worker, i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(w, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// autoWorkers resolves a Concurrency knob: 0 means one worker per
+// available CPU, anything positive is taken literally.
+func autoWorkers(concurrency int) int {
+	if concurrency > 0 {
+		return concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -11,6 +11,7 @@ package dataset
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pathsel/internal/netsim"
 	"pathsel/internal/stats"
@@ -83,7 +84,28 @@ type Dataset struct {
 	Paths map[PairKey]*PathData
 	// Episodes is non-empty only for simultaneous campaigns.
 	Episodes []*Episode
+
+	// pairKeysMu guards pairKeys, the memoized sorted key slice served
+	// by PairKeys. The analysis engine calls PairKeys once per graph
+	// build and once per alternate sweep — and the greedy host-removal
+	// experiment runs thousands of sweeps — so re-sorting on every call
+	// dominates; the cache is invalidated whenever the pair set changes.
+	// (Both fields are unexported, so gob encoding ignores them.)
+	pairKeysMu sync.Mutex
+	pairKeys   []PairKey
+
+	// rev counts mutations made through Dataset methods, letting
+	// derived caches (the analysis engine's per-metric graphs) detect
+	// staleness cheaply. Direct writes to Paths bypass it, so consumers
+	// should compare len(Paths) as well — see Revision.
+	rev int64
 }
+
+// Revision identifies the dataset's mutation state: it changes whenever
+// a Dataset method records or removes data. Callers caching derived
+// state should key it on (Revision, len(Paths)) — the second component
+// catches code that inserts into Paths directly.
+func (d *Dataset) Revision() int64 { return d.rev }
 
 // New creates an empty dataset over a host set.
 func New(name string, hosts []topology.HostID) *Dataset {
@@ -99,8 +121,17 @@ func (d *Dataset) path(k PairKey) *PathData {
 	if !ok {
 		p = &PathData{Key: k}
 		d.Paths[k] = p
+		d.invalidatePairKeys()
 	}
 	return p
+}
+
+// invalidatePairKeys drops the memoized PairKeys slice after a mutation
+// of the pair set.
+func (d *Dataset) invalidatePairKeys() {
+	d.pairKeysMu.Lock()
+	d.pairKeys = nil
+	d.pairKeysMu.Unlock()
 }
 
 // RecordEcho records the outcome of one probe invocation: the echo
@@ -112,6 +143,7 @@ func (d *Dataset) RecordEcho(k PairKey, at netsim.Time, rtts []float64, lost []b
 	if len(lost) == 0 {
 		return false
 	}
+	d.rev++
 	p := d.path(k)
 	p.Measurements++
 	if keepSamples > len(lost) {
@@ -133,13 +165,14 @@ func (d *Dataset) RecordEcho(k PairKey, at netsim.Time, rtts []float64, lost []b
 
 // RecordTransfer records one TCP transfer measurement.
 func (d *Dataset) RecordTransfer(k PairKey, s TransferSample) {
+	d.rev++
 	p := d.path(k)
 	p.Measurements++
 	p.Transfers = append(p.Transfers, s)
 }
 
 // AddEpisode appends a simultaneous measurement round.
-func (d *Dataset) AddEpisode(e *Episode) { d.Episodes = append(d.Episodes, e) }
+func (d *Dataset) AddEpisode(e *Episode) { d.rev++; d.Episodes = append(d.Episodes, e) }
 
 // RemoveSparsePaths drops paths with fewer than min measurements,
 // returning how many were dropped.
@@ -150,6 +183,10 @@ func (d *Dataset) RemoveSparsePaths(min int) int {
 			delete(d.Paths, k)
 			dropped++
 		}
+	}
+	if dropped > 0 {
+		d.rev++
+		d.invalidatePairKeys()
 	}
 	return dropped
 }
@@ -176,6 +213,8 @@ func (d *Dataset) RemoveHosts(hosts map[topology.HostID]bool) {
 			}
 		}
 	}
+	d.rev++
+	d.invalidatePairKeys()
 }
 
 // MeanRTT returns the long-term mean round-trip summary for a path, or
@@ -359,8 +398,17 @@ func (d *Dataset) Subset(name string, keep []topology.HostID) *Dataset {
 	return out
 }
 
-// PairKeys returns the measured pairs in deterministic order.
+// PairKeys returns the measured pairs in deterministic order. The
+// sorted slice is memoized (and re-derived when the pair set changes,
+// including direct writes to Paths, which the length check detects), so
+// repeated calls are O(1); callers share the returned slice and must
+// not modify it. Safe for concurrent use.
 func (d *Dataset) PairKeys() []PairKey {
+	d.pairKeysMu.Lock()
+	defer d.pairKeysMu.Unlock()
+	if d.pairKeys != nil && len(d.pairKeys) == len(d.Paths) {
+		return d.pairKeys
+	}
 	keys := make([]PairKey, 0, len(d.Paths))
 	for k := range d.Paths {
 		keys = append(keys, k)
@@ -371,5 +419,6 @@ func (d *Dataset) PairKeys() []PairKey {
 		}
 		return keys[i].Dst < keys[j].Dst
 	})
+	d.pairKeys = keys
 	return keys
 }

@@ -121,7 +121,7 @@ func runCauseVariant(cfg Config, v CauseVariant) (CauseResult, error) {
 	if err != nil {
 		return CauseResult{}, err
 	}
-	results, err := core.NewAnalyzer(ds).BestAlternates(core.MetricRTT, 0)
+	results, err := core.NewAnalyzer(ds).WithConcurrency(cfg.Concurrency).BestAlternates(core.MetricRTT, 0)
 	if err != nil {
 		return CauseResult{}, err
 	}

@@ -21,10 +21,10 @@ const Confidence = 0.95
 
 // improvementSeries runs the alternate-path comparison on several
 // datasets and returns one improvement-CDF series per dataset.
-func improvementSeries(dss []*dataset.Dataset, metric core.Metric, maxVia int) ([]Series, error) {
+func improvementSeries(s *Suite, dss []*dataset.Dataset, metric core.Metric, maxVia int) ([]Series, error) {
 	var out []Series
 	for _, ds := range dss {
-		results, err := core.NewAnalyzer(ds).BestAlternates(metric, maxVia)
+		results, err := s.analyzer(ds).BestAlternates(metric, maxVia)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s/%v: %w", ds.Name, metric, err)
 		}
@@ -36,7 +36,7 @@ func improvementSeries(dss []*dataset.Dataset, metric core.Metric, maxVia int) (
 // Figure1 is the CDF of the difference between each path's mean
 // round-trip time and the best alternate's, for UW1, UW3, D2-NA and D2.
 func Figure1(s *Suite) ([]Series, error) {
-	return improvementSeries(s.Datasets(), core.MetricRTT, 0)
+	return improvementSeries(s, s.Datasets(), core.MetricRTT, 0)
 }
 
 // Figure2 is the CDF of the ratio between default and best-alternate
@@ -44,7 +44,7 @@ func Figure1(s *Suite) ([]Series, error) {
 func Figure2(s *Suite) ([]Series, error) {
 	var out []Series
 	for _, ds := range s.Datasets() {
-		results, err := core.NewAnalyzer(ds).BestAlternates(core.MetricRTT, 0)
+		results, err := s.analyzer(ds).BestAlternates(core.MetricRTT, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +56,7 @@ func Figure2(s *Suite) ([]Series, error) {
 // Figure3 is the CDF of the difference in mean loss rate between default
 // and best alternate paths.
 func Figure3(s *Suite) ([]Series, error) {
-	return improvementSeries(s.Datasets(), core.MetricLoss, 0)
+	return improvementSeries(s, s.Datasets(), core.MetricLoss, 0)
 }
 
 // bandwidthSeries computes Figure 4/5 series for N2 and N2-NA under both
@@ -66,7 +66,7 @@ func bandwidthSeries(s *Suite, ratio bool) ([]Series, error) {
 	var out []Series
 	for _, ds := range []*dataset.Dataset{s.N2, s.N2NA} {
 		for _, mode := range []core.BandwidthMode{core.Pessimistic, core.Optimistic} {
-			results, err := core.NewAnalyzer(ds).BestBandwidthAlternates(model, mode)
+			results, err := s.analyzer(ds).BestBandwidthAlternates(model, mode)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s bandwidth: %w", ds.Name, err)
 			}
@@ -97,7 +97,7 @@ func Figure5(s *Suite) ([]Series, error) { return bandwidthSeries(s, true) }
 // Figure6 compares mean-based and median-based (convolution) one-hop
 // alternate improvements on the D2-NA dataset.
 func Figure6(s *Suite) ([]Series, error) {
-	a := core.NewAnalyzer(s.D2NA)
+	a := s.analyzer(s.D2NA)
 	results, err := a.BestMedianAlternates()
 	if err != nil {
 		return nil, err
@@ -117,7 +117,7 @@ func Figure6(s *Suite) ([]Series, error) {
 // Figure7 is the UW3 round-trip improvement CDF annotated with 95%
 // confidence half-widths per pair.
 func Figure7(s *Suite) ([]core.CIPoint, error) {
-	results, err := core.NewAnalyzer(s.UW3).BestAlternates(core.MetricRTT, 0)
+	results, err := s.analyzer(s.UW3).BestAlternates(core.MetricRTT, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +126,7 @@ func Figure7(s *Suite) ([]core.CIPoint, error) {
 
 // Figure8 is the same for loss rate.
 func Figure8(s *Suite) ([]core.CIPoint, error) {
-	results, err := core.NewAnalyzer(s.UW3).BestAlternates(core.MetricLoss, 0)
+	results, err := s.analyzer(s.UW3).BestAlternates(core.MetricLoss, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +135,7 @@ func Figure8(s *Suite) ([]core.CIPoint, error) {
 
 // bucketSeries runs the time-of-day breakdown on UW3 (Figures 9 and 10).
 func bucketSeries(s *Suite, metric core.Metric) ([]Series, error) {
-	a := core.NewAnalyzer(s.UW3)
+	a := s.analyzer(s.UW3)
 	var out []Series
 	for _, b := range netsim.Buckets() {
 		results, err := a.BucketResults(metric, b, 0)
@@ -158,11 +158,11 @@ func Figure10(s *Suite) ([]Series, error) { return bucketSeries(s, core.MetricLo
 // the UW4-B improvement CDF versus the UW4-A pair-averaged and
 // unaveraged episode CDFs.
 func Figure11(s *Suite) ([]Series, error) {
-	bResults, err := core.NewAnalyzer(s.UW4B).BestAlternates(core.MetricRTT, 0)
+	bResults, err := s.analyzer(s.UW4B).BestAlternates(core.MetricRTT, 0)
 	if err != nil {
 		return nil, err
 	}
-	ep, err := core.NewAnalyzer(s.UW4A).AnalyzeEpisodes()
+	ep, err := s.analyzer(s.UW4A).AnalyzeEpisodes()
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +186,7 @@ type Figure12Result struct {
 // Figure12 removes the ten hosts with the greatest impact on the UW3
 // round-trip CDF (greedy, as in the paper) and compares the curves.
 func Figure12(s *Suite) (Figure12Result, error) {
-	a := core.NewAnalyzer(s.UW3)
+	a := s.analyzer(s.UW3)
 	all, err := a.BestAlternates(core.MetricRTT, 0)
 	if err != nil {
 		return Figure12Result{}, err
@@ -212,7 +212,7 @@ func Figure12(s *Suite) (Figure12Result, error) {
 // Figure13 is the CDF of per-host normalized improvement contributions
 // in UW3.
 func Figure13(s *Suite) (Series, error) {
-	contribs, err := core.NewAnalyzer(s.UW3).ImprovementContributions(core.MetricRTT)
+	contribs, err := s.analyzer(s.UW3).ImprovementContributions(core.MetricRTT)
 	if err != nil {
 		return Series{}, err
 	}
@@ -226,13 +226,13 @@ func Figure13(s *Suite) (Series, error) {
 // Figure14 is the AS scatterplot for UW1: how many default paths and how
 // many best alternate paths each AS appears in.
 func Figure14(s *Suite) ([]core.ASCount, error) {
-	return core.NewAnalyzer(s.UW1).ASAppearances(core.MetricRTT, 0)
+	return s.analyzer(s.UW1).ASAppearances(core.MetricRTT, 0)
 }
 
 // Figure15 compares the UW3 improvement CDFs for propagation delay
 // (tenth-percentile estimate) and mean round-trip time.
 func Figure15(s *Suite) ([]Series, error) {
-	a := core.NewAnalyzer(s.UW3)
+	a := s.analyzer(s.UW3)
 	prop, err := a.BestAlternates(core.MetricPropDelay, 0)
 	if err != nil {
 		return nil, err
@@ -250,5 +250,5 @@ func Figure15(s *Suite) ([]Series, error) {
 // Figure16 is the propagation-versus-queuing decomposition scatter for
 // UW3, with the six-group census.
 func Figure16(s *Suite) ([]core.DelayDecomposition, error) {
-	return core.NewAnalyzer(s.UW3).DecomposeDelay()
+	return s.analyzer(s.UW3).DecomposeDelay()
 }

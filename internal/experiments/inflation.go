@@ -57,7 +57,7 @@ type InflationSummary struct {
 // host-relayed alternates recover.
 func PathInflation(s *Suite) ([]InflationResult, InflationSummary, error) {
 	opt := optimal.New(s.TopoUW)
-	a := core.NewAnalyzer(s.UW3)
+	a := s.analyzer(s.UW3)
 	results, err := a.BestAlternates(core.MetricPropDelay, 0)
 	if err != nil {
 		return nil, InflationSummary{}, err

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"pathsel/internal/bgp"
+	"pathsel/internal/core"
 	"pathsel/internal/dataset"
 	"pathsel/internal/forward"
 	"pathsel/internal/geo"
@@ -51,6 +52,10 @@ func (p Preset) String() string {
 type Config struct {
 	Seed   int64
 	Preset Preset
+	// Concurrency is passed to every core.Analyzer the drivers build:
+	// 0 = one worker per CPU, 1 = sequential. Results are identical for
+	// every setting (the engine is deterministic); see core.Analyzer.
+	Concurrency int
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -92,6 +97,13 @@ func (s *Suite) UWForwarding() (*forward.Forwarder, *netsim.Network) {
 // round-trip figures present them.
 func (s *Suite) Datasets() []*dataset.Dataset {
 	return []*dataset.Dataset{s.UW1, s.UW3, s.D2NA, s.D2}
+}
+
+// analyzer builds a core.Analyzer over one of the suite's datasets with
+// the configured concurrency; every figure and table driver routes
+// through it.
+func (s *Suite) analyzer(ds *dataset.Dataset) *core.Analyzer {
+	return core.NewAnalyzer(ds).WithConcurrency(s.Config.Concurrency)
 }
 
 // campaignScale bundles per-preset campaign parameters.

@@ -28,7 +28,7 @@ type VerdictRow struct {
 func verdictTable(s *Suite, metric core.Metric) ([]VerdictRow, error) {
 	var out []VerdictRow
 	for _, ds := range s.Datasets() {
-		results, err := core.NewAnalyzer(ds).BestAlternates(metric, 0)
+		results, err := s.analyzer(ds).BestAlternates(metric, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -97,7 +97,7 @@ func trueRTT(net *netsim.Network, fwdPath, revPath forward.Path, src, dst topolo
 // RTT of the loose-source-routed router path through the same relay.
 func ValidateConservativity(s *Suite) (ConservativityResult, error) {
 	fwd, net := s.UWForwarding()
-	a := core.NewAnalyzer(s.UW3)
+	a := s.analyzer(s.UW3)
 	results, err := a.BestAlternates(core.MetricRTT, 1)
 	if err != nil {
 		return ConservativityResult{}, err
@@ -209,7 +209,7 @@ func AblateEgress(cfg Config) ([]EgressAblation, error) {
 		if err != nil {
 			return nil, err
 		}
-		a := core.NewAnalyzer(ds)
+		a := core.NewAnalyzer(ds).WithConcurrency(cfg.Concurrency)
 		results, err := a.BestAlternates(core.MetricRTT, 0)
 		if err != nil {
 			return nil, err
@@ -256,7 +256,7 @@ func (r TriangulationResult) ViolatesTriangle() bool {
 // Triangulation runs the host-distance triangulation over the UW3
 // dataset using one-hop relays.
 func Triangulation(s *Suite) ([]TriangulationResult, error) {
-	a := core.NewAnalyzer(s.UW3)
+	a := s.analyzer(s.UW3)
 	results, err := a.BestAlternates(core.MetricPropDelay, 1)
 	if err != nil {
 		return nil, err
@@ -285,7 +285,7 @@ type CrossMetricSummary struct {
 
 // CrossMetrics runs both cross-metric evaluations over UW3.
 func CrossMetrics(s *Suite) (CrossMetricSummary, error) {
-	a := core.NewAnalyzer(s.UW3)
+	a := s.analyzer(s.UW3)
 	var out CrossMetricSummary
 	rtt, err := a.CrossMetric(core.MetricRTT, core.MetricLoss, 0)
 	if err != nil {
