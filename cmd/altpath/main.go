@@ -1,4 +1,4 @@
-// Command altpath runs the paper's alternate-path analysis over a saved
+// Command altpath runs the paper's alternate-path analysis over a
 // dataset: for every measured host pair it finds the best synthetic
 // alternate path for the chosen metric and reports the improvement CDF,
 // the 95% confidence verdict table, and an ASCII plot.
@@ -6,19 +6,26 @@
 // Usage:
 //
 //	altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] dataset.gob.gz
+//	altpath -suite UW3 [-preset quick|full] [-seed N] [-metric ...]
 //
-// The bw metric needs a dataset with TCP transfer measurements (pathsim
-// -method transfer); -episodes needs one collected with the episodes
-// scheduler.
+// The first form loads a dataset saved by pathsim; the second builds
+// the named Table 1 dataset (UW1, UW3, UW4-A, UW4-B, D2, D2-NA, N2,
+// N2-NA) on the fly through the experiments suite, so any paper dataset
+// can be analyzed under any seed without an intermediate file. The bw
+// metric needs a dataset with TCP transfer measurements (pathsim
+// -method transfer, or the N2 suite datasets); -episodes needs one
+// collected with the episodes scheduler (UW4-A).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pathsel/internal/core"
 	"pathsel/internal/dataset"
+	"pathsel/internal/experiments"
 	"pathsel/internal/report"
 	"pathsel/internal/stats"
 	"pathsel/internal/tcpmodel"
@@ -30,22 +37,48 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
 	plot := flag.Bool("plot", false, "draw an ASCII CDF")
 	episodes := flag.Bool("episodes", false, "run the simultaneous-episode analysis instead")
+	suiteName := flag.String("suite", "", "build this Table 1 dataset instead of loading a file: "+strings.Join(experiments.DatasetNames(), ", "))
+	preset := flag.String("preset", "quick", "campaign scale for -suite: quick or full")
+	seed := flag.Int64("seed", 1, "suite seed for -suite")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] dataset.gob.gz")
+	if (*suiteName == "") == (flag.NArg() != 1) {
+		fmt.Fprintln(os.Stderr, "usage: altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] (dataset.gob.gz | -suite NAME [-preset quick|full] [-seed N])")
 		os.Exit(2)
 	}
-	if err := run(*metricStr, *maxVia, *workers, *plot, *episodes, flag.Arg(0)); err != nil {
+	ds, err := loadDataset(*suiteName, *preset, *seed, *workers, flag.Arg(0))
+	if err == nil {
+		err = run(ds, *metricStr, *maxVia, *workers, *plot, *episodes)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "altpath:", err)
 		os.Exit(1)
 	}
 }
 
-func run(metricStr string, maxVia, workers int, plot, episodes bool, path string) error {
-	ds, err := dataset.Load(path)
-	if err != nil {
-		return err
+// loadDataset resolves the dataset from either a saved file or a named
+// suite dataset built on demand.
+func loadDataset(suiteName, preset string, seed int64, workers int, path string) (*dataset.Dataset, error) {
+	if suiteName == "" {
+		return dataset.Load(path)
 	}
+	cfg := experiments.Config{Seed: seed, Concurrency: workers}
+	var err error
+	if cfg.Preset, err = experiments.ParsePreset(preset); err != nil {
+		return nil, err
+	}
+	fmt.Printf("building %s suite (seed %d)...\n", cfg.Preset, cfg.Seed)
+	s, err := experiments.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ds, ok := s.Dataset(suiteName)
+	if !ok {
+		return nil, fmt.Errorf("unknown suite dataset %q (want one of %s)", suiteName, strings.Join(experiments.DatasetNames(), ", "))
+	}
+	return ds, nil
+}
+
+func run(ds *dataset.Dataset, metricStr string, maxVia, workers int, plot, episodes bool) error {
 	c := ds.Characteristics()
 	fmt.Printf("dataset %s: %d hosts, %d measurements, %.0f%% coverage\n",
 		c.Name, c.Hosts, c.Measurements, c.PercentCovered)

@@ -29,10 +29,20 @@ func writeTestDataset(t *testing.T) string {
 	return path
 }
 
+// runFile loads a saved dataset and runs the analysis, mirroring the
+// CLI's file mode.
+func runFile(path, metric string, maxVia, workers int, plot, episodes bool) error {
+	ds, err := loadDataset("", "", 0, workers, path)
+	if err != nil {
+		return err
+	}
+	return run(ds, metric, maxVia, workers, plot, episodes)
+}
+
 func TestRunMetrics(t *testing.T) {
 	path := writeTestDataset(t)
 	for _, metric := range []string{"rtt", "loss", "prop"} {
-		if err := run(metric, 0, 0, true, false, path); err != nil {
+		if err := runFile(path, metric, 0, 0, true, false); err != nil {
 			t.Errorf("metric %s: %v", metric, err)
 		}
 	}
@@ -40,17 +50,17 @@ func TestRunMetrics(t *testing.T) {
 
 func TestRunOneHop(t *testing.T) {
 	path := writeTestDataset(t)
-	if err := run("rtt", 1, 0, false, false, path); err != nil {
+	if err := runFile(path, "rtt", 1, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeTestDataset(t)
-	if err := run("bogus", 0, 0, false, false, path); err == nil {
+	if err := runFile(path, "bogus", 0, 0, false, false); err == nil {
 		t.Error("unknown metric accepted")
 	}
-	if err := run("rtt", 0, 0, false, false, filepath.Join(t.TempDir(), "missing.gob.gz")); err == nil {
+	if err := runFile(filepath.Join(t.TempDir(), "missing.gob.gz"), "rtt", 0, 0, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	// A dataset with no comparable pairs must error cleanly.
@@ -59,7 +69,7 @@ func TestRunErrors(t *testing.T) {
 	if err := empty.Save(p); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("rtt", 0, 0, false, false, p); err == nil {
+	if err := runFile(p, "rtt", 0, 0, false, false); err == nil {
 		t.Error("empty dataset accepted")
 	}
 }
@@ -82,10 +92,10 @@ func TestRunBandwidthAndEpisodes(t *testing.T) {
 	if err := ds.Save(p); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("bw", 0, 0, false, false, p); err != nil {
+	if err := runFile(p, "bw", 0, 0, false, false); err != nil {
 		t.Errorf("bandwidth run: %v", err)
 	}
-	if err := run("rtt", 0, 0, false, true, p); err != nil {
+	if err := runFile(p, "rtt", 0, 0, false, true); err != nil {
 		t.Errorf("episodes run: %v", err)
 	}
 	// A dataset without transfers fails the bw metric cleanly.
@@ -95,7 +105,7 @@ func TestRunBandwidthAndEpisodes(t *testing.T) {
 	if err := empty.Save(p2); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("bw", 0, 0, false, false, p2); err == nil {
+	if err := runFile(p2, "bw", 0, 0, false, false); err == nil {
 		t.Error("bw on transfer-less dataset should error")
 	}
 }

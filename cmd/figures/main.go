@@ -29,13 +29,9 @@ func main() {
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Concurrency: *workers}
-	switch *preset {
-	case "quick":
-		cfg.Preset = experiments.Quick
-	case "full":
-		cfg.Preset = experiments.Full
-	default:
-		fmt.Fprintf(os.Stderr, "figures: unknown preset %q (want quick or full)\n", *preset)
+	var err error
+	if cfg.Preset, err = experiments.ParsePreset(*preset); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
 	}
 	if err := run(cfg, *out); err != nil {

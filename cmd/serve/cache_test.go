@@ -1,0 +1,359 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pathsel/internal/experiments"
+	"pathsel/internal/obs"
+)
+
+func testCache(t *testing.T, max, maxBuild int, build buildFunc) (*suiteCache, *serverMetrics) {
+	t.Helper()
+	m := newServerMetrics(obs.NewRegistry())
+	return newSuiteCache(max, maxBuild, 1, build, m), m
+}
+
+func quickCfg(seed int64) experiments.Config {
+	return experiments.Config{Seed: seed, Preset: experiments.Quick}
+}
+
+// TestCacheSingleflight: N concurrent requests for the same
+// configuration share one build.
+func TestCacheSingleflight(t *testing.T) {
+	var builds atomic.Int64
+	release := make(chan struct{})
+	build := func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		builds.Add(1)
+		<-release
+		return &experiments.Suite{}, nil
+	}
+	c, m := testCache(t, 4, 4, build)
+
+	const n = 8
+	var wg sync.WaitGroup
+	entries := make([]*suiteEntry, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entries[i], errs[i] = c.get(context.Background(), quickCfg(1))
+		}(i)
+	}
+	// Wait until the single build has started and the other waiters have
+	// joined it, then release.
+	deadline := time.After(5 * time.Second)
+	for m.cacheDedup.Value() < n-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d requests joined the in-flight build", m.cacheDedup.Value())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if entries[i] != entries[0] {
+			t.Fatalf("request %d got a different entry", i)
+		}
+	}
+	if m.cacheMisses.Value() != 1 {
+		t.Errorf("misses %d, want 1", m.cacheMisses.Value())
+	}
+}
+
+// TestCacheHitAndLRUEviction: the size bound is enforced and evictions
+// show up in metrics; a re-request of an evicted suite rebuilds it.
+func TestCacheHitAndLRUEviction(t *testing.T) {
+	var builds atomic.Int64
+	build := func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		builds.Add(1)
+		return &experiments.Suite{}, nil
+	}
+	c, m := testCache(t, 2, 2, build)
+	ctx := context.Background()
+
+	for _, seed := range []int64{1, 2} {
+		if _, err := c.get(ctx, quickCfg(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.get(ctx, quickCfg(1)); err != nil { // hit; 1 is now MRU
+		t.Fatal(err)
+	}
+	if m.cacheHits.Value() != 1 {
+		t.Fatalf("hits %d, want 1", m.cacheHits.Value())
+	}
+
+	if _, err := c.get(ctx, quickCfg(3)); err != nil { // evicts seed 2 (LRU)
+		t.Fatal(err)
+	}
+	if m.cacheEvictions.Value() != 1 {
+		t.Fatalf("evictions %d, want 1", m.cacheEvictions.Value())
+	}
+	if got := m.cacheEntries.Value(); got != 2 {
+		t.Fatalf("resident entries %d, want 2", got)
+	}
+
+	// Seed 1 survived (it was touched), seed 2 did not.
+	if _, err := c.get(ctx, quickCfg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 3 {
+		t.Fatalf("builds %d, want 3 (seed 1 should still be cached)", builds.Load())
+	}
+	if _, err := c.get(ctx, quickCfg(2)); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 4 {
+		t.Fatalf("builds %d, want 4 (seed 2 should have been evicted)", builds.Load())
+	}
+}
+
+// TestCacheCancellation: when the last waiting client disconnects, the
+// in-flight build's context is cancelled and the slot is released.
+func TestCacheCancellation(t *testing.T) {
+	buildStarted := make(chan struct{})
+	buildCancelled := make(chan struct{})
+	build := func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		close(buildStarted)
+		<-ctx.Done() // a real build observes this via BuildContext
+		close(buildCancelled)
+		return nil, ctx.Err()
+	}
+	c, m := testCache(t, 4, 4, build)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.get(ctx, quickCfg(1))
+		errCh <- err
+	}()
+
+	<-buildStarted
+	cancel() // the only client disconnects
+	select {
+	case <-buildCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("build context was not cancelled after the last client left")
+	}
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("get returned %v, want context.Canceled", err)
+	}
+
+	// The aborted build must not poison the cache: a fresh request with
+	// a live context builds again and succeeds.
+	waitFor(t, func() bool { return m.buildsCancelled.Value() == 1 })
+	waitFor(t, func() bool { return m.cacheEntries.Value() == 0 })
+}
+
+// TestCacheSurvivingWaiterKeepsBuild: one of two clients disconnecting
+// must NOT cancel the shared build.
+func TestCacheSurvivingWaiterKeepsBuild(t *testing.T) {
+	buildStarted := make(chan struct{})
+	release := make(chan struct{})
+	build := func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		close(buildStarted)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return &experiments.Suite{}, nil
+		}
+	}
+	c, m := testCache(t, 4, 4, build)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.get(context.Background(), quickCfg(1))
+		first <- err
+	}()
+	<-buildStarted
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, err := c.get(ctx2, quickCfg(1))
+		second <- err
+	}()
+	waitFor(t, func() bool { return m.cacheDedup.Value() == 1 })
+
+	cancel2() // the second client leaves; the first is still waiting
+	if err := <-second; !errors.Is(err, context.Canceled) {
+		t.Fatalf("second get: %v", err)
+	}
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("first get: %v (build was cancelled by a non-final waiter?)", err)
+	}
+	if m.buildsCancelled.Value() != 0 {
+		t.Errorf("buildsCancelled %d, want 0", m.buildsCancelled.Value())
+	}
+}
+
+// TestCacheAdmissionControl: once maxBuild builds are in flight, a
+// request for a new configuration is rejected with errBusy.
+func TestCacheAdmissionControl(t *testing.T) {
+	release := make(chan struct{})
+	build := func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		select {
+		case <-release:
+			return &experiments.Suite{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	c, m := testCache(t, 4, 1, build)
+
+	started := make(chan error, 1)
+	go func() {
+		_, err := c.get(context.Background(), quickCfg(1))
+		started <- err
+	}()
+	waitFor(t, func() bool { return m.buildsInflight.Value() == 1 })
+
+	if _, err := c.get(context.Background(), quickCfg(2)); !errors.Is(err, errBusy) {
+		t.Fatalf("second build got %v, want errBusy", err)
+	}
+	if m.buildsRejected.Value() != 1 {
+		t.Errorf("rejected %d, want 1", m.buildsRejected.Value())
+	}
+	// Joining the existing build is still allowed while saturated.
+	joined := make(chan error, 1)
+	go func() {
+		_, err := c.get(context.Background(), quickCfg(1))
+		joined <- err
+	}()
+	waitFor(t, func() bool { return m.cacheDedup.Value() == 1 })
+
+	close(release)
+	if err := <-started; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-joined; err != nil {
+		t.Fatal(err)
+	}
+	// Capacity freed: new configurations build again.
+	if _, err := c.get(context.Background(), quickCfg(2)); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestCacheRetryAfterAbandonedBuild: a client that joins a build in
+// the window after its last waiter cancelled it but before the result
+// is published transparently restarts the build instead of surfacing
+// the stale context.Canceled.
+func TestCacheRetryAfterAbandonedBuild(t *testing.T) {
+	var builds atomic.Int64
+	firstStarted := make(chan struct{})
+	secondJoined := make(chan struct{})
+	build := func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		if builds.Add(1) == 1 {
+			close(firstStarted)
+			<-ctx.Done()
+			<-secondJoined // hold publication open until the second client joins
+			return nil, ctx.Err()
+		}
+		return &experiments.Suite{}, nil
+	}
+	c, m := testCache(t, 4, 4, build)
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.get(ctx1, quickCfg(1))
+		first <- err
+	}()
+	<-firstStarted
+	cancel1() // last (only) waiter leaves: the build context is cancelled
+	if err := <-first; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first get: %v", err)
+	}
+
+	// The cancelled build has not published yet, so this request joins
+	// it, then sees it fail with Canceled while its own context is live.
+	second := make(chan error, 1)
+	go func() {
+		_, err := c.get(context.Background(), quickCfg(1))
+		second <- err
+	}()
+	waitFor(t, func() bool { return m.cacheDedup.Value() == 1 })
+	close(secondJoined)
+
+	if err := <-second; err != nil {
+		t.Fatalf("second get: %v (retry loop failed)", err)
+	}
+	if got := builds.Load(); got != 2 {
+		t.Fatalf("builds %d, want 2 (cancelled build retried once)", got)
+	}
+}
+
+// TestClientDisconnectCancelsBuildHTTP drives cancellation through the
+// full HTTP handler: a request arrives, starts a suite build, the
+// client disconnects, and the build's context is cancelled.
+func TestClientDisconnectCancelsBuildHTTP(t *testing.T) {
+	buildStarted := make(chan struct{})
+	buildCancelled := make(chan struct{})
+	build := func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		close(buildStarted)
+		<-ctx.Done()
+		close(buildCancelled)
+		return nil, ctx.Err()
+	}
+	reg := obs.NewRegistry()
+	cache := newSuiteCache(4, 4, 1, build, newServerMetrics(reg))
+	h := newHandler(cache, quickCfg(1), reg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptestRequestWithContext(ctx, "/api/table1?seed=7")
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(discardResponse{}, req)
+		close(done)
+	}()
+
+	<-buildStarted
+	cancel() // client disconnect
+	select {
+	case <-buildCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("suite build kept running after the client disconnected")
+	}
+	<-done
+}
+
+func httptestRequestWithContext(ctx context.Context, path string) *http.Request {
+	return httptest.NewRequest(http.MethodGet, path, nil).WithContext(ctx)
+}
+
+// discardResponse stands in for a connection whose client has gone.
+type discardResponse struct{}
+
+func (discardResponse) Header() http.Header         { return http.Header{} }
+func (discardResponse) Write(p []byte) (int, error) { return len(p), nil }
+func (discardResponse) WriteHeader(int)             {}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

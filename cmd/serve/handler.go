@@ -1,43 +1,105 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
-	"sync"
 
-	"pathsel/internal/core"
 	"pathsel/internal/experiments"
+	"pathsel/internal/obs"
 	"pathsel/internal/stats"
 )
 
-// handler serves the suite's analyses. Figure computations are memoized
-// per figure (they are deterministic), so repeated requests are cheap;
-// the mutex keeps the memoization safe under concurrent requests.
+// handler serves every suite analysis on demand: endpoints take
+// ?seed=N&preset=quick|full query parameters (falling back to the
+// server's default configuration) and are backed by the LRU suite
+// cache, so the same process answers any configuration without a
+// restart.
 type handler struct {
-	suite *experiments.Suite
-	mux   *http.ServeMux
-
-	mu      sync.Mutex
-	figures map[string][]experiments.Series
+	cache    *suiteCache
+	defaults experiments.Config
+	reg      *obs.Registry
+	mux      *http.ServeMux
 }
 
-func newHandler(s *experiments.Suite) http.Handler {
-	h := &handler{suite: s, mux: http.NewServeMux(), figures: map[string][]experiments.Series{}}
+// newHandler wires the routes. defaults supplies the seed and preset
+// used when a request does not specify them.
+func newHandler(cache *suiteCache, defaults experiments.Config, reg *obs.Registry) *handler {
+	h := &handler{cache: cache, defaults: defaults, reg: reg, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /{$}", h.index)
 	h.mux.HandleFunc("GET /api/table1", h.table1)
 	h.mux.HandleFunc("GET /api/table/{n}", h.verdictTable)
 	h.mux.HandleFunc("GET /api/figure/{n}", h.figure)
 	h.mux.HandleFunc("GET /api/cdf/{fig}/{series}", h.cdf)
-	return h.mux
+	h.mux.HandleFunc("GET /api/suites", h.suites)
+	h.mux.HandleFunc("GET /healthz", h.healthz)
+	h.mux.Handle("GET /metrics", reg.Handler())
+	h.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return h
 }
 
 func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
+// configFrom resolves the request's suite configuration from the seed
+// and preset query parameters, defaulting to the server configuration.
+func (h *handler) configFrom(r *http.Request) (experiments.Config, error) {
+	cfg := h.defaults
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed %q: want an integer", v)
+		}
+		cfg.Seed = seed
+	}
+	if v := q.Get("preset"); v != "" {
+		preset, err := experiments.ParsePreset(v)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Preset = preset
+	}
+	return cfg, nil
+}
+
+// entryFor parses the request configuration and resolves it through
+// the cache, writing the appropriate error response (400 for bad
+// parameters, 429 when build capacity is saturated, 500 for build
+// failures) and returning ok=false when the caller should not proceed.
+func (h *handler) entryFor(w http.ResponseWriter, r *http.Request) (*suiteEntry, bool) {
+	cfg, err := h.configFrom(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	e, err := h.cache.get(r.Context(), cfg)
+	switch {
+	case err == nil:
+		return e, true
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case r.Context().Err() != nil:
+		// The client is gone; nothing useful can be written.
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	return nil, false
+}
+
 // seriesFigures maps figure numbers to their drivers. Figures with
-// non-series output (7, 8, 12, 13, 14, 16) are adapted below.
+// non-series output (7, 8, 12, 13, 14, 16) are adapted in
+// computeSeries.
 var seriesFigures = map[string]func(*experiments.Suite) ([]experiments.Series, error){
 	"1": experiments.Figure1, "2": experiments.Figure2, "3": experiments.Figure3,
 	"4": experiments.Figure4, "5": experiments.Figure5, "6": experiments.Figure6,
@@ -45,85 +107,124 @@ var seriesFigures = map[string]func(*experiments.Suite) ([]experiments.Series, e
 	"15": experiments.Figure15,
 }
 
-// series returns (memoized) curves for a figure number, including the
-// adapted non-series figures.
-func (h *handler) series(n string) ([]experiments.Series, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s, ok := h.figures[n]; ok {
-		return s, nil
-	}
-	var out []experiments.Series
-	var err error
+// errUnknownFigure distinguishes a 404 from a computation failure.
+var errUnknownFigure = errors.New("unknown figure")
+
+// adaptedFigures are the non-series figures computeSeries adapts.
+var adaptedFigures = map[string]bool{"7": true, "8": true, "12": true, "13": true, "14": true, "16": true}
+
+// validFigure reports whether n names a servable figure; checked before
+// resolving the suite so an unknown figure 404s without building
+// anything.
+func validFigure(n string) bool {
+	_, ok := seriesFigures[n]
+	return ok || adaptedFigures[n]
+}
+
+// computeSeries runs one figure driver on the suite, adapting the
+// non-series figures to CDF curves.
+func computeSeries(s *experiments.Suite, n string) ([]experiments.Series, error) {
 	switch n {
 	case "7", "8":
 		fn := experiments.Figure7
 		if n == "8" {
 			fn = experiments.Figure8
 		}
-		var pts []core.CIPoint
-		pts, err = fn(h.suite)
-		if err == nil {
-			vals := make([]float64, len(pts))
-			for i, p := range pts {
-				vals[i] = p.Improvement
-			}
-			out = []experiments.Series{{Name: "improvement", CDF: stats.NewCDF(vals)}}
+		pts, err := fn(s)
+		if err != nil {
+			return nil, err
 		}
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i] = p.Improvement
+		}
+		return []experiments.Series{{Name: "improvement", CDF: stats.NewCDF(vals)}}, nil
 	case "12":
-		var res experiments.Figure12Result
-		res, err = experiments.Figure12(h.suite)
-		if err == nil {
-			out = []experiments.Series{res.All, res.Without}
+		res, err := experiments.Figure12(s)
+		if err != nil {
+			return nil, err
 		}
+		return []experiments.Series{res.All, res.Without}, nil
 	case "13":
-		var sr experiments.Series
-		sr, err = experiments.Figure13(h.suite)
-		if err == nil {
-			out = []experiments.Series{sr}
+		sr, err := experiments.Figure13(s)
+		if err != nil {
+			return nil, err
 		}
+		return []experiments.Series{sr}, nil
 	case "14":
-		var counts []core.ASCount
-		counts, err = experiments.Figure14(h.suite)
-		if err == nil {
-			direct := make([]float64, len(counts))
-			alt := make([]float64, len(counts))
-			for i, c := range counts {
-				direct[i] = float64(c.Direct)
-				alt[i] = float64(c.Alternate)
-			}
-			out = []experiments.Series{
-				{Name: "direct", CDF: stats.NewCDF(direct)},
-				{Name: "alternate", CDF: stats.NewCDF(alt)},
-			}
+		counts, err := experiments.Figure14(s)
+		if err != nil {
+			return nil, err
 		}
+		direct := make([]float64, len(counts))
+		alt := make([]float64, len(counts))
+		for i, c := range counts {
+			direct[i] = float64(c.Direct)
+			alt[i] = float64(c.Alternate)
+		}
+		return []experiments.Series{
+			{Name: "direct", CDF: stats.NewCDF(direct)},
+			{Name: "alternate", CDF: stats.NewCDF(alt)},
+		}, nil
 	case "16":
-		var decs []core.DelayDecomposition
-		decs, err = experiments.Figure16(h.suite)
-		if err == nil {
-			total := make([]float64, len(decs))
-			prop := make([]float64, len(decs))
-			for i, d := range decs {
-				total[i] = d.TotalDiff
-				prop[i] = d.PropDiff
-			}
-			out = []experiments.Series{
-				{Name: "total", CDF: stats.NewCDF(total)},
-				{Name: "propagation", CDF: stats.NewCDF(prop)},
-			}
+		decs, err := experiments.Figure16(s)
+		if err != nil {
+			return nil, err
 		}
+		total := make([]float64, len(decs))
+		prop := make([]float64, len(decs))
+		for i, d := range decs {
+			total[i] = d.TotalDiff
+			prop[i] = d.PropDiff
+		}
+		return []experiments.Series{
+			{Name: "total", CDF: stats.NewCDF(total)},
+			{Name: "propagation", CDF: stats.NewCDF(prop)},
+		}, nil
 	default:
 		fn, ok := seriesFigures[n]
 		if !ok {
-			return nil, fmt.Errorf("unknown figure %q", n)
+			return nil, fmt.Errorf("%w %q", errUnknownFigure, n)
 		}
-		out, err = fn(h.suite)
+		return fn(s)
 	}
-	if err != nil {
-		return nil, err
+}
+
+// seriesFor returns the (memoized) curves for a figure number on a
+// cached suite. Each figure key has its own future, so distinct
+// figures compute concurrently and the same figure computes once per
+// suite; a computation aborted by its requester's disconnection is
+// forgotten so the next request retries.
+func (h *handler) seriesFor(ctx context.Context, e *suiteEntry, n string) ([]experiments.Series, error) {
+	for {
+		e.figMu.Lock()
+		f, ok := e.figures[n]
+		if !ok {
+			f = &figFuture{done: make(chan struct{})}
+			e.figures[n] = f
+			e.figMu.Unlock()
+			f.series, f.err = computeSeries(e.suite.WithContext(ctx), n)
+			if f.err != nil && errors.Is(f.err, context.Canceled) {
+				// Cancelled mid-computation: drop the future before
+				// publishing so waiters joined on it can retry.
+				e.figMu.Lock()
+				delete(e.figures, n)
+				e.figMu.Unlock()
+			}
+			close(f.done)
+			return f.series, f.err
+		}
+		e.figMu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil && errors.Is(f.err, context.Canceled) && ctx.Err() == nil {
+				continue // the computing request disconnected; retry as owner
+			}
+			return f.series, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	h.figures[n] = out
-	return out, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -133,8 +234,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func (h *handler) table1(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, experiments.Table1(h.suite))
+func (h *handler) table1(w http.ResponseWriter, r *http.Request) {
+	e, ok := h.entryFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, experiments.Table1(e.suite))
 }
 
 type verdictJSON struct {
@@ -146,17 +251,21 @@ type verdictJSON struct {
 }
 
 func (h *handler) verdictTable(w http.ResponseWriter, r *http.Request) {
-	var rows []experiments.VerdictRow
-	var err error
+	var fn func(*experiments.Suite) ([]experiments.VerdictRow, error)
 	switch r.PathValue("n") {
 	case "2":
-		rows, err = experiments.Table2(h.suite)
+		fn = experiments.Table2
 	case "3":
-		rows, err = experiments.Table3(h.suite)
+		fn = experiments.Table3
 	default:
 		http.Error(w, "unknown table (want 2 or 3)", http.StatusNotFound)
 		return
 	}
+	e, ok := h.entryFor(w, r)
+	if !ok {
+		return
+	}
+	rows, err := fn(e.suite.WithContext(r.Context()))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -178,11 +287,40 @@ type seriesJSON struct {
 	CDFEndpoint string  `json:"cdf"`
 }
 
+// cdfQuery reproduces the request's configuration parameters on nested
+// endpoint links, so a figure fetched for one seed links to CDFs of
+// the same seed.
+func cdfQuery(r *http.Request) string {
+	q := r.URL.Query()
+	keep := make([]string, 0, 2)
+	for _, k := range []string{"seed", "preset"} {
+		if v := q.Get(k); v != "" {
+			keep = append(keep, k+"="+v)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return "?" + strings.Join(keep, "&")
+}
+
 func (h *handler) figure(w http.ResponseWriter, r *http.Request) {
 	n := r.PathValue("n")
-	series, err := h.series(n)
+	if !validFigure(n) {
+		http.Error(w, fmt.Sprintf("unknown figure %q", n), http.StatusNotFound)
+		return
+	}
+	e, ok := h.entryFor(w, r)
+	if !ok {
+		return
+	}
+	series, err := h.seriesFor(r.Context(), e, n)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		code := http.StatusInternalServerError
+		if errors.Is(err, errUnknownFigure) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
 	out := make([]seriesJSON, 0, len(series))
@@ -192,16 +330,28 @@ func (h *handler) figure(w http.ResponseWriter, r *http.Request) {
 		out = append(out, seriesJSON{
 			Name: sr.Name, N: sr.CDF.N(), Median: med, P90: p90,
 			FracAbove0:  sr.CDF.FractionAbove(0),
-			CDFEndpoint: fmt.Sprintf("/api/cdf/%s/%s", n, slug(sr.Name)),
+			CDFEndpoint: fmt.Sprintf("/api/cdf/%s/%s%s", n, slug(sr.Name), cdfQuery(r)),
 		})
 	}
 	writeJSON(w, out)
 }
 
 func (h *handler) cdf(w http.ResponseWriter, r *http.Request) {
-	series, err := h.series(r.PathValue("fig"))
+	if n := r.PathValue("fig"); !validFigure(n) {
+		http.Error(w, fmt.Sprintf("unknown figure %q", n), http.StatusNotFound)
+		return
+	}
+	e, ok := h.entryFor(w, r)
+	if !ok {
+		return
+	}
+	series, err := h.seriesFor(r.Context(), e, r.PathValue("fig"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		code := http.StatusInternalServerError
+		if errors.Is(err, errUnknownFigure) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
 		return
 	}
 	want := r.PathValue("series")
@@ -218,23 +368,39 @@ func (h *handler) cdf(w http.ResponseWriter, r *http.Request) {
 	http.Error(w, "unknown series", http.StatusNotFound)
 }
 
+// suites reports the cache contents: which configurations are resident
+// and whether each is ready or still building.
+func (h *handler) suites(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, h.cache.snapshot())
+}
+
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>pathsel results</title></head><body>
 <h1>The End-to-End Effects of Internet Path Selection — reproduction</h1>
-<p>Suite: {{.Preset}} preset, seed {{.Seed}}.</p>
+<p>Default suite: {{.Preset}} preset, seed {{.Seed}}. Every /api
+endpoint accepts <code>?seed=N&amp;preset=quick|full</code> and builds
+the requested suite on demand (cached, LRU-bounded).</p>
 <ul>
 <li><a href="/api/table1">Table 1: dataset characteristics</a></li>
 <li><a href="/api/table/2">Table 2: RTT verdicts</a> · <a href="/api/table/3">Table 3: loss verdicts</a></li>
 {{range .Figures}}<li><a href="/api/figure/{{.}}">Figure {{.}}</a></li>
 {{end}}</ul>
+<p>Operations: <a href="/api/suites">cached suites</a> ·
+<a href="/metrics">metrics</a> · <a href="/healthz">health</a> ·
+<a href="/debug/pprof/">pprof</a></p>
 </body></html>`))
 
 func (h *handler) index(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	figures := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16"}
 	err := indexTmpl.Execute(w, map[string]any{
-		"Preset":  h.suite.Config.Preset.String(),
-		"Seed":    h.suite.Config.Seed,
+		"Preset":  h.defaults.Preset.String(),
+		"Seed":    h.defaults.Seed,
 		"Figures": figures,
 	})
 	if err != nil {

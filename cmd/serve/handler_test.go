@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -9,23 +10,32 @@ import (
 	"testing"
 
 	"pathsel/internal/experiments"
+	"pathsel/internal/obs"
 )
 
 var (
-	suiteOnce sync.Once
-	suite     *experiments.Suite
-	suiteErr  error
+	serveOnce sync.Once
+	served    *handler
+	servedErr error
 )
 
+// testHandler returns a handler backed by a real suite cache, with the
+// default quick suite built once and shared across tests.
 func testHandler(t *testing.T) http.Handler {
 	t.Helper()
-	suiteOnce.Do(func() {
-		suite, suiteErr = experiments.Build(experiments.Config{Seed: 1, Preset: experiments.Quick})
+	serveOnce.Do(func() {
+		reg := obs.NewRegistry()
+		cache := newSuiteCache(4, 2, 0, experiments.BuildContext, newServerMetrics(reg))
+		defaults := experiments.Config{Seed: 1, Preset: experiments.Quick}
+		if _, servedErr = cache.get(context.Background(), defaults); servedErr != nil {
+			return
+		}
+		served = newHandler(cache, defaults, reg)
 	})
-	if suiteErr != nil {
-		t.Fatalf("Build: %v", suiteErr)
+	if servedErr != nil {
+		t.Fatalf("Build: %v", servedErr)
 	}
-	return newHandler(suite)
+	return served
 }
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -45,6 +55,9 @@ func TestIndex(t *testing.T) {
 	body := rec.Body.String()
 	if !strings.Contains(body, "Figure 16") || !strings.Contains(body, "Table 1") {
 		t.Errorf("index missing links:\n%s", body)
+	}
+	if !strings.Contains(body, "/metrics") || !strings.Contains(body, "/api/suites") {
+		t.Errorf("index missing operations links:\n%s", body)
 	}
 }
 
@@ -158,6 +171,125 @@ func TestCDFEndpoint(t *testing.T) {
 	}
 	if rec := get(t, h, "/api/cdf/1/el-chupacabra"); rec.Code != http.StatusNotFound {
 		t.Errorf("unknown series gave status %d", rec.Code)
+	}
+}
+
+func TestBadQueryParams(t *testing.T) {
+	h := testHandler(t)
+	for _, path := range []string{
+		"/api/table1?seed=abc",
+		"/api/table1?preset=bogus",
+		"/api/figure/1?seed=1.5",
+		"/api/cdf/1/x?preset=medium",
+		"/api/table/2?seed=",
+	} {
+		rec := get(t, h, path)
+		want := http.StatusBadRequest
+		if strings.Contains(path, "seed=&") || strings.HasSuffix(path, "seed=") {
+			// Empty values fall back to defaults; that request is valid.
+			want = http.StatusOK
+		}
+		if rec.Code != want {
+			t.Errorf("%s: status %d, want %d: %s", path, rec.Code, want, rec.Body.String())
+		}
+	}
+}
+
+// TestQueryParamsReachBuild proves ?seed and ?preset select the suite
+// configuration handed to the build function.
+func TestQueryParamsReachBuild(t *testing.T) {
+	var mu sync.Mutex
+	var got []experiments.Config
+	build := func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		mu.Lock()
+		got = append(got, cfg)
+		mu.Unlock()
+		return nil, context.DeadlineExceeded // don't cache; config capture is the point
+	}
+	reg := obs.NewRegistry()
+	cache := newSuiteCache(4, 4, 1, build, newServerMetrics(reg))
+	h := newHandler(cache, experiments.Config{Seed: 1, Preset: experiments.Quick}, reg)
+
+	get(t, h, "/api/table1?seed=42&preset=full")
+	get(t, h, "/api/table1") // defaults
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("build called %d times", len(got))
+	}
+	if got[0].Seed != 42 || got[0].Preset != experiments.Full {
+		t.Errorf("first build config %+v, want seed 42 full", got[0])
+	}
+	if got[1].Seed != 1 || got[1].Preset != experiments.Quick {
+		t.Errorf("default build config %+v, want seed 1 quick", got[1])
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	h := testHandler(t)
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"suite_cache_misses_total", "suite_builds_inflight", "suite_build_duration_seconds_bucket"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestSuitesEndpoint(t *testing.T) {
+	h := testHandler(t)
+	rec := get(t, h, "/api/suites")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var rows []suiteStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no cached suites reported")
+	}
+	found := false
+	for _, row := range rows {
+		if row.Seed == 1 && row.Preset == "quick" && row.State == "ready" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("default suite missing from %+v", rows)
+	}
+}
+
+// TestDeterministicAcrossCacheState checks the acceptance invariant:
+// a response served from the warm cache is byte-identical to the same
+// request against a freshly built suite.
+func TestDeterministicAcrossCacheState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a second suite")
+	}
+	warm := testHandler(t)
+	first := get(t, warm, "/api/figure/2")
+	again := get(t, warm, "/api/figure/2") // memoized path
+	if first.Body.String() != again.Body.String() {
+		t.Fatal("repeated request against warm cache differs")
+	}
+
+	reg := obs.NewRegistry()
+	cache := newSuiteCache(1, 1, 0, experiments.BuildContext, newServerMetrics(reg))
+	fresh := newHandler(cache, experiments.Config{Seed: 1, Preset: experiments.Quick}, reg)
+	cold := get(t, fresh, "/api/figure/2")
+	if cold.Code != http.StatusOK {
+		t.Fatalf("fresh build: status %d: %s", cold.Code, cold.Body.String())
+	}
+	if first.Body.String() != cold.Body.String() {
+		t.Errorf("warm-cache response differs from fresh build:\nwarm: %s\ncold: %s",
+			first.Body.String(), cold.Body.String())
 	}
 }
 

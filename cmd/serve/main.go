@@ -1,20 +1,28 @@
-// Command serve exposes the reproduction's results over HTTP: it builds
-// the dataset suite once and serves the tables, figure CDFs, and
-// extension summaries as JSON and TSV, with a small HTML index. Useful
-// for plugging the reproduction into plotting notebooks or dashboards
-// without touching Go.
+// Command serve exposes the reproduction's results over HTTP as an
+// on-demand analysis service: every endpoint is parameterized by suite
+// configuration (?seed=N&preset=quick|full), built suites are held in
+// a size-bounded LRU cache with singleflight deduplication, in-flight
+// builds are cancelled when every interested client disconnects, and
+// the process reports its own behavior through /metrics, /healthz and
+// /debug/pprof. Useful for plugging the reproduction into plotting
+// notebooks or dashboards without touching Go.
 //
 // Usage:
 //
 //	serve [-addr :8410] [-preset quick|full] [-seed N] [-workers N]
+//	      [-cache N] [-max-builds N] [-timeout D] [-warm]
 //
-// Endpoints:
+// Endpoints (all /api endpoints accept ?seed=N&preset=quick|full):
 //
 //	GET /                   HTML index
 //	GET /api/table1         dataset characteristics (JSON)
 //	GET /api/table/{2|3}    verdict tables (JSON)
 //	GET /api/figure/{1..16} figure series (JSON)
 //	GET /api/cdf/{fig}/{series}  one curve as x<TAB>fraction lines
+//	GET /api/suites         cached suite configurations (JSON)
+//	GET /metrics            Prometheus text metrics
+//	GET /healthz            liveness probe
+//	GET /debug/pprof/       runtime profiles
 package main
 
 import (
@@ -22,43 +30,67 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"pathsel/internal/experiments"
+	"pathsel/internal/obs"
 )
+
+// withRequestTimeout bounds every request context, so an analysis that
+// outlives the deadline is cancelled rather than running unattended.
+func withRequestTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
 
 func main() {
 	addr := flag.String("addr", ":8410", "listen address")
-	preset := flag.String("preset", "quick", "campaign scale: quick or full")
-	seed := flag.Int64("seed", 1, "suite seed")
+	preset := flag.String("preset", "quick", "default campaign scale: quick or full")
+	seed := flag.Int64("seed", 1, "default suite seed")
 	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
+	cacheSize := flag.Int("cache", 4, "max completed suites held in the LRU cache")
+	maxBuilds := flag.Int("max-builds", 2, "max concurrent suite builds before requests get 429")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = none), e.g. 2m")
+	warm := flag.Bool("warm", false, "build the default suite before accepting traffic")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Concurrency: *workers}
-	switch *preset {
-	case "quick":
-		cfg.Preset = experiments.Quick
-	case "full":
-		cfg.Preset = experiments.Full
-	default:
-		fmt.Fprintf(os.Stderr, "serve: unknown preset %q\n", *preset)
+	defaults := experiments.Config{Seed: *seed, Concurrency: *workers}
+	var err error
+	if defaults.Preset, err = experiments.ParsePreset(*preset); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
+	if err := defaults.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(2)
 	}
 
-	log.Printf("building %s suite (seed %d)...", cfg.Preset, cfg.Seed)
-	start := time.Now()
-	suite, err := experiments.Build(cfg)
-	if err != nil {
-		log.Fatalf("serve: %v", err)
+	reg := obs.NewRegistry()
+	cache := newSuiteCache(*cacheSize, *maxBuilds, *workers, experiments.BuildContext, newServerMetrics(reg))
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	if *warm {
+		log.Printf("warming %s suite (seed %d)...", defaults.Preset, defaults.Seed)
+		start := time.Now()
+		if _, err := cache.get(context.Background(), defaults); err != nil {
+			log.Fatalf("serve: warm build: %v", err)
+		}
+		log.Printf("suite ready in %v", time.Since(start).Round(time.Millisecond))
 	}
-	log.Printf("suite ready in %v", time.Since(start).Round(time.Millisecond))
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(suite),
+		Handler:           withRequestTimeout(*timeout, obs.Instrument(reg, logger, newHandler(cache, defaults, reg))),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -67,7 +99,8 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	log.Printf("serving on %s (default %s suite, seed %d; cache %d, max builds %d)",
+		*addr, defaults.Preset, defaults.Seed, *cacheSize, *maxBuilds)
 	select {
 	case err := <-errCh:
 		log.Fatalf("serve: %v", err)

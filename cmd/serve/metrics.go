@@ -1,0 +1,45 @@
+package main
+
+import "pathsel/internal/obs"
+
+// serverMetrics bundles the analysis service's own metrics; HTTP-level
+// request counters and latencies are added per route by obs.Instrument.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	cacheDedup      *obs.Counter
+	cacheEvictions  *obs.Counter
+	buildsRejected  *obs.Counter
+	buildsCancelled *obs.Counter
+
+	buildsInflight *obs.Gauge
+	cacheEntries   *obs.Gauge
+
+	buildDuration *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		cacheHits: reg.Counter("suite_cache_hits_total",
+			"Requests served from a completed cached suite."),
+		cacheMisses: reg.Counter("suite_cache_misses_total",
+			"Requests that started a new suite build."),
+		cacheDedup: reg.Counter("suite_cache_dedup_total",
+			"Requests that joined an in-flight build instead of starting one."),
+		cacheEvictions: reg.Counter("suite_cache_evictions_total",
+			"Completed suites evicted by the LRU size bound."),
+		buildsRejected: reg.Counter("suite_builds_rejected_total",
+			"Requests rejected with 429 because build concurrency was saturated."),
+		buildsCancelled: reg.Counter("suite_builds_cancelled_total",
+			"In-flight builds cancelled because every waiter disconnected."),
+		buildsInflight: reg.Gauge("suite_builds_inflight",
+			"Suite builds currently running."),
+		cacheEntries: reg.Gauge("suite_cache_entries",
+			"Suites resident in the cache (including in-flight builds)."),
+		buildDuration: reg.Histogram("suite_build_duration_seconds",
+			"Wall-clock duration of successful suite builds."),
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -48,6 +49,11 @@ type Analyzer struct {
 	// setting; the knob only trades wall-clock time for cores.
 	Concurrency int
 
+	// ctx, when set via WithContext, bounds every analysis entry point:
+	// the engine stops handing out work and returns ctx.Err() as soon as
+	// the context is cancelled. A nil ctx means never cancelled.
+	ctx context.Context
+
 	// graphMu guards the per-metric graph cache. Building a graph
 	// touches every pair's sample set, so analyses that revisit a
 	// metric (figure drivers, the greedy-removal loop, benchmarks)
@@ -87,6 +93,24 @@ func NewAnalyzer(ds *dataset.Dataset) *Analyzer { return &Analyzer{ds: ds} }
 func (a *Analyzer) WithConcurrency(n int) *Analyzer {
 	a.Concurrency = n
 	return a
+}
+
+// WithContext binds the analyzer's entry points to ctx and returns the
+// analyzer, for chaining: a long-running analysis (BestAlternates,
+// AnalyzeEpisodes, GreedyRemoveTop, the bandwidth searches) aborts with
+// ctx.Err() when ctx is cancelled, e.g. because an HTTP client
+// disconnected or a per-request deadline fired.
+func (a *Analyzer) WithContext(ctx context.Context) *Analyzer {
+	a.ctx = ctx
+	return a
+}
+
+// context resolves the bound context (nil means never cancelled).
+func (a *Analyzer) context() context.Context {
+	if a.ctx != nil {
+		return a.ctx
+	}
+	return context.Background()
 }
 
 // workers resolves the Concurrency knob to a worker count.
@@ -172,7 +196,7 @@ func (a *Analyzer) bestAlternatesWith(g *graph, metric Metric, maxVia int, exclu
 			groups = append(groups, span{start, end})
 			start = end
 		}
-		err = parallelFor(workers, len(groups), func(_, gi int) error {
+		err = parallelFor(a.context(), workers, len(groups), func(_, gi int) error {
 			gr := groups[gi]
 			src := int(jobs[gr.start].si)
 			s := g.scratch.Get().(*searchScratch)
@@ -207,7 +231,7 @@ func (a *Analyzer) bestAlternatesWith(g *graph, metric Metric, maxVia int, exclu
 			return nil
 		})
 	} else {
-		err = parallelFor(workers, len(jobs), func(_, i int) error {
+		err = parallelFor(a.context(), workers, len(jobs), func(_, i int) error {
 			j := jobs[i]
 			direct, found := g.directEdge(int(j.si), int(j.di))
 			if !found {
@@ -319,7 +343,7 @@ func (a *Analyzer) BestBandwidthAlternates(model tcpmodel.Model, mode BandwidthM
 	keys := a.ds.PairKeys()
 	results := make([]BandwidthResult, len(keys))
 	valid := make([]bool, len(keys))
-	err := parallelFor(a.workers(), len(keys), func(_, i int) error {
+	err := parallelFor(a.context(), a.workers(), len(keys), func(_, i int) error {
 		k := keys[i]
 		direct, ok := st[k]
 		if !ok {
@@ -417,7 +441,7 @@ func (a *Analyzer) BestMedianAlternates() ([]MedianResult, error) {
 	keys := a.ds.PairKeys()
 	results := make([]MedianResult, len(keys))
 	valid := make([]bool, len(keys))
-	err = parallelFor(a.workers(), len(keys), func(_, i int) error {
+	err = parallelFor(a.context(), a.workers(), len(keys), func(_, i int) error {
 		k := keys[i]
 		si, ok1 := g.index[k.Src]
 		di, ok2 := g.index[k.Dst]
@@ -532,7 +556,7 @@ func (a *Analyzer) AnalyzeEpisodes() (EpisodeAnalysis, error) {
 		relays []topology.HostID
 	}
 	outs := make([]episodeOut, len(a.ds.Episodes))
-	err := parallelFor(a.workers(), len(a.ds.Episodes), func(_, ei int) error {
+	err := parallelFor(a.context(), a.workers(), len(a.ds.Episodes), func(_, ei int) error {
 		ep := a.ds.Episodes[ei]
 		g := newGraph(hosts, index)
 		// Deterministic edge insertion order.

@@ -142,7 +142,7 @@ func (a *Analyzer) GreedyRemoveTop(metric Metric, maxVia, n int) ([]RemovalStep,
 		}
 		means := make([]float64, len(candidates))
 		counts := make([]int, len(candidates))
-		err := parallelFor(workers, len(candidates), func(w, i int) error {
+		err := parallelFor(a.context(), workers, len(candidates), func(w, i int) error {
 			h := candidates[i]
 			excl := bufs[w]
 			excl[h] = true
@@ -227,7 +227,7 @@ func (a *Analyzer) ImprovementContributions(metric Metric) ([]Contribution, erro
 		pairs = append(pairs, pairRef{si: int32(si), di: int32(di), direct: direct.value})
 	}
 	vals := make([]float64, len(g.hosts))
-	err = parallelFor(a.workers(), len(g.hosts), func(_, vi int) error {
+	err = parallelFor(a.context(), a.workers(), len(g.hosts), func(_, vi int) error {
 		total := 0.0
 		for _, p := range pairs {
 			si, di := int(p.si), int(p.di)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,13 +15,17 @@ import (
 // keying any mutable buffers off the worker number, which is unique per
 // concurrently running goroutine. Errors are collected per index and
 // the lowest-index error is returned, so the reported failure does not
-// depend on scheduling either.
-func parallelFor(workers, n int, fn func(worker, i int) error) error {
+// depend on scheduling either. Cancelling ctx stops handing out new
+// indices and returns ctx's error; in-flight items finish first.
+func parallelFor(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(0, i); err != nil {
 				return err
 			}
@@ -37,7 +42,7 @@ func parallelFor(workers, n int, fn func(worker, i int) error) error {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				if err := fn(w, i); err != nil {
@@ -53,7 +58,7 @@ func parallelFor(workers, n int, fn func(worker, i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // autoWorkers resolves a Concurrency knob: 0 means one worker per

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -176,7 +177,7 @@ func TestParallelFor(t *testing.T) {
 	// Every index runs exactly once.
 	n := 1000
 	hits := make([]int32, n)
-	if err := parallelFor(7, n, func(_, i int) error {
+	if err := parallelFor(context.Background(), 7, n, func(_, i int) error {
 		hits[i]++
 		return nil
 	}); err != nil {
@@ -190,7 +191,7 @@ func TestParallelFor(t *testing.T) {
 
 	// The lowest-index error wins regardless of scheduling.
 	errLow, errHigh := errors.New("low"), errors.New("high")
-	err := parallelFor(7, n, func(_, i int) error {
+	err := parallelFor(context.Background(), 7, n, func(_, i int) error {
 		if i == 3 {
 			return errLow
 		}
@@ -207,12 +208,51 @@ func TestParallelFor(t *testing.T) {
 	}
 
 	// Sequential fallback (workers<=1) must behave identically.
-	if err := parallelFor(1, 5, func(w, i int) error {
+	if err := parallelFor(context.Background(), 1, 5, func(w, i int) error {
 		if w != 0 {
 			t.Fatalf("sequential worker id %d", w)
 		}
 		return nil
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParallelForCancellation: a cancelled context stops the loop and
+// surfaces context.Canceled, in both parallel and sequential modes.
+func TestParallelForCancellation(t *testing.T) {
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 7} {
+		ran := int32(0)
+		err := parallelFor(pre, workers, 1000, func(_, i int) error {
+			ran++
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d pre-cancelled: err %v", workers, err)
+		}
+	}
+
+	// Sequential mode cancelled mid-loop: exactly one iteration runs
+	// (the check precedes each index, and cancel fires inside the first).
+	ctx, cancelMid := context.WithCancel(context.Background())
+	ran := 0
+	err := parallelFor(ctx, 1, 1000, func(_, i int) error {
+		ran++
+		cancelMid()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-loop cancel: err %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("sequential ran %d iterations after cancel, want 1", ran)
+	}
+
+	// An analyzer bound to a cancelled context aborts its computation.
+	ds := benchDataset(24)
+	if _, err := NewAnalyzer(ds).WithConcurrency(4).WithContext(pre).BestAlternates(MetricRTT, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BestAlternates under cancelled ctx: %v", err)
 	}
 }

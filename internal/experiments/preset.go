@@ -1,0 +1,34 @@
+package experiments
+
+import "fmt"
+
+// ParsePreset resolves a campaign-scale name ("quick" or "full") to its
+// Preset. Every command that exposes a -preset flag (and the serve
+// query parameter) routes through this one parser, so the accepted
+// names and the error message stay consistent across the toolchain.
+func ParsePreset(s string) (Preset, error) {
+	switch s {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("unknown preset %q (want quick or full)", s)
+	}
+}
+
+// Validate reports whether the configuration can build a suite: the
+// preset must be one of the defined scales and the concurrency knob
+// non-negative. Build rejects invalid configurations with this error,
+// so callers may skip calling it themselves.
+func (c Config) Validate() error {
+	switch c.Preset {
+	case Quick, Full:
+	default:
+		return fmt.Errorf("experiments: invalid preset %v", c.Preset)
+	}
+	if c.Concurrency < 0 {
+		return fmt.Errorf("experiments: negative concurrency %d", c.Concurrency)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParsePreset(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Preset
+		ok   bool
+	}{
+		{"quick", Quick, true},
+		{"full", Full, true},
+		{"Quick", 0, false},
+		{"", 0, false},
+		{"medium", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePreset(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParsePreset(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParsePreset(%q) = %v, want %v", c.in, got, c.want)
+		}
+		if !c.ok && !strings.Contains(err.Error(), "quick or full") {
+			t.Errorf("ParsePreset(%q) error %q should name the valid presets", c.in, err)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Preset: Quick}).Validate(); err != nil {
+		t.Errorf("quick config: %v", err)
+	}
+	if err := (Config{Preset: Full, Concurrency: 8}).Validate(); err != nil {
+		t.Errorf("full config: %v", err)
+	}
+	if err := (Config{Preset: Preset(42)}).Validate(); err == nil {
+		t.Error("bogus preset accepted")
+	}
+	if err := (Config{Preset: Quick, Concurrency: -1}).Validate(); err == nil {
+		t.Error("negative concurrency accepted")
+	}
+}
+
+// TestBuildContextCancelled: a suite build under a dead context stops
+// instead of running the campaigns to completion.
+func TestBuildContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := BuildContext(ctx, Config{Seed: 1, Preset: Quick})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildContext with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildContextInvalidConfig(t *testing.T) {
+	if _, err := BuildContext(context.Background(), Config{Preset: Preset(9)}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -76,6 +77,43 @@ type Suite struct {
 	TopoUW, TopoD2 *topology.Topology
 
 	uwPlane *plane
+
+	// ctx bounds the analyses run through the suite's drivers; set with
+	// WithContext, nil means never cancelled.
+	ctx context.Context
+}
+
+// WithContext returns a shallow copy of the suite whose analyzers are
+// bound to ctx: every figure and table driver invoked on the copy
+// aborts with ctx.Err() once ctx is cancelled. The underlying datasets
+// are shared, so a cached suite can serve many requests, each bounded
+// by its own request context.
+func (s *Suite) WithContext(ctx context.Context) *Suite {
+	c := *s
+	c.ctx = ctx
+	return &c
+}
+
+// datasetsByName maps the Table 1 row names to suite fields.
+func (s *Suite) datasetsByName() map[string]*dataset.Dataset {
+	return map[string]*dataset.Dataset{
+		"UW1": s.UW1, "UW3": s.UW3, "UW4-A": s.UW4A, "UW4-B": s.UW4B,
+		"D2": s.D2, "D2-NA": s.D2NA, "N2": s.N2, "N2-NA": s.N2NA,
+	}
+}
+
+// Dataset returns the suite dataset with the given Table 1 name (UW1,
+// UW3, UW4-A, UW4-B, D2, D2-NA, N2, N2-NA), or false if the name is
+// unknown. It gives tools a uniform way to address any of the eight
+// datasets without reaching into suite fields.
+func (s *Suite) Dataset(name string) (*dataset.Dataset, bool) {
+	ds, ok := s.datasetsByName()[name]
+	return ds, ok
+}
+
+// DatasetNames lists the names accepted by Dataset, in Table 1 order.
+func DatasetNames() []string {
+	return []string{"UW1", "UW3", "UW4-A", "UW4-B", "D2", "D2-NA", "N2", "N2-NA"}
 }
 
 // UWPlane returns the UW topology together with a prober over the same
@@ -100,10 +138,14 @@ func (s *Suite) Datasets() []*dataset.Dataset {
 }
 
 // analyzer builds a core.Analyzer over one of the suite's datasets with
-// the configured concurrency; every figure and table driver routes
-// through it.
+// the configured concurrency and context; every figure and table driver
+// routes through it.
 func (s *Suite) analyzer(ds *dataset.Dataset) *core.Analyzer {
-	return core.NewAnalyzer(ds).WithConcurrency(s.Config.Concurrency)
+	a := core.NewAnalyzer(ds).WithConcurrency(s.Config.Concurrency)
+	if s.ctx != nil {
+		a = a.WithContext(s.ctx)
+	}
+	return a
 }
 
 // campaignScale bundles per-preset campaign parameters.
@@ -176,6 +218,18 @@ func buildPlane(topCfg topology.Config, netSeed, probeSeed int64) (*plane, error
 // are independent and run concurrently; every dataset is a
 // deterministic function of cfg alone.
 func Build(cfg Config) (*Suite, error) {
+	return BuildContext(context.Background(), cfg)
+}
+
+// BuildContext is Build bounded by a context: cancelling ctx aborts the
+// in-flight measurement campaigns and returns ctx.Err(), so a server
+// building suites on demand can stop work for abandoned requests. A
+// completed suite is identical for any ctx — cancellation either
+// aborts the build or leaves it untouched, never truncates it.
+func BuildContext(ctx context.Context, cfg Config) (*Suite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	sc := scaleFor(cfg.Preset)
 	s := &Suite{Config: cfg}
 
@@ -184,13 +238,18 @@ func Build(cfg Config) (*Suite, error) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		uwErr = buildUWPart(s, cfg, sc)
+		uwErr = buildUWPart(ctx, s, cfg, sc)
 	}()
 	go func() {
 		defer wg.Done()
-		d2Err = buildD2Part(s, cfg, sc)
+		d2Err = buildD2Part(ctx, s, cfg, sc)
 	}()
 	wg.Wait()
+	// Prefer the context's error: when a cancellation races with a
+	// campaign failure the caller should see the cancellation.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if uwErr != nil {
 		return nil, uwErr
 	}
@@ -202,7 +261,7 @@ func Build(cfg Config) (*Suite, error) {
 
 // buildUWPart generates the 1998-99 North American plane and runs the
 // four UW campaigns.
-func buildUWPart(s *Suite, cfg Config, sc campaignScale) error {
+func buildUWPart(ctx context.Context, s *Suite, cfg Config, sc campaignScale) error {
 	// --- UW plane: 1998-99, North America ---
 	uwTopCfg := topology.DefaultConfig(topology.Era1999)
 	uwTopCfg.Seed = cfg.Seed
@@ -269,7 +328,7 @@ func buildUWPart(s *Suite, cfg Config, sc campaignScale) error {
 			MinMeasurements: sc.minMeasurements, Seed: cfg.Seed + 404,
 		},
 	}
-	uwResults, err := runCampaigns(uwPlane, uwSpecs, cfg.Seed)
+	uwResults, err := runCampaigns(ctx, uwPlane, uwSpecs, cfg.Seed)
 	if err != nil {
 		return err
 	}
@@ -279,7 +338,7 @@ func buildUWPart(s *Suite, cfg Config, sc campaignScale) error {
 
 // buildD2Part generates the 1995 world plane and runs the D2/N2
 // campaigns.
-func buildD2Part(s *Suite, cfg Config, sc campaignScale) error {
+func buildD2Part(ctx context.Context, s *Suite, cfg Config, sc campaignScale) error {
 	// --- Paxson plane: 1995, world ---
 	d2TopCfg := topology.DefaultConfig(topology.Era1995)
 	d2TopCfg.Seed = cfg.Seed + 1
@@ -315,7 +374,7 @@ func buildD2Part(s *Suite, cfg Config, sc campaignScale) error {
 			RateLimit: measure.KeepAll, Seed: cfg.Seed + 406,
 		},
 	}
-	d2Results, err := runCampaigns(d2Plane, d2Specs, cfg.Seed)
+	d2Results, err := runCampaigns(ctx, d2Plane, d2Specs, cfg.Seed)
 	if err != nil {
 		return err
 	}
@@ -328,7 +387,7 @@ func buildD2Part(s *Suite, cfg Config, sc campaignScale) error {
 // runCampaigns executes the specs concurrently, each with its own
 // prober whose seed is derived from the spec seed; results are
 // deterministic and independent of scheduling order.
-func runCampaigns(pl *plane, specs []measure.Spec, baseSeed int64) ([]*dataset.Dataset, error) {
+func runCampaigns(ctx context.Context, pl *plane, specs []measure.Spec, baseSeed int64) ([]*dataset.Dataset, error) {
 	results := make([]*dataset.Dataset, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -339,7 +398,7 @@ func runCampaigns(pl *plane, specs []measure.Spec, baseSeed int64) ([]*dataset.D
 			prbCfg := probe.DefaultConfig()
 			prbCfg.Seed = baseSeed + spec.Seed // per-campaign stream
 			prb := probe.New(pl.top, pl.fwd, pl.net, prbCfg)
-			results[i], errs[i] = measure.Run(pl.top, prb, spec)
+			results[i], errs[i] = measure.RunContext(ctx, pl.top, prb, spec)
 		}(i, spec)
 	}
 	wg.Wait()

@@ -8,6 +8,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -150,6 +151,14 @@ func (s Spec) Validate() error {
 
 // Run executes the campaign and returns the collected dataset.
 func Run(top *topology.Topology, prb *probe.Prober, spec Spec) (*dataset.Dataset, error) {
+	return RunContext(context.Background(), top, prb, spec)
+}
+
+// RunContext is Run bounded by a context: the campaign checks ctx
+// between probes and aborts with ctx.Err() once it is cancelled, so a
+// caller building datasets on demand (e.g. an HTTP request that has
+// been abandoned) does not finish a campaign nobody will read.
+func RunContext(ctx context.Context, top *topology.Topology, prb *probe.Prober, spec Spec) (*dataset.Dataset, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -179,11 +188,11 @@ func Run(top *topology.Topology, prb *probe.Prober, spec Spec) (*dataset.Dataset
 	var err error
 	switch spec.Scheduler {
 	case PerServerUniform:
-		err = runPerServer(ds, top, prb, spec, rng, hosts, targets, keep)
+		err = runPerServer(ctx, ds, top, prb, spec, rng, hosts, targets, keep)
 	case ExponentialPairs:
-		err = runExponentialPairs(ds, prb, spec, rng, hosts, targets, keep)
+		err = runExponentialPairs(ctx, ds, prb, spec, rng, hosts, targets, keep)
 	case Episodes:
-		err = runEpisodes(ds, prb, spec, rng, hosts, keep)
+		err = runEpisodes(ctx, ds, prb, spec, rng, hosts, keep)
 	default:
 		err = fmt.Errorf("measure: %s: unknown scheduler %v", spec.Name, spec.Scheduler)
 	}
@@ -224,7 +233,7 @@ func recordResult(ds *dataset.Dataset, res probe.Result, keep int) {
 	ds.RecordEcho(dataset.PairKey{Src: res.Src, Dst: res.Dst}, res.At, rtts, lost, res.ASPath, keep)
 }
 
-func runPerServer(ds *dataset.Dataset, top *topology.Topology, prb *probe.Prober, spec Spec,
+func runPerServer(ctx context.Context, ds *dataset.Dataset, top *topology.Topology, prb *probe.Prober, spec Spec,
 	rng *rand.Rand, hosts, targets []topology.HostID, keep int) error {
 	end := spec.StartSec + spec.DurationSec
 	// Each server has its own clock; we interleave by always advancing
@@ -235,6 +244,9 @@ func runPerServer(ds *dataset.Dataset, top *topology.Topology, prb *probe.Prober
 		clocks[i] = spec.StartSec + rng.Float64()*2*spec.MeanIntervalSec
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Find the earliest server clock.
 		srcIdx, at := -1, end
 		for i, c := range clocks {
@@ -262,11 +274,14 @@ func runPerServer(ds *dataset.Dataset, top *topology.Topology, prb *probe.Prober
 	}
 }
 
-func runExponentialPairs(ds *dataset.Dataset, prb *probe.Prober, spec Spec,
+func runExponentialPairs(ctx context.Context, ds *dataset.Dataset, prb *probe.Prober, spec Spec,
 	rng *rand.Rand, hosts, targets []topology.HostID, keep int) error {
 	end := spec.StartSec + spec.DurationSec
 	at := spec.StartSec
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		at += rng.ExpFloat64() * spec.MeanIntervalSec
 		if at >= end {
 			return nil
@@ -300,11 +315,14 @@ func runExponentialPairs(ds *dataset.Dataset, prb *probe.Prober, spec Spec,
 	}
 }
 
-func runEpisodes(ds *dataset.Dataset, prb *probe.Prober, spec Spec,
+func runEpisodes(ctx context.Context, ds *dataset.Dataset, prb *probe.Prober, spec Spec,
 	rng *rand.Rand, hosts []topology.HostID, keep int) error {
 	end := spec.StartSec + spec.DurationSec
 	at := spec.StartSec
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		at += rng.ExpFloat64() * spec.MeanIntervalSec
 		if at >= end {
 			return nil

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response code and size for logging and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Instrument wraps an http.Handler with structured access logging and
+// per-route request metrics: http_requests_total{route,code} counters
+// and an http_request_duration_seconds{route} histogram. route is
+// derived from the matched pattern when the inner handler is a
+// ServeMux-routed handler, falling back to the raw path; logger may be
+// nil to disable access logs.
+func Instrument(reg *Registry, logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		elapsed := time.Since(start)
+		reg.Counter("http_requests_total", "HTTP requests by route and status code.",
+			"route", route, "code", strconv.Itoa(sw.status)).Inc()
+		reg.Histogram("http_request_duration_seconds", "HTTP request latency.",
+			"route", route).Observe(elapsed.Seconds())
+		if logger != nil {
+			logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"query", r.URL.RawQuery,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration_ms", float64(elapsed.Microseconds())/1000,
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}

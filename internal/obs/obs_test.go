@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "Requests.", "code", "200").Add(3)
+	reg.Counter("requests_total", "Requests.", "code", "404").Inc()
+	g := reg.Gauge("inflight", "In-flight builds.")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		`requests_total{code="200"} 3`,
+		`requests_total{code="404"} 1`,
+		"# TYPE inflight gauge",
+		"inflight 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE emitted once per family even with two label sets.
+	if strings.Count(out, "# TYPE requests_total") != 1 {
+		t.Errorf("TYPE line repeated:\n%s", out)
+	}
+}
+
+func TestCounterIdentity(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "")
+	b := reg.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name should return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counter identity broken")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("build_seconds", "Build durations.")
+	for _, v := range []float64{0.0001, 0.3, 0.3, 7, 1e6} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`build_seconds_bucket{le="0.001"} 1`,
+		`build_seconds_bucket{le="0.5"} 3`,
+		`build_seconds_bucket{le="10"} 4`,
+		`build_seconds_bucket{le="+Inf"} 5`,
+		"build_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("d", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(j) / 100)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/thing/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := Instrument(reg, nil, mux)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/thing/42", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status %d", rec.Code)
+	}
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	out := b.String()
+	// Metrics are keyed by the route pattern, not the concrete path, so
+	// cardinality stays bounded.
+	if !strings.Contains(out, `http_requests_total{route="GET /api/thing/{id}",code="418"} 1`) {
+		t.Errorf("missing pattern-labeled counter:\n%s", out)
+	}
+	if strings.Contains(out, "/api/thing/42") {
+		t.Errorf("raw path leaked into metric labels:\n%s", out)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+}
