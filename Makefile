@@ -1,22 +1,50 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+# External tools, pinned so a local `make check-all` runs exactly what
+# CI runs. `go run mod@version` fetches on first use, so these targets
+# need network access; everything in `check` is offline-safe.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+.PHONY: build test vet lint race bench fuzz-smoke staticcheck vuln check check-all
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order per run to surface test-order
+# dependence; the seed is printed on failure for reproduction.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
-# The analysis engine is the only concurrent code; run it and its
-# drivers under the race detector.
+# The repo's own analyzer suite: determinism (detrand, maporder),
+# cancellation (ctxflow), metrics (obsmetric) and float-equality
+# (floateq) invariants. See internal/analysis and DESIGN.md.
+lint:
+	$(GO) run ./cmd/repolint ./...
+
 race:
-	$(GO) test -race ./internal/core/... ./internal/experiments/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench 'BestAlternates|GreedyRemoveTop' -benchmem -run '^$$' ./internal/core/
 
-check: vet test race
+# Short fuzz runs of the parsers that face external input; CI runs the
+# same budgets.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=15s -run '^$$' ./internal/trace
+	$(GO) test -fuzz=FuzzParsePreset -fuzztime=15s -run '^$$' ./internal/experiments
+
+staticcheck:
+	$(GO) run $(STATICCHECK) ./...
+
+vuln:
+	$(GO) run $(GOVULNCHECK) ./...
+
+# Offline-safe gate: what every PR must pass locally.
+check: vet lint test race
+
+# check plus the network-fetching tools; matches the full CI run.
+check-all: check staticcheck vuln fuzz-smoke

@@ -91,9 +91,13 @@ func run(cfg experiments.Config, outDir string) error {
 		}
 	}
 
-	for id, fn := range map[string]func(*experiments.Suite) ([]core.CIPoint, error){
-		"figure7": experiments.Figure7, "figure8": experiments.Figure8,
+	for _, ci := range []struct {
+		id string
+		fn func(*experiments.Suite) ([]core.CIPoint, error)
+	}{
+		{"figure7", experiments.Figure7}, {"figure8", experiments.Figure8},
 	} {
+		id, fn := ci.id, ci.fn
 		pts, err := fn(s)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)

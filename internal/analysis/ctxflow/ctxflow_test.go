@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"pathsel/internal/analysis/ctxflow"
+	"pathsel/internal/analysis/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "ctxflow")
+}

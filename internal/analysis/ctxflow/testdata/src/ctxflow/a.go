@@ -1,0 +1,44 @@
+// Package ctxflow is a fixture for the ctxflow analyzer: fresh root
+// contexts in library code and dropped ctx parameters are violations;
+// threading, explicit discards, and annotated escapes are not.
+package ctxflow
+
+import "context"
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func badFresh() error {
+	return work(context.Background()) // want `context.Background\(\) in a library package detaches callees`
+}
+
+func badTODO() error {
+	return work(context.TODO()) // want `context.TODO\(\) in a library package detaches callees`
+}
+
+func BadDropped(ctx context.Context, n int) int { // want `exported BadDropped accepts ctx but never uses it`
+	return n * 2
+}
+
+func GoodThreaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+func GoodDiscarded(_ context.Context, n int) int {
+	// Renaming to _ is the visible opt-out: the signature keeps its
+	// shape for interface satisfaction without promising cancellation.
+	return n * 2
+}
+
+// unexportedDropped is not flagged: the contract is enforced at the
+// package boundary, and unexported helpers show up when their exported
+// callers thread ctx into them.
+func unexportedDropped(ctx context.Context, n int) int {
+	return n * 2
+}
+
+func AllowedEscape() error {
+	//repolint:allow ctxflow -- fixture: demonstrating the escape hatch
+	return work(context.Background())
+}

@@ -1,0 +1,40 @@
+// Package detrand is a fixture for the detrand analyzer: global
+// math/rand and wall-clock reads are violations, seeded generators and
+// annotated escapes are not.
+package detrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func badGlobals(n int) int {
+	x := rand.Intn(n)        // want `global rand.Intn uses process-wide random state`
+	y := rand.Float64()      // want `global rand.Float64 uses process-wide random state`
+	rand.Seed(42)            // want `global rand.Seed uses process-wide random state`
+	z := randv2.IntN(n)      // want `global rand.IntN uses process-wide random state`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand.Shuffle uses process-wide random state`
+	return x + int(y) + z
+}
+
+func badClock() float64 {
+	start := time.Now() // want `time.Now reads the wall clock`
+	return time.Since(start).Seconds() // want `time.Since reads the wall clock`
+}
+
+func goodSeeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are the sanctioned path
+	v2 := randv2.New(randv2.NewPCG(1, 2))
+	return r.Intn(n) + v2.IntN(n) // methods on seeded generators are fine
+}
+
+func goodDurations(d time.Duration) float64 {
+	// Pure duration arithmetic never touches the clock.
+	return (d + time.Millisecond).Seconds()
+}
+
+func allowedEscape() int64 {
+	//repolint:allow detrand -- fixture: demonstrating the escape hatch
+	return time.Now().UnixNano()
+}

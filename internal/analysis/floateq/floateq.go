@@ -1,0 +1,67 @@
+// Package floateq defines an analyzer flagging == and != on
+// floating-point operands in the numeric heart of the reproduction
+// (internal/stats, internal/tcpmodel, internal/core). Float equality is
+// almost always a bug there — summaries, confidence intervals and path
+// costs come out of accumulations where representation error makes
+// exact comparison meaningless. The engine does contain deliberate
+// exact comparisons (the +Inf distance sentinel, tie-breaking replayed
+// Dijkstra costs); those carry a //repolint:allow floateq directive
+// explaining why exactness is sound, which is precisely the visibility
+// this analyzer exists to force.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pathsel/internal/analysis/lint"
+)
+
+// Packages is the set of import paths checked. Tests may extend it to
+// cover fixture packages.
+var Packages = map[string]bool{
+	"pathsel/internal/stats":    true,
+	"pathsel/internal/tcpmodel": true,
+	"pathsel/internal/core":     true,
+}
+
+// Analyzer flags float equality comparisons.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc: "flag == and != between floating-point operands in numeric packages; compare with a tolerance, " +
+		"or annotate the sentinel/tie-break cases where exact equality is deliberate",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !Packages[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.Info.TypeOf(be.X)) || isFloat(pass.Info.TypeOf(be.Y)) {
+				pass.Reportf(be.OpPos, "%s on floating-point operands; use a tolerance, or annotate why exact equality is sound here", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex type (complex equality inherits the same hazard).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,14 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"pathsel/internal/analysis/floateq"
+	"pathsel/internal/analysis/linttest"
+)
+
+func TestFloateq(t *testing.T) {
+	floateq.Packages["floateq"] = true
+	defer delete(floateq.Packages, "floateq")
+	linttest.Run(t, floateq.Analyzer, "floateq")
+}

@@ -1,0 +1,40 @@
+// Package floateq is a fixture for the floateq analyzer: float and
+// complex equality are violations; integer equality, ordered float
+// comparisons, and annotated escapes are not.
+package floateq
+
+type ms float64 // named float types inherit the hazard
+
+func badEq(a, b float64) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want `!= on floating-point operands`
+}
+
+func badNamed(a, b ms) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func badComplex(a, b complex128) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func badMixed(a float64) bool {
+	return a == 0 // want `== on floating-point operands`
+}
+
+func goodInt(a, b int) bool { return a == b }
+
+func goodOrdered(a, b float64) bool { return a < b || a > b }
+
+func goodTolerance(a, b, eps float64) bool {
+	d := a - b
+	return d < eps && d > -eps
+}
+
+func allowedEscape(a float64) bool {
+	//repolint:allow floateq -- fixture: demonstrating the escape hatch
+	return a == 0
+}

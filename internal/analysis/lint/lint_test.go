@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSnippet parses src as a single-file package without
+// type-checking, enough to exercise directive handling.
+func loadSnippet(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Fset: fset, Path: "snippet", Files: []*ast.File{f}}
+}
+
+func TestAllowDirectiveSuppression(t *testing.T) {
+	src := `package p
+
+func a() int { return 1 } // plain comment, not a directive
+
+//repolint:allow fake -- same analyzer, line above
+func b() int { return 2 }
+
+func c() int { return 3 } //repolint:allow fake other -- same line, two names
+
+//repolint:allow other -- different analyzer only
+func d() int { return 4 }
+`
+	pkg := loadSnippet(t, src)
+	fake := &Analyzer{
+		Name: "fake",
+		Doc:  "reports every function declaration",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					pass.Reportf(d.Pos(), "decl")
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := Run(pkg, []*Analyzer{fake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, pkg.Fset.Position(d.Pos).Line)
+	}
+	// a (line 3) and d (line 11) survive; b and c are suppressed.
+	if len(lines) != 2 || lines[0] != 3 || lines[1] != 11 {
+		t.Fatalf("surviving diagnostic lines = %v, want [3 11]", lines)
+	}
+}
+
+func TestRunSortsDiagnostics(t *testing.T) {
+	src := "package p\n\nfunc z() {}\n\nfunc a() {}\n"
+	pkg := loadSnippet(t, src)
+	rev := &Analyzer{
+		Name: "rev",
+		Doc:  "reports decls in reverse order",
+		Run: func(pass *Pass) error {
+			decls := pass.Files[0].Decls
+			for i := len(decls) - 1; i >= 0; i-- {
+				pass.Reportf(decls[i].Pos(), "decl %d", i)
+			}
+			return nil
+		},
+	}
+	diags, err := Run(pkg, []*Analyzer{rev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || pkg.Fset.Position(diags[0].Pos).Line != 3 {
+		t.Fatalf("diagnostics not sorted by position: %v", diags)
+	}
+}
+
+func TestLoaderLoadsThisPackage(t *testing.T) {
+	pkgs, err := NewLoader().Load("pathsel/internal/analysis/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types.Name() != "lint" {
+		t.Fatalf("unexpected load result: %+v", pkgs)
+	}
+	for _, f := range pkgs[0].Files {
+		name := pkgs[0].Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("loader included test file %s", name)
+		}
+	}
+}
+
+func TestLoadDirRejectsEmptyDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "empty")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoader().LoadDir(dir, "empty"); err == nil {
+		t.Fatal("LoadDir of an empty dir should fail")
+	}
+}

@@ -1,0 +1,119 @@
+// Package linttest runs a lint.Analyzer over a testdata fixture and
+// checks its findings against expectations embedded in the fixture
+// itself, in the style of golang.org/x/tools/go/analysis/analysistest:
+// a comment
+//
+//	x := rand.Intn(10) // want `global math/rand`
+//
+// asserts that the analyzer reports a diagnostic on that line matching
+// the backquoted regular expression. Every reported diagnostic must
+// match a want on its line and every want must be matched, so fixtures
+// prove both that the analyzer catches seeded violations and that it
+// stays quiet on the clean code (and //repolint:allow escapes) around
+// them.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"pathsel/internal/analysis/lint"
+)
+
+// wantRe extracts the expectation patterns from a comment: each
+// backquoted or double-quoted string after "want".
+var wantRe = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<pkg> relative to the calling test's
+// directory, applies the analyzer, and compares diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	p, err := lint.NewLoader().LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run(p, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	// wants[file][line] holds that line's expectations in order.
+	wants := map[string]map[int][]*want{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := indexWord(text, "want")
+				if i < 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[i:], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = map[int][]*want{}
+					}
+					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants[pos.Filename][pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+// indexWord finds "want" as a standalone word in a comment, returning
+// the index just past it, or -1.
+func indexWord(s, word string) int {
+	for i := 0; i+len(word) <= len(s); i++ {
+		if s[i:i+len(word)] != word {
+			continue
+		}
+		beforeOK := i == 0 || !isWordChar(s[i-1])
+		afterOK := i+len(word) == len(s) || !isWordChar(s[i+len(word)])
+		if beforeOK && afterOK {
+			return i + len(word)
+		}
+	}
+	return -1
+}
+
+func isWordChar(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}

@@ -1,0 +1,217 @@
+// Package maporder defines an analyzer for the classic Go
+// nondeterminism bug: ranging over a map while producing ordered
+// output. Map iteration order is deliberately randomized by the
+// runtime, so a loop that appends to a slice, writes to an output
+// stream, or feeds a hash during `range someMap` yields a different
+// ordering every run — exactly the silent reproducibility break the
+// repo's bit-identical-output contract forbids.
+//
+// Appending to a slice is allowed when the enclosing function
+// observably sorts that slice afterwards (the collect-then-sort idiom);
+// writes and hashing inside the loop body have no such repair and are
+// always flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pathsel/internal/analysis/lint"
+)
+
+// Analyzer flags nondeterministic map iteration.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that append to an unsorted slice, write output, or feed a hash; " +
+		"map iteration order is randomized per run, so collect keys and sort them instead",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// Walk function by function so the sorted-afterwards check can
+		// see the statements that follow each loop.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc inspects one function body for map-range loops with
+// order-sensitive effects.
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+// checkMapRange reports order-sensitive effects in the body of one
+// range-over-map loop.
+func checkMapRange(pass *lint.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	var appended []types.Object // outer slices appended to in the loop
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested range over a map is analyzed on its own by
+			// checkFunc; don't descend into it here or its effects
+			// would be reported twice.
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x outlives the loop.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				obj := rootObject(pass, n.Lhs[i])
+				if obj != nil && obj.Pos() < rng.Pos() {
+					appended = append(appended, obj)
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := writerCall(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s inside range over map writes in nondeterministic order; iterate over sorted keys", name)
+			}
+		}
+		return true
+	})
+	for _, obj := range appended {
+		if !sortedAfter(pass, fnBody, rng, obj) {
+			pass.Reportf(rng.Pos(), "%s is appended to in map-iteration order and never sorted in this function; collect and sort, or sort the keys first", obj.Name())
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObject resolves the variable at the root of an lvalue: x, x.f and
+// x[i] all resolve to x.
+func rootObject(pass *lint.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.Info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// writerCall reports whether call emits bytes somewhere order matters:
+// the fmt print family, or a Write*-ish method (io.Writer, hash.Hash,
+// strings.Builder, bufio.Writer all share the shape).
+func writerCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Signature().Recv() == nil {
+				switch fn.Name() {
+				case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+					return "fmt." + fn.Name(), true
+				}
+			}
+			if fn.Signature().Recv() != nil {
+				switch name {
+				case "Write", "WriteString", "WriteByte", "WriteRune", "Sum":
+					return "method " + name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether some statement after rng (inside fnBody)
+// passes obj to a sort.* or slices.* function — the accepted repair for
+// collect-in-map-order.
+func sortedAfter(pass *lint.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// refersTo reports whether expr mentions obj, directly or inside a
+// closure (sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })).
+func refersTo(pass *lint.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"pathsel/internal/analysis/linttest"
+	"pathsel/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "maporder")
+}

@@ -1,0 +1,86 @@
+// Package maporder is a fixture for the maporder analyzer: unsorted
+// accumulation and direct writes during map iteration are violations;
+// the collect-then-sort idiom, pure reductions, and annotated escapes
+// are not.
+package maporder
+
+import (
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `keys is appended to in map-iteration order and never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func badPrint(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map writes in nondeterministic order`
+	}
+}
+
+func badHash(m map[string]int, h hash.Hash) {
+	for k := range m {
+		h.Write([]byte(k)) // want `method Write inside range over map writes in nondeterministic order`
+	}
+}
+
+func badBuilder(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `method WriteString inside range over map writes in nondeterministic order`
+	}
+}
+
+func goodReduction(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodLoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var evens []int // declared inside the loop: order cannot leak out
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		n += len(evens)
+	}
+	return n
+}
+
+func allowedEscape(m map[string]int) {
+	for k := range m {
+		//repolint:allow maporder -- fixture: demonstrating the escape hatch
+		fmt.Println(k)
+	}
+}

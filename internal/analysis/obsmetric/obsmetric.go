@@ -1,0 +1,88 @@
+// Package obsmetric defines an analyzer validating internal/obs
+// registration call sites. The obs registry only detects a metric name
+// registered under two different kinds at runtime — as a panic in
+// whatever handler happens to touch it first — and never detects an
+// exposition-illegal name at all (Prometheus just drops the scrape).
+// Both are static properties of the call sites, so check them
+// statically: names must be compile-time string constants, must match
+// the Prometheus metric-name grammar, and must keep one kind per name
+// within a package.
+package obsmetric
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"pathsel/internal/analysis/lint"
+)
+
+// Analyzer validates obs.Registry metric registrations.
+var Analyzer = &lint.Analyzer{
+	Name: "obsmetric",
+	Doc: "require obs.Registry Counter/Gauge/Histogram names to be literal constants, Prometheus-legal " +
+		"([a-zA-Z_:][a-zA-Z0-9_:]*), and registered under a single kind per package",
+	Run: run,
+}
+
+// obsPath is the import path of the metrics package whose registry
+// calls are validated.
+const obsPath = "pathsel/internal/obs"
+
+// registerKinds are the Registry methods that mint a metric family.
+var registerKinds = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+var legalName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// firstUse remembers where a metric name was first registered and as
+// what kind, for the one-kind-per-name check.
+type firstUse struct {
+	kind string
+	pos  token.Pos
+}
+
+func run(pass *lint.Pass) error {
+	seen := map[string]firstUse{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+				return true
+			}
+			if !registerKinds[fn.Name()] || fn.Signature().Recv() == nil || len(call.Args) == 0 {
+				return true
+			}
+			kind := fn.Name()
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "obs metric name must be a compile-time string constant so dashboards and alerts can be greppable and lintable")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !legalName.MatchString(name) {
+				pass.Reportf(arg.Pos(), "obs metric name %q is not Prometheus-legal (want [a-zA-Z_:][a-zA-Z0-9_:]*); the scrape endpoint would emit an unparseable exposition", name)
+				return true
+			}
+			if prev, ok := seen[name]; ok && prev.kind != kind {
+				pass.Reportf(arg.Pos(), "obs metric %q registered as %s here but as %s at %s; the registry panics on the first kind mismatch at runtime", name, kind, prev.kind, pass.Fset.Position(prev.pos))
+				return true
+			}
+			if _, ok := seen[name]; !ok {
+				seen[name] = firstUse{kind: kind, pos: arg.Pos()}
+			}
+			return true
+		})
+	}
+	return nil
+}

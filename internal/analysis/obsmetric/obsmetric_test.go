@@ -1,0 +1,12 @@
+package obsmetric_test
+
+import (
+	"testing"
+
+	"pathsel/internal/analysis/linttest"
+	"pathsel/internal/analysis/obsmetric"
+)
+
+func TestObsmetric(t *testing.T) {
+	linttest.Run(t, obsmetric.Analyzer, "obsmetric")
+}

@@ -1,0 +1,24 @@
+// Package obsmetric is a fixture for the obsmetric analyzer: dynamic
+// names, exposition-illegal names, and kind conflicts are violations;
+// constant legal names (including labeled re-registrations of the same
+// family) and annotated escapes are not.
+package obsmetric
+
+import "pathsel/internal/obs"
+
+const histName = "build_duration_seconds"
+
+func register(r *obs.Registry, dynamic string) {
+	r.Counter("requests_total", "Requests served.")
+	r.Counter("requests_total", "Requests served.", "code", "200") // same family, same kind: labeled variant
+	r.Gauge("inflight", "Requests in flight.")
+	r.Histogram(histName, "Build latency.") // named constants are compile-time too
+
+	r.Gauge("requests_total", "oops")   // want `registered as Gauge here but as Counter at`
+	r.Counter(dynamic, "dynamic name")  // want `must be a compile-time string constant`
+	r.Counter("bad-name", "bad chars")  // want `not Prometheus-legal`
+	r.Counter("0leading", "bad prefix") // want `not Prometheus-legal`
+
+	//repolint:allow obsmetric -- fixture: demonstrating the escape hatch
+	r.Counter(dynamic, "allowed dynamic name")
+}

@@ -1,0 +1,24 @@
+// Package repolint assembles the repo's analyzer suite in one place so
+// the cmd/repolint driver and the clean-tree regression test run the
+// exact same checks.
+package repolint
+
+import (
+	"pathsel/internal/analysis/ctxflow"
+	"pathsel/internal/analysis/detrand"
+	"pathsel/internal/analysis/floateq"
+	"pathsel/internal/analysis/lint"
+	"pathsel/internal/analysis/maporder"
+	"pathsel/internal/analysis/obsmetric"
+)
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		ctxflow.Analyzer,
+		detrand.Analyzer,
+		floateq.Analyzer,
+		maporder.Analyzer,
+		obsmetric.Analyzer,
+	}
+}

@@ -32,6 +32,7 @@ func (r PairResult) Improvement() float64 { return r.DefaultValue - r.AltValue }
 // Ratio is default over alternate: above 1 when the alternate is
 // superior (the paper's Figure 2).
 func (r PairResult) Ratio() float64 {
+	//repolint:allow floateq -- exact-zero guard before division; any nonzero value divides fine
 	if r.AltValue == 0 {
 		return math.Inf(1)
 	}
@@ -110,6 +111,7 @@ func (a *Analyzer) context() context.Context {
 	if a.ctx != nil {
 		return a.ctx
 	}
+	//repolint:allow ctxflow -- documented fallback: an unbound Analyzer is never cancelled
 	return context.Background()
 }
 
@@ -319,6 +321,7 @@ func (r BandwidthResult) Improvement() float64 { return r.AltKBs - r.DefaultKBs 
 
 // Ratio is alternate over default (Figure 5).
 func (r BandwidthResult) Ratio() float64 {
+	//repolint:allow floateq -- exact-zero guard before division; any nonzero value divides fine
 	if r.DefaultKBs == 0 {
 		return math.Inf(1)
 	}

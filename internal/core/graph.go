@@ -223,6 +223,7 @@ type pqItem struct {
 // pqLess orders items by distance, breaking ties by vertex so the pop
 // order (and therefore the search) is fully deterministic.
 func pqLess(a, b pqItem) bool {
+	//repolint:allow floateq -- deterministic tie-break: equal costs fall through to the vertex comparison
 	if a.dist != b.dist {
 		return a.dist < b.dist
 	}
@@ -329,6 +330,7 @@ func (g *graph) shortestAlternate(src, dst, maxVia int, excluded []bool) (path [
 				continue
 			}
 			w := e1.weight + e2.weight
+			//repolint:allow floateq -- deterministic tie-break on identical sums of the same stored weights
 			if w < best || (w == best && e1.to < bestVia) {
 				best, bestVia = w, e1.to
 			}
@@ -443,6 +445,7 @@ func (g *graph) replayLastHop(src, dst int, s *searchScratch) (path []int, ok bo
 	for _, u32 := range s.order {
 		u := int(u32)
 		// dst pops before u does: the search is over.
+		//repolint:allow floateq -- replays the pop order's exact tie-break; values are copies, not recomputations
 		if s.dist[u] > cur || (s.dist[u] == cur && u > dst) {
 			break
 		}
@@ -573,6 +576,7 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []
 		copy(cur, last)
 		copy(curPrev, lastPrev)
 		for u := 0; u < n; u++ {
+			//repolint:allow floateq -- +Inf sentinel for "unreached"; no arithmetic ever produces it
 			if last[u] == inf {
 				continue
 			}
@@ -595,6 +599,7 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []
 			}
 		}
 	}
+	//repolint:allow floateq -- +Inf sentinel for "unreached"; no arithmetic ever produces it
 	if dist[maxEdges*n+dst] == inf {
 		return nil, false
 	}
@@ -608,6 +613,7 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []
 			break
 		}
 		// Find the layer where v's best distance was set.
+		//repolint:allow floateq -- layers copy values verbatim, so equality means "unchanged", bit for bit
 		for h > 0 && dist[(h-1)*n+v] == dist[h*n+v] && prev[(h-1)*n+v] == prev[h*n+v] {
 			h--
 		}

@@ -27,6 +27,7 @@ func (v VerdictCounts) Total() int {
 // Percent returns the four counts as percentages of the total.
 func (v VerdictCounts) Percent() (better, indeterminate, worse, bothZero float64) {
 	t := float64(v.Total())
+	//repolint:allow floateq -- t is an integer count converted to float; zero is exact
 	if t == 0 {
 		return 0, 0, 0, 0
 	}

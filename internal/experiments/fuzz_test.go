@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePreset drives the preset parser and config validation with
+// arbitrary input: parsing either fails cleanly or yields a preset
+// that validates and round-trips through String.
+func FuzzParsePreset(f *testing.F) {
+	f.Add("quick")
+	f.Add("full")
+	f.Add("")
+	f.Add("QUICK")
+	f.Add("full ")
+	f.Add("preset(1)")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePreset(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "unknown preset") {
+				t.Fatalf("ParsePreset(%q): unexpected error shape: %v", s, err)
+			}
+			return
+		}
+		if p.String() != s {
+			t.Fatalf("ParsePreset(%q) = %v which renders as %q; accepted names must round-trip", s, p, p.String())
+		}
+		cfg := Config{Seed: 1, Preset: p}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("config with parsed preset %v failed validation: %v", p, err)
+		}
+		if err := (Config{Preset: p, Concurrency: -1}).Validate(); err == nil {
+			t.Fatal("negative concurrency must not validate")
+		}
+	})
+}

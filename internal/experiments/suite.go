@@ -218,6 +218,7 @@ func buildPlane(topCfg topology.Config, netSeed, probeSeed int64) (*plane, error
 // are independent and run concurrently; every dataset is a
 // deterministic function of cfg alone.
 func Build(cfg Config) (*Suite, error) {
+	//repolint:allow ctxflow -- Build is the documented never-cancelled convenience root of BuildContext
 	return BuildContext(context.Background(), cfg)
 }
 

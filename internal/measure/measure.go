@@ -151,6 +151,7 @@ func (s Spec) Validate() error {
 
 // Run executes the campaign and returns the collected dataset.
 func Run(top *topology.Topology, prb *probe.Prober, spec Spec) (*dataset.Dataset, error) {
+	//repolint:allow ctxflow -- Run is the documented never-cancelled convenience root of RunContext
 	return RunContext(context.Background(), top, prb, spec)
 }
 

@@ -103,6 +103,7 @@ func welchDF(a, b Summary) float64 {
 	if b.N > 1 {
 		den += sb * sb / float64(b.N-1)
 	}
+	//repolint:allow floateq -- exact-zero guard: den is a sum of squares, zero only when every term is
 	if den == 0 {
 		return 1
 	}
@@ -150,11 +151,13 @@ func (v Verdict) String() string {
 // result. Groups with no variance information (N < 2) are compared by CI
 // width zero, matching the paper's treatment of exactly-measured paths.
 func CompareMeans(a, b Summary, confidence float64) Verdict {
+	//repolint:allow floateq -- BothZero classifies paths that never lost a packet: sums of exact zeros
 	if a.N > 0 && b.N > 0 && a.Mean == 0 && b.Mean == 0 && a.Var == 0 && b.Var == 0 {
 		return BothZero
 	}
 	diff := a.Mean - b.Mean
 	se := math.Sqrt(a.SE2() + b.SE2())
+	//repolint:allow floateq -- zero CI width means "exactly measured" per the paper; the sqrt of exact zeros
 	if se == 0 {
 		switch {
 		case diff < 0:
@@ -181,6 +184,7 @@ func CompareMeans(a, b Summary, confidence float64) Verdict {
 // for a.Mean - b.Mean at the given confidence level.
 func MeanDiffCI(a, b Summary, confidence float64) float64 {
 	se := math.Sqrt(a.SE2() + b.SE2())
+	//repolint:allow floateq -- zero CI width means "exactly measured" per the paper; the sqrt of exact zeros
 	if se == 0 {
 		return 0
 	}

@@ -81,6 +81,7 @@ func TCDF(x, v float64) float64 {
 	if v <= 0 {
 		return math.NaN()
 	}
+	//repolint:allow floateq -- symmetry point shortcut; nearby values take the general branch harmlessly
 	if x == 0 {
 		return 0.5
 	}
@@ -98,6 +99,7 @@ func TQuantile(p, v float64) float64 {
 	if v <= 0 || math.IsNaN(p) || p <= 0 || p >= 1 {
 		return math.NaN()
 	}
+	//repolint:allow floateq -- symmetry point shortcut; nearby values take the general branch harmlessly
 	if p == 0.5 {
 		return 0
 	}
