@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test vet lint race bench fuzz-smoke staticcheck vuln check check-all
+.PHONY: build test vet lint race bench bench-json fuzz-smoke staticcheck vuln check check-all
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ race:
 
 bench:
 	$(GO) test -bench 'BestAlternates|GreedyRemoveTop' -benchmem -run '^$$' ./internal/core/
+
+# Machine-readable baseline of the root benchmark harness: one
+# iteration of every exhibit (enough for a committed reference point;
+# -benchtime=1x keeps the expensive ablations bounded), converted to
+# JSON by cmd/benchjson.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_5.json
 
 # Short fuzz runs of the parsers that face external input; CI runs the
 # same budgets.

@@ -512,3 +512,19 @@ func BenchmarkSeedSensitivity(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOverlayExhibit times the online overlay controller replayed
+// against a failing, reconverging network at three probing budgets.
+func BenchmarkOverlayExhibit(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Overlay(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Budgets) != 3 {
+			b.Fatal("bad budget count")
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// report is the JSON shape of one benchmark run.
+type report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// benchmark is one result line. The standard ns/op, B/op and
+// allocs/op units get dedicated fields; any other unit (custom
+// b.ReportMetric metrics) lands in Metrics.
+type benchmark struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp,omitempty"`
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// splitName separates "BenchmarkFoo-8" into the bare name and the
+// GOMAXPROCS suffix (0 when absent).
+func splitName(s string) (string, int) {
+	i := strings.LastIndex(s, "-")
+	if i < 0 {
+		return s, 0
+	}
+	procs, err := strconv.Atoi(s[i+1:])
+	if err != nil || procs <= 0 {
+		return s, 0
+	}
+	return s[:i], procs
+}
+
+// parse reads `go test -bench` output and collects the result lines.
+// Non-benchmark lines (PASS, ok, test log output) are skipped; header
+// lines (goos, goarch, pkg, cpu) annotate the report.
+func parse(r io.Reader) (report, error) {
+	rep := report{Benchmarks: []benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, hdr := range []struct {
+			prefix string
+			field  *string
+		}{
+			{"goos: ", &rep.Goos},
+			{"goarch: ", &rep.Goarch},
+			{"pkg: ", &rep.Pkg},
+			{"cpu: ", &rep.CPU},
+		} {
+			if v, ok := strings.CutPrefix(line, hdr.prefix); ok {
+				*hdr.field = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name iterations {value unit}..."; a bare
+		// "BenchmarkFoo" line (the echo before the result) has one field.
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with Benchmark
+		}
+		b := benchmark{Iterations: iters}
+		b.Name, b.Procs = splitName(strings.TrimPrefix(fields[0], "Benchmark"))
+		if (len(fields)-2)%2 != 0 {
+			return rep, fmt.Errorf("malformed result line %q: unpaired value/unit", line)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return rep, fmt.Errorf("malformed value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("no benchmark result lines on input")
+	}
+	return rep, nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pathsel
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkSuiteBuild
+BenchmarkSuiteBuild-8   	       1	1234567890 ns/op
+BenchmarkTable1-8       	     100	     36674 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkCustom         	      10	       5.5 widgets/op
+PASS
+ok  	pathsel	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "pathsel" {
+		t.Errorf("headers not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "SuiteBuild" || b.Procs != 8 || b.Iterations != 1 || b.NsPerOp != 1234567890 {
+		t.Errorf("first result mangled: %+v", b)
+	}
+	b = rep.Benchmarks[1]
+	if b.Name != "Table1" || b.Iterations != 100 || b.BytesPerOp != 2048 || b.AllocsPerOp != 12 {
+		t.Errorf("benchmem fields mangled: %+v", b)
+	}
+	b = rep.Benchmarks[2]
+	if b.Name != "Custom" || b.Procs != 0 || b.Metrics["widgets/op"] != 5.5 {
+		t.Errorf("custom metric mangled: %+v", b)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok \tpathsel\t0.1s\n")); err == nil {
+		t.Fatal("expected an error when no result lines are present")
+	}
+}
+
+func TestParseRejectsUnpairedFields(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-4 10 99 ns/op 42\n")); err == nil {
+		t.Fatal("expected an error for an unpaired value")
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"Foo-8", "Foo", 8},
+		{"Foo", "Foo", 0},
+		{"Edge-Case-16", "Edge-Case", 16},
+		{"Trailing-", "Trailing-", 0},
+	}
+	for _, c := range cases {
+		name, procs := splitName(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitName(%q) = %q, %d; want %q, %d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

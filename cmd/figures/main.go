@@ -19,6 +19,7 @@ import (
 	"pathsel/internal/core"
 	"pathsel/internal/experiments"
 	"pathsel/internal/report"
+	"pathsel/internal/stats"
 )
 
 func main() {
@@ -328,6 +329,38 @@ func run(cfg experiments.Config, outDir string) error {
 		return err
 	}
 
+	ov, err := experiments.Overlay(s, cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("overlay: %w", err)
+	}
+	fmt.Printf("\n== Extension: online overlay vs default vs offline optimum (%d nodes, %d pairs, %d routing epochs) ==\n",
+		ov.Nodes, ov.Pairs, ov.Epochs)
+	orows := [][]string{{"Probes/s", "Avail default", "Avail overlay", "Avail optimal",
+		"RTT default", "RTT overlay", "RTT optimal", "Relay share", "Median reaction"}}
+	for _, b := range ov.Budgets {
+		reaction := "-"
+		if med, err := stats.NewCDF(b.Reactions).Quantile(0.5); err == nil {
+			reaction = fmt.Sprintf("%.0f s", med)
+		}
+		orows = append(orows, []string{
+			fmt.Sprintf("%.1f", b.ProbesPerSec),
+			fmt.Sprintf("%.3f%%", 100*b.Default.Availability),
+			fmt.Sprintf("%.3f%%", 100*b.Overlay.Availability),
+			fmt.Sprintf("%.3f%%", 100*b.Optimal.Availability),
+			fmt.Sprintf("%.1f ms", b.Default.MeanRTTMs),
+			fmt.Sprintf("%.1f ms", b.Overlay.MeanRTTMs),
+			fmt.Sprintf("%.1f ms", b.Optimal.MeanRTTMs),
+			fmt.Sprintf("%.0f%%", 100*b.RelayShare),
+			reaction,
+		})
+	}
+	if err := report.Table(os.Stdout, orows); err != nil {
+		return err
+	}
+	if err := dumpOverlay(overlayDir(outDir), ov); err != nil {
+		return err
+	}
+
 	fracs, err := experiments.SeedSensitivity(cfg.Seed, 5)
 	if err != nil {
 		return fmt.Errorf("seed sensitivity: %w", err)
@@ -338,6 +371,66 @@ func run(cfg experiments.Config, outDir string) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// overlayDir resolves where the overlay exhibit's data files go: the
+// -out directory when given, otherwise results/ — the exhibit always
+// leaves plottable artifacts behind.
+func overlayDir(outDir string) string {
+	if outDir != "" {
+		return outDir
+	}
+	return "results"
+}
+
+// dumpOverlay writes the overlay exhibit's data files: a per-budget
+// summary, one failover-reaction CDF per probing budget, and the
+// per-connection RTT CDFs of the reference budget.
+func dumpOverlay(dir string, ov experiments.OverlayResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("# probes_per_sec\tavail_default\tavail_overlay\tavail_optimal\trtt_default_ms\trtt_overlay_ms\trtt_optimal_ms\tloss_default\tloss_overlay\tloss_optimal\trelay_share\tprobes\tswitches\toutages\treactions\n")
+	for _, bd := range ov.Budgets {
+		fmt.Fprintf(&b, "%g\t%.6f\t%.6f\t%.6f\t%.4f\t%.4f\t%.4f\t%.6f\t%.6f\t%.6f\t%.4f\t%d\t%d\t%d\t%d\n",
+			bd.ProbesPerSec,
+			bd.Default.Availability, bd.Overlay.Availability, bd.Optimal.Availability,
+			bd.Default.MeanRTTMs, bd.Overlay.MeanRTTMs, bd.Optimal.MeanRTTMs,
+			bd.Default.MeanLoss, bd.Overlay.MeanLoss, bd.Optimal.MeanLoss,
+			bd.RelayShare, bd.ProbesSent, bd.Switches, bd.OutagesDetected, len(bd.Reactions))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "overlay-summary.dat"), []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	for _, bd := range ov.Budgets {
+		name := fmt.Sprintf("overlay-reaction-b%s.dat", sanitize(fmt.Sprintf("%g", bd.ProbesPerSec)))
+		if err := dumpCDFFile(dir, name, bd.Reactions); err != nil {
+			return err
+		}
+	}
+	for _, rtt := range []struct {
+		name   string
+		values []float64
+	}{
+		{"overlay-pair-rtt-overlay.dat", ov.OverlayRTTs},
+		{"overlay-pair-rtt-default.dat", ov.DefaultRTTs},
+		{"overlay-pair-rtt-optimal.dat", ov.OptimalRTTs},
+	} {
+		if err := dumpCDFFile(dir, rtt.name, rtt.values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dumpCDFFile(dir, name string, values []float64) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.DumpCDF(f, stats.NewCDF(values), 500)
 }
 
 func dumpSeries(dir, figID string, sr experiments.Series) error {

@@ -42,6 +42,22 @@ func TestRunQuickWritesAllFigureData(t *testing.T) {
 			t.Errorf("no data file for %s (have %v)", fig, names)
 		}
 	}
+	// The overlay exhibit dumps a summary plus reaction and RTT CDFs.
+	for _, want := range []string{
+		"overlay-summary.dat",
+		"overlay-reaction-b0-5.dat", "overlay-reaction-b2.dat", "overlay-reaction-b8.dat",
+		"overlay-pair-rtt-overlay.dat", "overlay-pair-rtt-default.dat", "overlay-pair-rtt-optimal.dat",
+	} {
+		if !names[want] {
+			t.Errorf("missing overlay data file %s (have %v)", want, names)
+		}
+	}
+	if b, err := os.ReadFile(filepath.Join(dir, "overlay-summary.dat")); err != nil {
+		t.Error(err)
+	} else if lines := strings.Split(strings.TrimSpace(string(b)), "\n"); len(lines) != 4 {
+		t.Errorf("overlay-summary.dat has %d lines, want header + 3 budgets", len(lines))
+	}
+
 	// Data files are tab-separated numbers.
 	b, err := os.ReadFile(filepath.Join(dir, "figure14.dat"))
 	if err != nil {

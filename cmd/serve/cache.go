@@ -46,6 +46,10 @@ type suiteEntry struct {
 	// figure computes exactly once per suite).
 	figMu   sync.Mutex
 	figures map[string]*figFuture
+
+	// ovMu guards overlay, the memoized overlay-exhibit computation.
+	ovMu    sync.Mutex
+	overlay *overlayFuture
 }
 
 // figFuture memoizes one figure computation on a suite.
@@ -53,6 +57,13 @@ type figFuture struct {
 	done   chan struct{}
 	series []experiments.Series
 	err    error
+}
+
+// overlayFuture memoizes the overlay exhibit on a suite.
+type overlayFuture struct {
+	done chan struct{}
+	res  experiments.OverlayResult
+	err  error
 }
 
 // buildFunc builds a suite; production wires experiments.BuildContext,

@@ -37,6 +37,7 @@ func newHandler(cache *suiteCache, defaults experiments.Config, reg *obs.Registr
 	h.mux.HandleFunc("GET /api/table/{n}", h.verdictTable)
 	h.mux.HandleFunc("GET /api/figure/{n}", h.figure)
 	h.mux.HandleFunc("GET /api/cdf/{fig}/{series}", h.cdf)
+	h.mux.HandleFunc("GET /api/overlay", h.overlay)
 	h.mux.HandleFunc("GET /api/suites", h.suites)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.Handle("GET /metrics", reg.Handler())
@@ -368,6 +369,108 @@ func (h *handler) cdf(w http.ResponseWriter, r *http.Request) {
 	http.Error(w, "unknown series", http.StatusNotFound)
 }
 
+// overlayBudgetJSON is one probing-budget row of the overlay exhibit.
+type overlayBudgetJSON struct {
+	ProbesPerSec float64 `json:"probesPerSec"`
+	AvailDefault float64 `json:"availDefault"`
+	AvailOverlay float64 `json:"availOverlay"`
+	AvailOptimal float64 `json:"availOptimal"`
+	RTTDefaultMs float64 `json:"rttDefaultMs"`
+	RTTOverlayMs float64 `json:"rttOverlayMs"`
+	RTTOptimalMs float64 `json:"rttOptimalMs"`
+	RelayShare   float64 `json:"relayShare"`
+
+	Reactions         int     `json:"reactions"`
+	MedianReactionSec float64 `json:"medianReactionSec"`
+	P90ReactionSec    float64 `json:"p90ReactionSec"`
+
+	ProbesSent      int `json:"probesSent"`
+	Switches        int `json:"switches"`
+	OutagesDetected int `json:"outagesDetected"`
+}
+
+type overlayJSON struct {
+	Nodes   int                 `json:"nodes"`
+	Pairs   int                 `json:"pairs"`
+	Epochs  int                 `json:"epochs"`
+	Budgets []overlayBudgetJSON `json:"budgets"`
+}
+
+// overlayFor returns the (memoized) overlay exhibit for a cached
+// suite, with the same cancel-retry semantics as seriesFor: an exhibit
+// aborted by its requester's disconnection is forgotten so the next
+// request recomputes it.
+func (h *handler) overlayFor(ctx context.Context, e *suiteEntry) (experiments.OverlayResult, error) {
+	for {
+		e.ovMu.Lock()
+		f := e.overlay
+		if f == nil {
+			f = &overlayFuture{done: make(chan struct{})}
+			e.overlay = f
+			e.ovMu.Unlock()
+			f.res, f.err = experiments.Overlay(e.suite.WithContext(ctx), e.cfg.Seed)
+			if f.err != nil && errors.Is(f.err, context.Canceled) {
+				e.ovMu.Lock()
+				e.overlay = nil
+				e.ovMu.Unlock()
+			}
+			close(f.done)
+			return f.res, f.err
+		}
+		e.ovMu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil && errors.Is(f.err, context.Canceled) && ctx.Err() == nil {
+				continue // the computing request disconnected; retry as owner
+			}
+			return f.res, f.err
+		case <-ctx.Done():
+			return experiments.OverlayResult{}, ctx.Err()
+		}
+	}
+}
+
+func (h *handler) overlay(w http.ResponseWriter, r *http.Request) {
+	e, ok := h.entryFor(w, r)
+	if !ok {
+		return
+	}
+	res, err := h.overlayFor(r.Context(), e)
+	if err != nil {
+		if r.Context().Err() == nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	out := overlayJSON{Nodes: res.Nodes, Pairs: res.Pairs, Epochs: res.Epochs}
+	for _, b := range res.Budgets {
+		row := overlayBudgetJSON{
+			ProbesPerSec: b.ProbesPerSec,
+			AvailDefault: b.Default.Availability,
+			AvailOverlay: b.Overlay.Availability,
+			AvailOptimal: b.Optimal.Availability,
+			RTTDefaultMs: b.Default.MeanRTTMs,
+			RTTOverlayMs: b.Overlay.MeanRTTMs,
+			RTTOptimalMs: b.Optimal.MeanRTTMs,
+			RelayShare:   b.RelayShare,
+
+			Reactions:       len(b.Reactions),
+			ProbesSent:      b.ProbesSent,
+			Switches:        b.Switches,
+			OutagesDetected: b.OutagesDetected,
+		}
+		c := stats.NewCDF(b.Reactions)
+		if med, err := c.Quantile(0.5); err == nil {
+			row.MedianReactionSec = med
+		}
+		if p90, err := c.Quantile(0.9); err == nil {
+			row.P90ReactionSec = p90
+		}
+		out.Budgets = append(out.Budgets, row)
+	}
+	writeJSON(w, out)
+}
+
 // suites reports the cache contents: which configurations are resident
 // and whether each is ready or still building.
 func (h *handler) suites(w http.ResponseWriter, _ *http.Request) {
@@ -389,7 +492,8 @@ the requested suite on demand (cached, LRU-bounded).</p>
 <li><a href="/api/table1">Table 1: dataset characteristics</a></li>
 <li><a href="/api/table/2">Table 2: RTT verdicts</a> · <a href="/api/table/3">Table 3: loss verdicts</a></li>
 {{range .Figures}}<li><a href="/api/figure/{{.}}">Figure {{.}}</a></li>
-{{end}}</ul>
+{{end}}<li><a href="/api/overlay">Overlay exhibit: online path selection vs default vs offline optimum</a></li>
+</ul>
 <p>Operations: <a href="/api/suites">cached suites</a> ·
 <a href="/metrics">metrics</a> · <a href="/healthz">health</a> ·
 <a href="/debug/pprof/">pprof</a></p>

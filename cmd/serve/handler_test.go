@@ -174,6 +174,39 @@ func TestCDFEndpoint(t *testing.T) {
 	}
 }
 
+func TestOverlayEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overlay exhibit replays hours of control loop")
+	}
+	h := testHandler(t)
+	rec := get(t, h, "/api/overlay")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out overlayJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if out.Nodes == 0 || out.Pairs == 0 || out.Epochs < 2 {
+		t.Fatalf("degenerate exhibit: %+v", out)
+	}
+	if len(out.Budgets) != 3 {
+		t.Fatalf("got %d budgets, want 3", len(out.Budgets))
+	}
+	for _, b := range out.Budgets {
+		if !(b.AvailDefault < b.AvailOverlay && b.AvailOverlay < b.AvailOptimal) {
+			t.Errorf("budget %g: availability not ordered: %+v", b.ProbesPerSec, b)
+		}
+		if b.Reactions == 0 || b.MedianReactionSec <= 0 {
+			t.Errorf("budget %g: no reaction times: %+v", b.ProbesPerSec, b)
+		}
+	}
+	// The memoized second hit is byte-identical.
+	if again := get(t, h, "/api/overlay"); again.Body.String() != rec.Body.String() {
+		t.Error("repeated overlay request differs")
+	}
+}
+
 func TestBadQueryParams(t *testing.T) {
 	h := testHandler(t)
 	for _, path := range []string{

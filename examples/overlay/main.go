@@ -1,17 +1,19 @@
 // Overlay: a Detour/RON-style overlay router built on the library — the
 // systems the paper's findings directly inspired.
 //
-// A set of overlay nodes (the measurement hosts) probe each other
-// periodically. For every pair, the overlay routes each "connection"
-// either directly or through the one-hop relay that the latest probes
-// say is fastest. We then compare the latency the overlay achieved
-// against always taking the default Internet path, over a simulated
-// business day.
+// This is a thin driver over internal/overlay: a set of overlay nodes
+// probe each other on a fixed per-node budget, maintain EWMA latency
+// and loss estimates per virtual link, and route each pair either
+// directly or through the one-hop relay the estimates favor (with
+// hysteresis, so routes do not flap). The evaluation harness replays a
+// simulated business day and scores the overlay's choices against the
+// always-direct default and the offline optimum from ground truth.
 //
 // Run with: go run ./examples/overlay
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -20,13 +22,9 @@ import (
 	"pathsel/internal/forward"
 	"pathsel/internal/igp"
 	"pathsel/internal/netsim"
+	"pathsel/internal/overlay"
 	"pathsel/internal/topology"
 )
-
-// probeIntervalSec is how often the overlay refreshes its pairwise
-// measurements (RON used ~10s probes; we are coarser to keep the demo
-// fast).
-const probeIntervalSec = 300
 
 func main() {
 	topCfg := topology.DefaultConfig(topology.Era1999)
@@ -43,101 +41,51 @@ func main() {
 	fwd := forward.New(top, g, table)
 	net := netsim.New(top, netsim.ConfigFor(topology.Era1999))
 
-	hosts := top.Hosts
-	n := len(hosts)
-	fmt.Printf("overlay of %d nodes; probing every %d s across a business day\n\n", n, probeIntervalSec)
-
-	// Precompute forwarding paths between every host pair (the physical
-	// substrate does not change during the day).
-	paths := make([][]forward.Path, n)
-	for i := range paths {
-		paths[i] = make([]forward.Path, n)
-		for j := range paths[i] {
-			if i == j {
-				continue
-			}
-			p, err := fwd.HostPath(hosts[i].ID, hosts[j].ID)
-			if err != nil {
-				log.Fatal(err)
-			}
-			paths[i][j] = p
-		}
-	}
-	// oneWay returns the expected one-way delay of the i->j default path
-	// at time t.
-	oneWay := func(i, j int, t netsim.Time) float64 {
-		st, err := net.EvalHostPath(hosts[i].ID, hosts[j].ID, paths[i][j].Links, t)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return st.DelayMs
+	nodes := make([]topology.HostID, len(top.Hosts))
+	for i, h := range top.Hosts {
+		nodes[i] = h.ID
 	}
 
-	// Simulate a Wednesday. Every probe interval the overlay measures
-	// all pairs and picks, per pair, the best relay for the *next*
-	// interval — decisions use stale data exactly as a real overlay's
-	// would. We score the choices against the fresh network state.
-	start := netsim.Time(2 * 86400)
-	var overlaySum, directSum float64
-	var wins, picks, relayed int
-	relay := make([][]int, n) // chosen relay per pair, -1 = direct
-	for i := range relay {
-		relay[i] = make([]int, n)
-		for j := range relay[i] {
-			relay[i][j] = -1
-		}
+	cfg := overlay.DefaultConfig()
+	cfg.ProbesPerSec = 2
+
+	// Simulate a Wednesday. The substrate's routes are static (a
+	// forward.Cache), so all dynamics come from the network model's
+	// diurnal load and link flaps.
+	cond := overlay.Conditions{
+		Paths: forward.NewCache(fwd),
+		Net:   net,
+		Nodes: nodes,
+		Start: netsim.Time(2 * 86400),
+		End:   netsim.Time(3 * 86400),
 	}
-	for step := 0; step < 86400/probeIntervalSec; step++ {
-		t := start + netsim.Time(step*probeIntervalSec)
-		// Score the previous decisions against the current state.
-		if step > 0 {
-			for i := 0; i < n; i++ {
-				for j := 0; j < n; j++ {
-					if i == j {
-						continue
-					}
-					direct := oneWay(i, j, t)
-					chosen := direct
-					if r := relay[i][j]; r >= 0 {
-						chosen = oneWay(i, r, t) + oneWay(r, j, t)
-						relayed++
-					}
-					overlaySum += chosen
-					directSum += direct
-					picks++
-					if chosen < direct {
-						wins++
-					}
-				}
-			}
-		}
-		// Measure and re-decide for the next interval.
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
-				}
-				direct := oneWay(i, j, t)
-				best, bestVia := direct, -1
-				for r := 0; r < n; r++ {
-					if r == i || r == j {
-						continue
-					}
-					if d := oneWay(i, r, t) + oneWay(r, j, t); d < best {
-						best, bestVia = d, r
-					}
-				}
-				relay[i][j] = bestVia
-			}
-		}
+	fmt.Printf("overlay of %d nodes; %.0f probes/s per node across a business day\n\n",
+		len(nodes), cfg.ProbesPerSec)
+
+	res, err := overlay.Evaluate(context.Background(), cond, cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Printf("connection-intervals scored:  %d\n", picks)
-	fmt.Printf("overlay chose a relay:        %.0f%%\n", 100*float64(relayed)/float64(picks))
-	fmt.Printf("overlay beat the default:     %.0f%%\n", 100*float64(wins)/float64(picks))
-	fmt.Printf("mean one-way latency:         %.1f ms overlay vs %.1f ms default (%.0f%% saved)\n",
-		overlaySum/float64(picks), directSum/float64(picks),
-		100*(1-overlaySum/math.Max(directSum, 1e-9)))
+	fmt.Printf("pairs in the mesh:            %d\n", res.Pairs)
+	fmt.Printf("connection-intervals scored:  %d\n", res.ScoredTicks*res.Pairs)
+	fmt.Printf("probes sent:                  %d (switches %d, outages detected %d)\n",
+		res.ProbesSent, res.Switches, res.OutagesDetected)
+	fmt.Printf("overlay chose a relay:        %.0f%%\n", 100*res.RelayShare)
+	fmt.Printf("availability:                 %.3f%% overlay vs %.3f%% default (optimal %.3f%%)\n",
+		100*res.Overlay.Availability, 100*res.Default.Availability, 100*res.Optimal.Availability)
+	fmt.Printf("mean round-trip latency:      %.1f ms overlay vs %.1f ms default (%.0f%% saved; optimal %.1f ms)\n",
+		res.Overlay.MeanRTTMs, res.Default.MeanRTTMs,
+		100*(1-res.Overlay.MeanRTTMs/math.Max(res.Default.MeanRTTMs, 1e-9)),
+		res.Optimal.MeanRTTMs)
+	if len(res.Reactions) > 0 {
+		sum := 0.0
+		for _, r := range res.Reactions {
+			sum += r
+		}
+		fmt.Printf("failover reactions:           %d, mean %.0f s\n",
+			len(res.Reactions), sum/float64(len(res.Reactions)))
+	}
 
 	_ = table // routing state retained for clarity of the pipeline
 }

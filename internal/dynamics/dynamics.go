@@ -37,6 +37,12 @@ type Config struct {
 	// MaxEpochs bounds the number of reconvergence computations; Build
 	// fails if the sampled failures would exceed it.
 	MaxEpochs int
+	// Adjacencies, when non-empty, restricts failure sampling to the
+	// listed AS adjacencies (deduplicated; unknown adjacencies are
+	// harmless no-ops). Experiments use it to inject failures onto the
+	// paths a host set actually depends on instead of spreading them
+	// over the whole topology. Empty means every adjacency may fail.
+	Adjacencies []bgp.AdjacencyKey
 }
 
 // DefaultConfig returns a modest failure regime: most adjacencies never
@@ -126,8 +132,26 @@ func Build(top *topology.Topology, g *igp.IGP, cfg Config) (*Timeline, error) {
 	end := cfg.StartSec + cfg.DurationSec
 	ratePerSec := cfg.FailuresPerAdjacencyPerWeek / (7 * 86400)
 
+	adjList := adjacencies(top)
+	if len(cfg.Adjacencies) > 0 {
+		set := map[bgp.AdjacencyKey]bool{}
+		for _, adj := range cfg.Adjacencies {
+			set[adj] = true
+		}
+		adjList = adjList[:0]
+		for adj := range set {
+			adjList = append(adjList, adj)
+		}
+		sort.Slice(adjList, func(i, j int) bool {
+			if adjList[i][0] != adjList[j][0] {
+				return adjList[i][0] < adjList[j][0]
+			}
+			return adjList[i][1] < adjList[j][1]
+		})
+	}
+
 	var outages []outage
-	for _, adj := range adjacencies(top) {
+	for _, adj := range adjList {
 		t := cfg.StartSec
 		for {
 			if ratePerSec <= 0 {

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"pathsel/internal/bgp"
+	"pathsel/internal/dynamics"
+	"pathsel/internal/forward"
+	"pathsel/internal/igp"
+	"pathsel/internal/netsim"
+	"pathsel/internal/overlay"
+	"pathsel/internal/topology"
+)
+
+// OverlayBudget is one probing-budget point of the overlay exhibit: the
+// online overlay, the always-direct default and the offline optimum
+// evaluated over the same business day of injected BGP failures.
+type OverlayBudget struct {
+	ProbesPerSec float64
+
+	Overlay overlay.VariantStats
+	Default overlay.VariantStats
+	Optimal overlay.VariantStats
+
+	// RelayShare is the fraction of scored connection-intervals the
+	// overlay routed through a one-hop relay.
+	RelayShare float64
+	// Reactions are the failover reaction times (seconds) observed at
+	// this budget; more probes per second buy faster detection.
+	Reactions []float64
+
+	ProbesSent      int
+	Switches        int
+	OutagesDetected int
+}
+
+// OverlayResult is the overlay exhibit: the end-to-end effect of
+// RON/Detour-style path selection that the paper's closing argument
+// anticipates, quantified against the default routes and the offline
+// optimum under injected session failures with delayed reconvergence.
+type OverlayResult struct {
+	Nodes  int
+	Pairs  int
+	Epochs int
+
+	// Budgets are evaluated lowest to highest probing rate.
+	Budgets []OverlayBudget
+
+	// RefBudget indexes the budget whose per-connection RTT point
+	// clouds are exported below for CDFs.
+	RefBudget   int
+	OverlayRTTs []float64
+	DefaultRTTs []float64
+	OptimalRTTs []float64
+}
+
+// overlayNodes picks n evenly spaced hosts from the suite's UW3 host
+// set (sorted by ID for determinism).
+func overlayNodes(s *Suite, n int) []topology.HostID {
+	hosts := append([]topology.HostID(nil), s.UW3.Hosts...)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	if n > len(hosts) {
+		n = len(hosts)
+	}
+	out := make([]topology.HostID, n)
+	for i := range out {
+		out[i] = hosts[i*len(hosts)/n]
+	}
+	return out
+}
+
+// pathAdjacencies collects the AS adjacencies crossed by the default
+// paths between every pair of the given hosts, in both directions — the
+// adjacencies the overlay actually depends on.
+func pathAdjacencies(top *topology.Topology, fwd *forward.Forwarder, nodes []topology.HostID) ([]bgp.AdjacencyKey, error) {
+	set := map[bgp.AdjacencyKey]bool{}
+	var out []bgp.AdjacencyKey
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a == b {
+				continue
+			}
+			p, err := fwd.HostPath(a, b)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: overlay pair %d->%d unroutable: %w", a, b, err)
+			}
+			asPath := p.ASPath(top)
+			for i := 0; i+1 < len(asPath); i++ {
+				k := bgp.MakeAdjacencyKey(asPath[i], asPath[i+1])
+				if !set[k] {
+					set[k] = true
+					out = append(out, k)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Overlay runs the overlay exhibit: a failure timeline with a BGP
+// convergence delay over the suite's UW topology, replayed by the
+// online overlay controller at several probing budgets. Failures are
+// injected on the adjacencies the overlay pairs' default paths cross,
+// so the exhibit measures reaction to outages that matter rather than
+// background noise elsewhere in the topology.
+func Overlay(s *Suite, seed int64) (OverlayResult, error) {
+	top, _ := s.UWPlane()
+	fwd, net := s.UWForwarding()
+	g := igp.New(top, igp.DefaultConfig())
+
+	// A business day (Wednesday) under an elevated failure regime:
+	// enough ~10-minute outages that availability separates the three
+	// variants, with a 240 s convergence delay so even reconverging BGP
+	// blackholes traffic for a window the overlay can beat.
+	dynCfg := dynamics.DefaultConfig()
+	dynCfg.Seed = seed + 7
+	dynCfg.FailuresPerAdjacencyPerWeek = 1
+	dynCfg.MeanOutageSec = 600
+	dynCfg.StartSec = 86400
+	dynCfg.DurationSec = 2 * 86400
+	dynCfg.MaxEpochs = 2000
+
+	ovCfg := overlay.DefaultConfig()
+	ovCfg.Seed = seed + 13
+	ovCfg.Concurrency = s.Config.Concurrency
+	// Score every control tick: failover reactions last only a few
+	// ticks, and a coarser grid would step right over them.
+	ovCfg.ScoreIntervalSec = ovCfg.TickSec
+
+	nodes := 12
+	start := netsim.Time(2 * 86400) // Wednesday 00:00
+	end := start + 86400
+	if s.Config.Preset == Quick {
+		// A four-hour window with a proportionally hotter failure rate;
+		// structure (warmup, outages, multiple budgets) is preserved.
+		nodes = 8
+		ovCfg.WarmupSec = 900
+		end = start + 4*3600
+		dynCfg.FailuresPerAdjacencyPerWeek = 12
+		dynCfg.MeanOutageSec = 300
+		dynCfg.StartSec = float64(start) - ovCfg.WarmupSec
+		dynCfg.DurationSec = ovCfg.WarmupSec + 4*3600
+	}
+
+	nodeIDs := overlayNodes(s, nodes)
+	adjs, err := pathAdjacencies(top, fwd, nodeIDs)
+	if err != nil {
+		return OverlayResult{}, err
+	}
+	dynCfg.Adjacencies = adjs
+
+	tl, err := dynamics.Build(top, g, dynCfg)
+	if err != nil {
+		return OverlayResult{}, err
+	}
+	dtl, err := tl.WithConvergenceDelay(240)
+	if err != nil {
+		return OverlayResult{}, err
+	}
+
+	cond := overlay.Conditions{
+		Paths: dtl,
+		Net:   net,
+		Nodes: nodeIDs,
+		Start: start,
+		End:   end,
+	}
+
+	out := OverlayResult{
+		Nodes:  len(cond.Nodes),
+		Epochs: len(tl.Epochs()),
+	}
+	budgets := []float64{0.5, 2, 8}
+	out.RefBudget = 1
+	for i, b := range budgets {
+		cfg := ovCfg
+		cfg.ProbesPerSec = b
+		res, err := overlay.Evaluate(s.ctx, cond, cfg)
+		if err != nil {
+			return OverlayResult{}, err
+		}
+		out.Pairs = res.Pairs
+		out.Budgets = append(out.Budgets, OverlayBudget{
+			ProbesPerSec:    b,
+			Overlay:         res.Overlay,
+			Default:         res.Default,
+			Optimal:         res.Optimal,
+			RelayShare:      res.RelayShare,
+			Reactions:       res.Reactions,
+			ProbesSent:      res.ProbesSent,
+			Switches:        res.Switches,
+			OutagesDetected: res.OutagesDetected,
+		})
+		if i == out.RefBudget {
+			out.OverlayRTTs = res.OverlayRTTs
+			out.DefaultRTTs = res.DefaultRTTs
+			out.OptimalRTTs = res.OptimalRTTs
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,20 @@
+package overlay
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkEvaluate(b *testing.B) {
+	cond, _ := testConditions(b, 6)
+	cond.End = cond.Start + 1800
+	cfg := testEvalConfig()
+	cfg.WarmupSec = 300
+	cfg.Concurrency = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(context.Background(), cond, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

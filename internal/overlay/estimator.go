@@ -1,0 +1,90 @@
+package overlay
+
+import (
+	"math"
+
+	"pathsel/internal/netsim"
+)
+
+// Sample is one probe outcome over a mesh edge.
+type Sample struct {
+	// Lost marks a probe that got no reply (loss on either direction,
+	// or no route at all).
+	Lost bool
+	// RTTMs is the measured round-trip time of a successful probe.
+	RTTMs float64
+}
+
+// edgeEstimate is the estimator's state for one mesh edge.
+type edgeEstimate struct {
+	probed    bool
+	rttMs     float64 // EWMA round-trip time
+	loss      float64 // EWMA loss probability
+	lastProbe netsim.Time
+	consLost  int
+	down      bool
+}
+
+// estimator maintains staleness-aware EWMA RTT and loss per mesh edge.
+// It is written only by Controller.Ingest (sequentially) and read by
+// the switching policy; the harness guarantees the phases never
+// overlap, so no locking is needed and results stay deterministic.
+type estimator struct {
+	cfg   Config
+	edges []edgeEstimate
+}
+
+func newEstimator(cfg Config, n int) *estimator {
+	return &estimator{cfg: cfg, edges: make([]edgeEstimate, n)}
+}
+
+// update folds one probe sample into the edge's estimate and reports
+// whether the edge transitioned to down with this sample.
+func (e *estimator) update(edge int, at netsim.Time, s Sample) (wentDown bool) {
+	st := &e.edges[edge]
+	a := e.cfg.EWMAAlpha
+	st.lastProbe = at
+	if s.Lost {
+		st.consLost++
+		if st.probed {
+			st.loss = a*1 + (1-a)*st.loss
+		} else {
+			st.loss = 1
+		}
+		if !st.down && st.consLost >= e.cfg.OutageLosses {
+			st.down = true
+			return true
+		}
+		return false
+	}
+	if st.probed {
+		st.rttMs = a*s.RTTMs + (1-a)*st.rttMs
+		st.loss = (1 - a) * st.loss
+	} else {
+		st.rttMs = s.RTTMs
+		st.loss = 0
+		st.probed = true
+	}
+	st.consLost = 0
+	st.down = false
+	return false
+}
+
+// score returns the policy score of an edge at time now, in
+// milliseconds: EWMA RTT plus the loss penalty plus a staleness
+// penalty that grows linearly once the estimate outlives
+// StaleAfterSec. Unprobed edges score +Inf (ineligible).
+func (e *estimator) score(edge int, now netsim.Time) float64 {
+	st := &e.edges[edge]
+	if !st.probed {
+		return math.Inf(1)
+	}
+	s := st.rttMs + e.cfg.LossPenaltyMs*st.loss
+	if age := float64(now - st.lastProbe); age > e.cfg.StaleAfterSec {
+		s += e.cfg.StalePenaltyMs * (age - e.cfg.StaleAfterSec) / e.cfg.StaleAfterSec
+	}
+	return s
+}
+
+// isDown reports whether the edge is currently declared down.
+func (e *estimator) isDown(edge int) bool { return e.edges[edge].down }

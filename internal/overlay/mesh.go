@@ -1,0 +1,52 @@
+package overlay
+
+import "fmt"
+
+// mesh indexes the unordered node pairs of the overlay. Pair p = {i, j}
+// (i < j) is both a routable connection and a probe target ("edge"); a
+// relay route for p uses the edges {i, r} and {r, j}. One flat index
+// space serves the estimator, the scheduler and the router.
+type mesh struct {
+	n     int
+	pairs [][2]int // pair index -> (i, j), i < j
+	index [][]int  // node i, node j -> pair index (symmetric)
+}
+
+// newMesh builds the pair index over n nodes.
+func newMesh(n int) (*mesh, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("overlay: need at least 3 nodes for one-hop relays, got %d", n)
+	}
+	m := &mesh{n: n, index: make([][]int, n)}
+	for i := range m.index {
+		m.index[i] = make([]int, n)
+		for j := range m.index[i] {
+			m.index[i][j] = -1
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.index[i][j] = len(m.pairs)
+			m.index[j][i] = len(m.pairs)
+			m.pairs = append(m.pairs, [2]int{i, j})
+		}
+	}
+	return m, nil
+}
+
+// edges returns the number of mesh edges (= pairs).
+func (m *mesh) edges() int { return len(m.pairs) }
+
+// edge returns the pair index of {a, b}.
+func (m *mesh) edge(a, b int) int { return m.index[a][b] }
+
+// routeEdges returns the mesh edges route uses for pair p: the pair
+// itself when direct, or the two relay legs. The second return is -1
+// for direct routes.
+func (m *mesh) routeEdges(p, route int) (int, int) {
+	if route == Direct {
+		return p, -1
+	}
+	ij := m.pairs[p]
+	return m.edge(ij[0], route), m.edge(route, ij[1])
+}

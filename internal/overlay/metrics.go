@@ -1,0 +1,52 @@
+package overlay
+
+import "pathsel/internal/obs"
+
+// Metrics is the overlay's observability sink. All methods are safe on
+// a nil receiver, so instrumentation costs nothing when unattached.
+type Metrics struct {
+	// ProbesSent counts probes the scheduler issued.
+	ProbesSent *obs.Counter
+	// Switches counts route changes the policy applied.
+	Switches *obs.Counter
+	// Outages counts edge down-transitions the detector declared.
+	Outages *obs.Counter
+	// Detection records failover reaction times in seconds: from a
+	// route becoming unusable in ground truth to the pair switching to
+	// a working route.
+	Detection *obs.Histogram
+}
+
+// NewMetrics registers the overlay metric family in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		ProbesSent: reg.Counter("overlay_probes_sent_total", "Probes issued by the overlay scheduler."),
+		Switches:   reg.Counter("overlay_switches_total", "Route switches applied by the overlay policy."),
+		Outages:    reg.Counter("overlay_outages_detected_total", "Mesh-edge down transitions declared by the outage detector."),
+		Detection:  reg.Histogram("overlay_failover_reaction_seconds", "Time from a route failing to the overlay switching off it."),
+	}
+}
+
+func (m *Metrics) probes(n int) {
+	if m != nil && m.ProbesSent != nil {
+		m.ProbesSent.Add(int64(n))
+	}
+}
+
+func (m *Metrics) switched(n int) {
+	if m != nil && m.Switches != nil {
+		m.Switches.Add(int64(n))
+	}
+}
+
+func (m *Metrics) outage() {
+	if m != nil && m.Outages != nil {
+		m.Outages.Inc()
+	}
+}
+
+func (m *Metrics) reaction(sec float64) {
+	if m != nil && m.Detection != nil {
+		m.Detection.Observe(sec)
+	}
+}

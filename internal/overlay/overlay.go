@@ -1,0 +1,171 @@
+// Package overlay is a Detour/RON-style online path-selection subsystem
+// running on the simulated clock: the end-host mechanism the paper's
+// closing argument says could exploit the 30-80% of pairs with a better
+// alternate path.
+//
+// A set of overlay nodes (hosts of the synthetic Internet) maintain a
+// full probing mesh. Per node pair, an EWMA estimator tracks round-trip
+// time and loss from probe samples; a probe scheduler spreads a
+// configurable probes/second budget across the mesh; a switching policy
+// with hysteresis routes each pair either directly or through the best
+// one-hop relay; and an outage detector declares a mesh edge down after
+// consecutive lost probes, triggering burst reprobes and an immediate
+// failover decision for every pair routed over the dead edge.
+//
+// Everything is deterministic in the configured seed: probe samples are
+// drawn from per-probe generators keyed by (seed, edge, sequence
+// number), and the evaluation harness's concurrency fans work out into
+// pre-sized slots that are reduced in index order, so a parallel run is
+// bit-identical to a sequential one (the same contract as
+// core.Analyzer; see the determinism regression tests).
+package overlay
+
+import (
+	"fmt"
+
+	"pathsel/internal/forward"
+	"pathsel/internal/netsim"
+	"pathsel/internal/topology"
+)
+
+// PathProvider supplies forwarding paths at simulated times. Both
+// *forward.Cache (static converged network) and *dynamics.Timeline /
+// *dynamics.DelayedTimeline (failing, reconverging network) satisfy it.
+// Implementations need not be safe for concurrent use: the evaluation
+// harness serializes every PathAt call behind one mutex.
+type PathProvider interface {
+	PathAt(src, dst topology.HostID, at netsim.Time) (forward.Path, error)
+}
+
+// Config tunes the overlay controller. Use DefaultConfig as a base.
+type Config struct {
+	// Seed feeds every random draw (probe sampling). Same seed, same
+	// run, bit for bit, at any Concurrency.
+	Seed int64
+
+	// ProbesPerSec is the total probing budget across the whole mesh.
+	// The scheduler spreads it round-robin over the edges, so the
+	// per-edge refresh interval is edges/ProbesPerSec seconds. Outage
+	// bursts may briefly exceed the budget (they are failover traffic,
+	// not background measurement).
+	ProbesPerSec float64
+	// TickSec is the control-loop period: probes are issued and
+	// switching decisions re-evaluated once per tick.
+	TickSec float64
+
+	// EWMAAlpha is the exponential-smoothing weight of new samples.
+	EWMAAlpha float64
+	// StaleAfterSec is the estimate age beyond which the policy starts
+	// distrusting an edge; StalePenaltyMs is added to its score per
+	// StaleAfterSec of excess age. Staleness-aware scoring keeps a
+	// low-budget overlay from chasing long-gone measurements.
+	StaleAfterSec  float64
+	StalePenaltyMs float64
+	// LossPenaltyMs converts estimated loss probability into the
+	// milliseconds added to a route's score (a 1% loss estimate adds
+	// LossPenaltyMs/100 ms).
+	LossPenaltyMs float64
+
+	// HysteresisFrac and HysteresisAbsMs damp route flapping: a pair
+	// switches routes only when the challenger's score undercuts the
+	// incumbent's by max(HysteresisFrac*incumbent, HysteresisAbsMs).
+	// Outage failovers bypass hysteresis.
+	HysteresisFrac  float64
+	HysteresisAbsMs float64
+
+	// OutageLosses is the number of consecutive lost probes after which
+	// an edge is declared down.
+	OutageLosses int
+	// MaxCandidates bounds how many relay candidates a pair considers
+	// per decision (the lowest-scoring relays win); 0 considers every
+	// node. Candidate relays are the other overlay nodes; the harness
+	// evaluates their concatenated forward-plane paths.
+	MaxCandidates int
+
+	// WarmupSec runs the control loop before the scored window starts,
+	// so estimates exist when scoring begins.
+	WarmupSec float64
+	// ScoreIntervalSec is the harness's scoring grid: overlay, default
+	// and offline-optimal are compared against ground truth on this
+	// period (reaction times are tracked at TickSec resolution).
+	ScoreIntervalSec float64
+	// UsableLossMax is the ground-truth loss probability above which
+	// the harness counts a route as unavailable.
+	UsableLossMax float64
+
+	// Concurrency is the harness worker count: 0 = one per CPU, 1 =
+	// sequential. Results are identical for every setting.
+	Concurrency int
+}
+
+// DefaultConfig returns a RON-flavored baseline: 10-second control
+// ticks, outage declaration after two straight losses, and mild
+// hysteresis.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		ProbesPerSec:     2,
+		TickSec:          10,
+		EWMAAlpha:        0.3,
+		StaleAfterSec:    120,
+		StalePenaltyMs:   10,
+		LossPenaltyMs:    200,
+		HysteresisFrac:   0.10,
+		HysteresisAbsMs:  2,
+		OutageLosses:     2,
+		MaxCandidates:    0,
+		WarmupSec:        1800,
+		ScoreIntervalSec: 60,
+		UsableLossMax:    0.5,
+	}
+}
+
+// Validate reports a descriptive error for configurations the
+// controller cannot run.
+func (c Config) Validate() error {
+	switch {
+	case c.ProbesPerSec <= 0:
+		return fmt.Errorf("overlay: ProbesPerSec must be positive")
+	case c.TickSec <= 0:
+		return fmt.Errorf("overlay: TickSec must be positive")
+	case c.EWMAAlpha <= 0 || c.EWMAAlpha > 1:
+		return fmt.Errorf("overlay: EWMAAlpha %.2f outside (0,1]", c.EWMAAlpha)
+	case c.StaleAfterSec <= 0:
+		return fmt.Errorf("overlay: StaleAfterSec must be positive")
+	case c.HysteresisFrac < 0 || c.HysteresisFrac >= 1:
+		return fmt.Errorf("overlay: HysteresisFrac %.2f outside [0,1)", c.HysteresisFrac)
+	case c.HysteresisAbsMs < 0:
+		return fmt.Errorf("overlay: HysteresisAbsMs must be non-negative")
+	case c.LossPenaltyMs < 0 || c.StalePenaltyMs < 0:
+		return fmt.Errorf("overlay: penalties must be non-negative")
+	case c.OutageLosses < 1:
+		return fmt.Errorf("overlay: OutageLosses must be at least 1")
+	case c.MaxCandidates < 0:
+		return fmt.Errorf("overlay: MaxCandidates must be non-negative")
+	case c.WarmupSec < 0:
+		return fmt.Errorf("overlay: WarmupSec must be non-negative")
+	case c.ScoreIntervalSec < c.TickSec:
+		return fmt.Errorf("overlay: ScoreIntervalSec %.0f below TickSec %.0f", c.ScoreIntervalSec, c.TickSec)
+	case c.UsableLossMax <= 0 || c.UsableLossMax > 1:
+		return fmt.Errorf("overlay: UsableLossMax %.2f outside (0,1]", c.UsableLossMax)
+	case c.Concurrency < 0:
+		return fmt.Errorf("overlay: negative concurrency %d", c.Concurrency)
+	}
+	return nil
+}
+
+// Direct marks a pair routed over its default Internet path rather than
+// through a relay node.
+const Direct = -1
+
+// mix64 folds three 64-bit values into one (splitmix64-style
+// finalizer), used to derive independent per-probe random seeds.
+func mix64(a, b, c uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 ^ b*0xC2B2AE3D27D4EB4F ^ c*0x165667B19E3779F9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

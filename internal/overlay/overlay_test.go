@@ -1,0 +1,156 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := map[string]func(*Config){
+		"probes":     func(c *Config) { c.ProbesPerSec = 0 },
+		"tick":       func(c *Config) { c.TickSec = -1 },
+		"alpha-zero": func(c *Config) { c.EWMAAlpha = 0 },
+		"alpha-big":  func(c *Config) { c.EWMAAlpha = 1.5 },
+		"stale":      func(c *Config) { c.StaleAfterSec = 0 },
+		"hyst-frac":  func(c *Config) { c.HysteresisFrac = 1 },
+		"hyst-abs":   func(c *Config) { c.HysteresisAbsMs = -1 },
+		"penalty":    func(c *Config) { c.LossPenaltyMs = -1 },
+		"outage":     func(c *Config) { c.OutageLosses = 0 },
+		"cands":      func(c *Config) { c.MaxCandidates = -1 },
+		"warmup":     func(c *Config) { c.WarmupSec = -1 },
+		"score-int":  func(c *Config) { c.ScoreIntervalSec = 1 },
+		"loss-max":   func(c *Config) { c.UsableLossMax = 0 },
+		"conc":       func(c *Config) { c.Concurrency = -1 },
+	}
+	for name, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestMeshIndexing(t *testing.T) {
+	m, err := newMesh(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.edges(), 10; got != want {
+		t.Fatalf("edges() = %d, want %d", got, want)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i == j {
+				continue
+			}
+			e := m.edge(i, j)
+			if e != m.edge(j, i) {
+				t.Fatalf("edge(%d,%d) != edge(%d,%d)", i, j, j, i)
+			}
+			seen[e] = true
+			ij := m.pairs[e]
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if ij != [2]int{lo, hi} {
+				t.Fatalf("pairs[%d] = %v, want {%d,%d}", e, ij, lo, hi)
+			}
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("saw %d distinct edges, want 10", len(seen))
+	}
+
+	// Direct route uses the pair edge itself; a relay uses the two legs.
+	p := m.edge(0, 3)
+	if e1, e2 := m.routeEdges(p, Direct); e1 != p || e2 != -1 {
+		t.Fatalf("direct routeEdges = (%d,%d)", e1, e2)
+	}
+	if e1, e2 := m.routeEdges(p, 4); e1 != m.edge(0, 4) || e2 != m.edge(4, 3) {
+		t.Fatalf("relay routeEdges = (%d,%d)", e1, e2)
+	}
+
+	if _, err := newMesh(2); err == nil {
+		t.Fatal("expected error for a 2-node mesh")
+	}
+}
+
+func TestEstimatorEWMAAndOutage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EWMAAlpha = 0.5
+	cfg.OutageLosses = 2
+	e := newEstimator(cfg, 1)
+
+	// First sample seeds the estimate outright.
+	e.update(0, 100, Sample{RTTMs: 40})
+	if got := e.edges[0].rttMs; got != 40 {
+		t.Fatalf("seed RTT = %f", got)
+	}
+	e.update(0, 110, Sample{RTTMs: 80})
+	if got := e.edges[0].rttMs; math.Abs(got-60) > 1e-9 {
+		t.Fatalf("EWMA RTT = %f, want 60", got)
+	}
+
+	// One loss raises the loss estimate but does not declare down.
+	if e.update(0, 120, Sample{Lost: true}) {
+		t.Fatal("down after one loss")
+	}
+	if e.isDown(0) {
+		t.Fatal("isDown after one loss")
+	}
+	// The second consecutive loss crosses the threshold, exactly once.
+	if !e.update(0, 130, Sample{Lost: true}) {
+		t.Fatal("no down transition after two losses")
+	}
+	if !e.isDown(0) {
+		t.Fatal("not down after two losses")
+	}
+	if e.update(0, 140, Sample{Lost: true}) {
+		t.Fatal("down transition reported twice")
+	}
+	// A success clears the outage.
+	e.update(0, 150, Sample{RTTMs: 50})
+	if e.isDown(0) {
+		t.Fatal("still down after a successful probe")
+	}
+}
+
+func TestEstimatorScoreStaleness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StaleAfterSec = 100
+	cfg.StalePenaltyMs = 10
+	cfg.LossPenaltyMs = 0
+	e := newEstimator(cfg, 2)
+
+	if !math.IsInf(e.score(0, 0), 1) {
+		t.Fatal("unprobed edge must score +Inf")
+	}
+	e.update(0, 1000, Sample{RTTMs: 30})
+	if got := e.score(0, 1050); got != 30 {
+		t.Fatalf("fresh score = %f, want 30", got)
+	}
+	// 200s past staleness = 2 StaleAfterSec units of excess age.
+	if got := e.score(0, 1300); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("stale score = %f, want 50", got)
+	}
+}
+
+func TestMix64Spreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			for c := uint64(0); c < 8; c++ {
+				seen[mix64(a, b, c)] = true
+			}
+		}
+	}
+	if len(seen) != 8*8*8 {
+		t.Fatalf("mix64 collisions: %d distinct of %d", len(seen), 8*8*8)
+	}
+}
