@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test vet lint race bench bench-json fuzz-smoke staticcheck vuln check check-all
+.PHONY: build test vet lint race bench bench-json bench-scale fuzz-smoke staticcheck vuln check check-all
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,14 @@ bench:
 # -benchtime=1x keeps the expensive ablations bounded), converted to
 # JSON by cmd/benchjson.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson > BENCH_5.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_6.json
+
+# Planet-scale smoke: build the 10k-AS / 100k-host suite end to end
+# under a hard memory ceiling and wall-clock timeout. The test itself
+# asserts the substrate size, the <8 GB peak RSS budget, and identical
+# analysis output across concurrency levels.
+bench-scale:
+	PATHSEL_SCALE_SMOKE=1 GOMEMLIMIT=7GiB $(GO) test -run TestScaleSmoke -v -timeout 10m ./internal/experiments/
 
 # Short fuzz runs of the parsers that face external input; CI runs the
 # same budgets.

@@ -21,21 +21,32 @@ import (
 	"pathsel/internal/topology"
 )
 
-var (
-	suiteOnce sync.Once
-	suite     *experiments.Suite
-	suiteErr  error
-)
+// presetSuites caches one built suite per campaign scale so the
+// query-side benchmarks don't pay the build again per sub-benchmark.
+var presetSuites = map[experiments.Preset]*struct {
+	once sync.Once
+	s    *experiments.Suite
+	err  error
+}{
+	experiments.Quick: {},
+	experiments.Full:  {},
+	experiments.Scale: {},
+}
+
+func benchSuitePreset(b *testing.B, p experiments.Preset) *experiments.Suite {
+	b.Helper()
+	c := presetSuites[p]
+	c.once.Do(func() {
+		c.s, c.err = experiments.Build(experiments.Config{Seed: 1, Preset: p})
+	})
+	if c.err != nil {
+		b.Fatalf("Build(%v): %v", p, c.err)
+	}
+	return c.s
+}
 
 func benchSuite(b *testing.B) *experiments.Suite {
-	b.Helper()
-	suiteOnce.Do(func() {
-		suite, suiteErr = experiments.Build(experiments.Config{Seed: 1, Preset: experiments.Quick})
-	})
-	if suiteErr != nil {
-		b.Fatalf("Build: %v", suiteErr)
-	}
-	return suite
+	return benchSuitePreset(b, experiments.Quick)
 }
 
 // BenchmarkSuiteBuild times the full pipeline that feeds every other
@@ -49,6 +60,59 @@ func BenchmarkSuiteBuild(b *testing.B) {
 		if len(s.UW3.Paths) == 0 {
 			b.Fatal("empty UW3")
 		}
+	}
+}
+
+// BenchmarkSuiteBuildPreset times the same pipeline at every campaign
+// scale — quick, full and the 10k-AS / 100k-host scale preset — and
+// reports the substrate size next to the timing, so the committed
+// baseline (BENCH_6.json) tracks the build curve from laptop to planet
+// scale. BenchmarkSuiteBuild above stays the historical quick-preset
+// reference point.
+func BenchmarkSuiteBuildPreset(b *testing.B) {
+	for _, preset := range []experiments.Preset{experiments.Quick, experiments.Full, experiments.Scale} {
+		b.Run(preset.String(), func(b *testing.B) {
+			var st topology.Stats
+			for i := 0; i < b.N; i++ {
+				s, err := experiments.Build(experiments.Config{Seed: 1, Preset: preset})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(s.UW3.Paths) == 0 {
+					b.Fatal("empty UW3")
+				}
+				st = s.TopoUW.Stats()
+			}
+			b.ReportMetric(float64(st.ASes), "ases")
+			b.ReportMetric(float64(st.Hosts), "hosts")
+			b.ReportMetric(float64(st.Links), "links")
+		})
+	}
+}
+
+// BenchmarkBestAlternatesPreset times the headline alternate-path query
+// (unrestricted RTT search over UW3) at every campaign scale, reporting
+// measured-pair throughput. This is the query half of the build/query
+// curve in BENCH_6.json.
+func BenchmarkBestAlternatesPreset(b *testing.B) {
+	for _, preset := range []experiments.Preset{experiments.Quick, experiments.Full, experiments.Scale} {
+		b.Run(preset.String(), func(b *testing.B) {
+			s := benchSuitePreset(b, preset)
+			a := core.NewAnalyzer(s.UW3)
+			b.ResetTimer()
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				results, err := a.BestAlternates(core.MetricRTT, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) == 0 {
+					b.Fatal("no results")
+				}
+				pairs = len(results)
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
 	}
 }
 

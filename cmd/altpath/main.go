@@ -6,7 +6,7 @@
 // Usage:
 //
 //	altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] dataset.gob.gz
-//	altpath -suite UW3 [-preset quick|full] [-seed N] [-metric ...]
+//	altpath -suite UW3 [-preset quick|full|scale] [-seed N] [-metric ...]
 //
 // The first form loads a dataset saved by pathsim; the second builds
 // the named Table 1 dataset (UW1, UW3, UW4-A, UW4-B, D2, D2-NA, N2,
@@ -38,11 +38,11 @@ func main() {
 	plot := flag.Bool("plot", false, "draw an ASCII CDF")
 	episodes := flag.Bool("episodes", false, "run the simultaneous-episode analysis instead")
 	suiteName := flag.String("suite", "", "build this Table 1 dataset instead of loading a file: "+strings.Join(experiments.DatasetNames(), ", "))
-	preset := flag.String("preset", "quick", "campaign scale for -suite: quick or full")
+	preset := flag.String("preset", "quick", "campaign scale for -suite: quick, full or scale")
 	seed := flag.Int64("seed", 1, "suite seed for -suite")
 	flag.Parse()
 	if (*suiteName == "") == (flag.NArg() != 1) {
-		fmt.Fprintln(os.Stderr, "usage: altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] (dataset.gob.gz | -suite NAME [-preset quick|full] [-seed N])")
+		fmt.Fprintln(os.Stderr, "usage: altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] (dataset.gob.gz | -suite NAME [-preset quick|full|scale] [-seed N])")
 		os.Exit(2)
 	}
 	ds, err := loadDataset(*suiteName, *preset, *seed, *workers, flag.Arg(0))

@@ -8,12 +8,16 @@ import (
 	"strings"
 )
 
-// report is the JSON shape of one benchmark run.
+// report is the JSON shape of one benchmark run. GoVersion is stamped
+// by main (the `go test` text output does not carry it); the campaign
+// preset and substrate size (ases, hosts, links, edges) arrive as
+// sub-benchmark names and custom metrics on the result lines.
 type report struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	GoVersion  string      `json:"goVersion,omitempty"`
 	Benchmarks []benchmark `json:"benchmarks"`
 }
 

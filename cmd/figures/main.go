@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	figures [-preset quick|full] [-seed N] [-workers N] [-out DIR]
+//	figures [-preset quick|full|scale] [-seed N] [-workers N] [-out DIR]
+//
+// The scale preset targets the substrate rather than the full exhibit
+// catalogue: it prints the topology census, Table 1, the headline CDF
+// figures (1, 2, 3, 15) and the confidence tables (2, 3), and skips the
+// extension exhibits that rebuild auxiliary suites.
 package main
 
 import (
@@ -23,7 +28,7 @@ import (
 )
 
 func main() {
-	preset := flag.String("preset", "full", "campaign scale: quick or full")
+	preset := flag.String("preset", "full", "campaign scale: quick, full or scale")
 	seed := flag.Int64("seed", 1, "master seed for topology, network and campaigns")
 	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
 	out := flag.String("out", "", "directory for per-figure CDF data files (optional)")
@@ -41,13 +46,38 @@ func main() {
 	}
 }
 
-func run(cfg experiments.Config, outDir string) error {
-	fmt.Printf("building %s suite (seed %d)...\n", cfg.Preset, cfg.Seed)
-	s, err := experiments.Build(cfg)
-	if err != nil {
-		return err
-	}
+// seriesFig names one CDF-series exhibit of the paper.
+type seriesFig struct {
+	id    string
+	title string
+	fn    func(*experiments.Suite) ([]experiments.Series, error)
+}
 
+// scaleFigs is the exhibit subset the scale preset runs: the headline
+// improvement CDFs that exercise the planet-scale substrate without the
+// episode and bandwidth campaigns' quadratic post-processing.
+var scaleFigs = []seriesFig{
+	{"figure1", "Figure 1: CDF of mean RTT difference (default - best alternate)", experiments.Figure1},
+	{"figure2", "Figure 2: CDF of RTT ratio (default / best alternate)", experiments.Figure2},
+	{"figure3", "Figure 3: CDF of mean loss-rate difference", experiments.Figure3},
+	{"figure15", "Figure 15: propagation delay vs mean RTT improvement (UW3)", experiments.Figure15},
+}
+
+var allFigs = []seriesFig{
+	{"figure1", "Figure 1: CDF of mean RTT difference (default - best alternate)", experiments.Figure1},
+	{"figure2", "Figure 2: CDF of RTT ratio (default / best alternate)", experiments.Figure2},
+	{"figure3", "Figure 3: CDF of mean loss-rate difference", experiments.Figure3},
+	{"figure4", "Figure 4: CDF of bandwidth difference (one-hop alternates)", experiments.Figure4},
+	{"figure5", "Figure 5: CDF of bandwidth ratio", experiments.Figure5},
+	{"figure6", "Figure 6: mean vs median RTT improvement (one-hop, D2-NA)", experiments.Figure6},
+	{"figure9", "Figure 9: RTT improvement by time of day (UW3)", experiments.Figure9},
+	{"figure10", "Figure 10: loss improvement by time of day (UW3)", experiments.Figure10},
+	{"figure11", "Figure 11: long-term average vs simultaneous episodes (UW4)", experiments.Figure11},
+	{"figure15", "Figure 15: propagation delay vs mean RTT improvement (UW3)", experiments.Figure15},
+}
+
+// printTable1 prints the dataset-characteristics table.
+func printTable1(s *experiments.Suite) error {
 	fmt.Println("\n== Table 1: dataset characteristics ==")
 	rows := [][]string{{"Dataset", "Hosts", "Measurements", "Paths covered"}}
 	for _, c := range experiments.Table1(s) {
@@ -56,27 +86,13 @@ func run(cfg experiments.Config, outDir string) error {
 			fmt.Sprintf("%.0f%%", c.PercentCovered),
 		})
 	}
-	if err := report.Table(os.Stdout, rows); err != nil {
-		return err
-	}
+	return report.Table(os.Stdout, rows)
+}
 
-	type seriesFig struct {
-		id    string
-		title string
-		fn    func(*experiments.Suite) ([]experiments.Series, error)
-	}
-	for _, fig := range []seriesFig{
-		{"figure1", "Figure 1: CDF of mean RTT difference (default - best alternate)", experiments.Figure1},
-		{"figure2", "Figure 2: CDF of RTT ratio (default / best alternate)", experiments.Figure2},
-		{"figure3", "Figure 3: CDF of mean loss-rate difference", experiments.Figure3},
-		{"figure4", "Figure 4: CDF of bandwidth difference (one-hop alternates)", experiments.Figure4},
-		{"figure5", "Figure 5: CDF of bandwidth ratio", experiments.Figure5},
-		{"figure6", "Figure 6: mean vs median RTT improvement (one-hop, D2-NA)", experiments.Figure6},
-		{"figure9", "Figure 9: RTT improvement by time of day (UW3)", experiments.Figure9},
-		{"figure10", "Figure 10: loss improvement by time of day (UW3)", experiments.Figure10},
-		{"figure11", "Figure 11: long-term average vs simultaneous episodes (UW4)", experiments.Figure11},
-		{"figure15", "Figure 15: propagation delay vs mean RTT improvement (UW3)", experiments.Figure15},
-	} {
+// printSeriesFigs runs and prints the given CDF exhibits, dumping data
+// files when outDir is set.
+func printSeriesFigs(s *experiments.Suite, outDir string, figs []seriesFig) error {
+	for _, fig := range figs {
 		series, err := fig.fn(s)
 		if err != nil {
 			return fmt.Errorf("%s: %w", fig.id, err)
@@ -91,32 +107,12 @@ func run(cfg experiments.Config, outDir string) error {
 			}
 		}
 	}
+	return nil
+}
 
-	for _, ci := range []struct {
-		id string
-		fn func(*experiments.Suite) ([]core.CIPoint, error)
-	}{
-		{"figure7", experiments.Figure7}, {"figure8", experiments.Figure8},
-	} {
-		id, fn := ci.id, ci.fn
-		pts, err := fn(s)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		wide := 0
-		for _, p := range pts {
-			if p.HalfWidth > 0 {
-				wide++
-			}
-		}
-		fmt.Printf("\n== %s: %d pairs, %d with nonzero 95%% confidence half-widths ==\n", id, len(pts), wide)
-		if outDir != "" {
-			if err := dumpCIPoints(outDir, id, pts); err != nil {
-				return err
-			}
-		}
-	}
-
+// printVerdictTables prints Tables 2 and 3, the 95%-confidence verdict
+// censuses for mean RTT and mean loss rate.
+func printVerdictTables(s *experiments.Suite) error {
 	for _, tab := range []struct {
 		id    string
 		title string
@@ -144,6 +140,72 @@ func run(cfg experiments.Config, outDir string) error {
 		if err := report.Table(os.Stdout, trows); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runScale is the scale preset's exhibit subset: topology census,
+// Table 1, the headline CDFs, and the confidence tables. The extension
+// exhibits that rebuild auxiliary suites (cause ablation, seed
+// sensitivity, overlay, route dynamics) are deliberately skipped —
+// they would multiply the planet-scale build many times over.
+func runScale(s *experiments.Suite, outDir string) error {
+	st := s.TopoUW.Stats()
+	fmt.Printf("\n== Topology: %v ==\n", st)
+	if err := printTable1(s); err != nil {
+		return err
+	}
+	if err := printSeriesFigs(s, outDir, scaleFigs); err != nil {
+		return err
+	}
+	return printVerdictTables(s)
+}
+
+func run(cfg experiments.Config, outDir string) error {
+	fmt.Printf("building %s suite (seed %d)...\n", cfg.Preset, cfg.Seed)
+	s, err := experiments.Build(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.Preset == experiments.Scale {
+		return runScale(s, outDir)
+	}
+
+	if err := printTable1(s); err != nil {
+		return err
+	}
+
+	if err := printSeriesFigs(s, outDir, allFigs); err != nil {
+		return err
+	}
+
+	for _, ci := range []struct {
+		id string
+		fn func(*experiments.Suite) ([]core.CIPoint, error)
+	}{
+		{"figure7", experiments.Figure7}, {"figure8", experiments.Figure8},
+	} {
+		id, fn := ci.id, ci.fn
+		pts, err := fn(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		wide := 0
+		for _, p := range pts {
+			if p.HalfWidth > 0 {
+				wide++
+			}
+		}
+		fmt.Printf("\n== %s: %d pairs, %d with nonzero 95%% confidence half-widths ==\n", id, len(pts), wide)
+		if outDir != "" {
+			if err := dumpCIPoints(outDir, id, pts); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := printVerdictTables(s); err != nil {
+		return err
 	}
 
 	res12, err := experiments.Figure12(s)

@@ -17,7 +17,7 @@ import (
 )
 
 // handler serves every suite analysis on demand: endpoints take
-// ?seed=N&preset=quick|full query parameters (falling back to the
+// ?seed=N&preset=quick|full|scale query parameters (falling back to the
 // server's default configuration) and are backed by the LRU suite
 // cache, so the same process answers any configuration without a
 // restart.
@@ -486,7 +486,7 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>pathsel results</title></head><body>
 <h1>The End-to-End Effects of Internet Path Selection — reproduction</h1>
 <p>Default suite: {{.Preset}} preset, seed {{.Seed}}. Every /api
-endpoint accepts <code>?seed=N&amp;preset=quick|full</code> and builds
+endpoint accepts <code>?seed=N&amp;preset=quick|full|scale</code> and builds
 the requested suite on demand (cached, LRU-bounded).</p>
 <ul>
 <li><a href="/api/table1">Table 1: dataset characteristics</a></li>

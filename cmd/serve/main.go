@@ -1,6 +1,6 @@
 // Command serve exposes the reproduction's results over HTTP as an
 // on-demand analysis service: every endpoint is parameterized by suite
-// configuration (?seed=N&preset=quick|full), built suites are held in
+// configuration (?seed=N&preset=quick|full|scale), built suites are held in
 // a size-bounded LRU cache with singleflight deduplication, in-flight
 // builds are cancelled when every interested client disconnects, and
 // the process reports its own behavior through /metrics, /healthz and
@@ -9,10 +9,10 @@
 //
 // Usage:
 //
-//	serve [-addr :8410] [-preset quick|full] [-seed N] [-workers N]
+//	serve [-addr :8410] [-preset quick|full|scale] [-seed N] [-workers N]
 //	      [-cache N] [-max-builds N] [-timeout D] [-warm]
 //
-// Endpoints (all /api endpoints accept ?seed=N&preset=quick|full):
+// Endpoints (all /api endpoints accept ?seed=N&preset=quick|full|scale):
 //
 //	GET /                   HTML index
 //	GET /api/table1         dataset characteristics (JSON)
@@ -55,7 +55,7 @@ func withRequestTimeout(d time.Duration, next http.Handler) http.Handler {
 
 func main() {
 	addr := flag.String("addr", ":8410", "listen address")
-	preset := flag.String("preset", "quick", "default campaign scale: quick or full")
+	preset := flag.String("preset", "quick", "default campaign scale: quick, full or scale")
 	seed := flag.Int64("seed", 1, "default suite seed")
 	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
 	cacheSize := flag.Int("cache", 4, "max completed suites held in the LRU cache")

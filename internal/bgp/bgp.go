@@ -15,10 +15,21 @@
 // with AS-path loop prevention. Under Gao–Rexford preferences and an
 // acyclic provider graph (both guaranteed by the topology generator) the
 // iteration converges.
+//
+// Destinations converge independently, so the table computes one
+// destination column at a time, on first use, from a packed neighbor
+// adjacency (CSR offsets over precomputed per-neighbor preferences).
+// A converged column stores only next-hop/class/length per source AS —
+// full paths materialize on demand by walking next hops, which at the
+// fixpoint reproduces exactly the rib path the iteration selected.
+// Lazy faulting is safe for concurrent readers; a campaign that touches
+// only a few destination ASes pays for only those columns.
 package bgp
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pathsel/internal/topology"
 )
@@ -73,12 +84,46 @@ func (r *Route) NextAS() topology.ASN {
 	return r.Path[0]
 }
 
-// Table holds converged routes for all (source AS, destination AS) pairs.
+// col is one converged destination column over AS indices: for each
+// source AS i, the next-hop AS index (noRoute when unreachable, the
+// destination's own index at the destination), the route class, and the
+// AS-path length. Columns are immutable once ready.
+type col struct {
+	done  chan struct{} // closed once the column is filled
+	ready atomic.Bool   // set after fill; lock-free fast path
+	err   error         // non-convergence (defensive; see computeColumn)
+
+	next  []int32
+	class []RouteClass
+	plen  []int32
+}
+
+const noRoute = int32(-1)
+
+// Table holds converged routes for all (source AS, destination AS)
+// pairs, computed per destination on first access.
 type Table struct {
-	top    *topology.Topology
-	routes map[topology.ASN]map[topology.ASN]*Route // [src][dst]
+	top     *topology.Topology
+	asns    []topology.ASN // AS index -> ASN, in ASList order
+	asIndex map[topology.ASN]int32
+
+	// Packed neighbor adjacency: AS i's usable neighbor sessions occupy
+	// slots nOff[i]:nOff[i+1], in the old customers-peers-providers
+	// order. nPref[s] precomputes the local preference (class base plus
+	// LocalPrefBias) of any route learned over slot s.
+	nOff   []int32
+	nAS    []int32
+	nClass []RouteClass
+	nPref  []int32
+
+	cols []atomic.Pointer[col]
+
+	mu      sync.Mutex // serializes column creation and Rounds updates
+	scratch sync.Pool  // *colScratch
+
 	// Rounds is the number of synchronous iterations needed to converge,
-	// maximized over destinations (exported for tests and diagnostics).
+	// maximized over the destination columns computed so far (exported
+	// for tests and diagnostics).
 	Rounds int
 }
 
@@ -99,100 +144,212 @@ func MakeAdjacencyKey(a, b topology.ASN) AdjacencyKey {
 	return AdjacencyKey{a, b}
 }
 
-// ComputeExcluding converges the protocol with the given AS adjacencies
-// treated as down (failed BGP sessions); the dynamics package uses this
-// to model reconvergence after link failures. Routes to destinations
-// that become unreachable are simply absent from the table.
+// ComputeExcluding builds a table with the given AS adjacencies treated
+// as down (failed BGP sessions); the dynamics package uses this to model
+// reconvergence after link failures. Routes to destinations that become
+// unreachable are simply absent from the table. Destination columns
+// converge lazily on first lookup; a destination that fails to converge
+// (impossible for generated topologies, which satisfy Gao–Rexford)
+// reports all its routes as absent.
 func ComputeExcluding(top *topology.Topology, failed map[AdjacencyKey]bool) (*Table, error) {
+	n := len(top.ASList)
 	t := &Table{
-		top:    top,
-		routes: make(map[topology.ASN]map[topology.ASN]*Route, len(top.ASList)),
+		top:     top,
+		asns:    make([]topology.ASN, n),
+		asIndex: make(map[topology.ASN]int32, n),
+		nOff:    make([]int32, n+1),
+		cols:    make([]atomic.Pointer[col], n),
 	}
-	for _, as := range top.ASList {
-		t.routes[as.ASN] = make(map[topology.ASN]*Route, len(top.ASList))
-	}
-	// neighbors[A] lists (neighbor, relationship-of-neighbor-to-A) pairs
-	// in deterministic order: the relationship is from A's perspective
-	// (what the neighbor is to A).
-	type neigh struct {
-		asn   topology.ASN
-		class RouteClass // class a route learned from this neighbor gets
+	for i, as := range top.ASList {
+		t.asns[i] = as.ASN
+		t.asIndex[as.ASN] = int32(i)
 	}
 	up := func(a, b topology.ASN) bool {
 		return failed == nil || !failed[MakeAdjacencyKey(a, b)]
 	}
-	neighbors := map[topology.ASN][]neigh{}
-	for _, as := range top.ASList {
-		var ns []neigh
-		for _, c := range as.Customers {
-			if up(as.ASN, c) {
-				ns = append(ns, neigh{c, ViaCustomer})
+	for i, as := range top.ASList {
+		add := func(nb topology.ASN, class RouteClass) {
+			if !up(as.ASN, nb) {
+				return
 			}
+			base := 0
+			switch class {
+			case ViaCustomer:
+				base = 30
+			case ViaPeer:
+				base = 20
+			case ViaProvider:
+				base = 10
+			}
+			t.nAS = append(t.nAS, t.asIndex[nb])
+			t.nClass = append(t.nClass, class)
+			t.nPref = append(t.nPref, int32(base+as.LocalPrefBias[nb]))
+		}
+		for _, c := range as.Customers {
+			add(c, ViaCustomer)
 		}
 		for _, p := range as.Peers {
-			if up(as.ASN, p) {
-				ns = append(ns, neigh{p, ViaPeer})
-			}
+			add(p, ViaPeer)
 		}
 		for _, p := range as.Providers {
-			if up(as.ASN, p) {
-				ns = append(ns, neigh{p, ViaProvider})
-			}
+			add(p, ViaProvider)
 		}
-		neighbors[as.ASN] = ns
-	}
-
-	maxRounds := 4 * len(top.ASList)
-	for _, dest := range top.ASList {
-		d := dest.ASN
-		t.routes[d][d] = &Route{Path: []topology.ASN{d}, Class: Own}
-		converged := false
-		for round := 0; round < maxRounds; round++ {
-			changed := false
-			for _, as := range top.ASList {
-				a := as.ASN
-				if a == d {
-					continue
-				}
-				// Recompute the selection from scratch so that a
-				// neighbor changing its route cascades correctly; at
-				// the fixpoint every rib path therefore matches the
-				// hop-by-hop forwarding path.
-				var best *Route
-				for _, n := range neighbors[a] {
-					nr := t.routes[n.asn][d]
-					if nr == nil {
-						continue
-					}
-					if !exports(nr.Class, n.class) {
-						continue
-					}
-					if containsAS(nr.Path, a) {
-						continue // loop prevention
-					}
-					cand := &Route{Path: prepend(a, nr.Path), Class: n.class}
-					if better(top.AS(a), cand, best) {
-						best = cand
-					}
-				}
-				if !sameRoute(best, t.routes[a][d]) {
-					t.routes[a][d] = best
-					changed = true
-				}
-			}
-			if !changed {
-				converged = true
-				if round > t.Rounds {
-					t.Rounds = round
-				}
-				break
-			}
-		}
-		if !converged {
-			return nil, fmt.Errorf("bgp: no convergence for destination AS %d after %d rounds", d, maxRounds)
-		}
+		t.nOff[i+1] = int32(len(t.nAS))
 	}
 	return t, nil
+}
+
+// colScratch is the per-column convergence state: materialized paths per
+// source AS, exactly as the synchronous iteration stored them before
+// columns were packed. Pooled across column computations.
+type colScratch struct {
+	paths [][]topology.ASN
+	class []RouteClass
+}
+
+// column returns the converged column for destination index di, faulting
+// it in on first use. Concurrent callers for the same destination share
+// one computation. Returns nil if the column failed to converge.
+func (t *Table) column(di int32) *col {
+	c := t.cols[di].Load()
+	if c == nil {
+		t.mu.Lock()
+		c = t.cols[di].Load()
+		if c == nil {
+			c = &col{done: make(chan struct{})}
+			t.cols[di].Store(c)
+			t.mu.Unlock()
+			t.computeColumn(di, c)
+			c.ready.Store(true)
+			close(c.done)
+		} else {
+			t.mu.Unlock()
+		}
+	}
+	if !c.ready.Load() {
+		<-c.done
+	}
+	if c.err != nil {
+		return nil
+	}
+	return c
+}
+
+// computeColumn runs the synchronous path-vector iteration for one
+// destination to fixpoint and packs the result. The iteration is the
+// original whole-table algorithm restricted to one destination: ASes
+// recompute their selection from scratch each round, in ASList order,
+// reading neighbors' current (frozen-copy) paths, so the fixpoint — and
+// every intermediate round — matches the eager computation exactly.
+func (t *Table) computeColumn(di int32, c *col) {
+	n := len(t.asns)
+	s, _ := t.scratch.Get().(*colScratch)
+	if s == nil {
+		s = &colScratch{}
+	}
+	if cap(s.paths) < n {
+		s.paths = make([][]topology.ASN, n)
+		s.class = make([]RouteClass, n)
+	}
+	s.paths = s.paths[:n]
+	s.class = s.class[:n]
+	for i := range s.paths {
+		s.paths[i] = nil
+		s.class[i] = 0
+	}
+	d := t.asns[di]
+	s.paths[di] = []topology.ASN{d}
+	s.class[di] = Own
+
+	maxRounds := 4 * n
+	converged := false
+	rounds := 0
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for ai := 0; ai < n; ai++ {
+			if int32(ai) == di {
+				continue
+			}
+			a := t.asns[ai]
+			// Recompute the selection from scratch so that a neighbor
+			// changing its route cascades correctly; at the fixpoint
+			// every rib path therefore matches the hop-by-hop
+			// forwarding path. Candidates are compared by (pref,
+			// path length, neighbor ASN) without materializing them.
+			bestSlot := -1
+			bestPref, bestPlen := 0, 0
+			var bestNext topology.ASN
+			for slot := t.nOff[ai]; slot < t.nOff[ai+1]; slot++ {
+				ni := t.nAS[slot]
+				np := s.paths[ni]
+				if np == nil {
+					continue
+				}
+				if !exports(s.class[ni], t.nClass[slot]) {
+					continue
+				}
+				if containsAS(np, a) {
+					continue // loop prevention
+				}
+				cp, cl, cn := int(t.nPref[slot]), len(np)+1, t.asns[ni]
+				if bestSlot == -1 || cp > bestPref ||
+					(cp == bestPref && (cl < bestPlen || (cl == bestPlen && cn < bestNext))) {
+					bestSlot, bestPref, bestPlen, bestNext = int(slot), cp, cl, cn
+				}
+			}
+			if bestSlot == -1 {
+				if s.paths[ai] != nil {
+					s.paths[ai] = nil
+					changed = true
+				}
+				continue
+			}
+			ni := t.nAS[bestSlot]
+			cls := t.nClass[bestSlot]
+			cur := s.paths[ai]
+			if cur != nil && s.class[ai] == cls && len(cur) == bestPlen && pathEqual(cur[1:], s.paths[ni]) {
+				continue
+			}
+			s.paths[ai] = prepend(a, s.paths[ni])
+			s.class[ai] = cls
+			changed = true
+		}
+		if !changed {
+			converged = true
+			rounds = round
+			break
+		}
+	}
+	if !converged {
+		c.err = fmt.Errorf("bgp: no convergence for destination AS %d after %d rounds", d, maxRounds)
+		t.scratch.Put(s)
+		return
+	}
+
+	c.next = make([]int32, n)
+	c.class = make([]RouteClass, n)
+	c.plen = make([]int32, n)
+	for i := 0; i < n; i++ {
+		p := s.paths[i]
+		if p == nil {
+			c.next[i] = noRoute
+			continue
+		}
+		if int32(i) == di {
+			c.next[i] = di
+		} else {
+			c.next[i] = t.asIndex[p[1]]
+		}
+		c.class[i] = s.class[i]
+		c.plen[i] = int32(len(p))
+	}
+	t.scratch.Put(s)
+
+	t.mu.Lock()
+	if rounds > t.Rounds {
+		t.Rounds = rounds
+	}
+	t.mu.Unlock()
 }
 
 // exports reports whether a route of class routeClass is advertised to a
@@ -215,38 +372,6 @@ func exports(routeClass, neighborIs RouteClass) bool {
 	return routeClass == Own || routeClass == ViaCustomer
 }
 
-// better reports whether candidate should replace current for owner.
-func better(owner *topology.AS, cand, cur *Route) bool {
-	if cur == nil {
-		return true
-	}
-	cp, xp := pref(owner, cand), pref(owner, cur)
-	if cp != xp {
-		return cp > xp
-	}
-	if len(cand.Path) != len(cur.Path) {
-		return len(cand.Path) < len(cur.Path)
-	}
-	return cand.NextAS() < cur.NextAS()
-}
-
-// pref computes local preference: relationship class dominates, with the
-// per-neighbor policy bias adjusting within a class.
-func pref(owner *topology.AS, r *Route) int {
-	base := 0
-	switch r.Class {
-	case ViaCustomer:
-		base = 30
-	case ViaPeer:
-		base = 20
-	case ViaProvider:
-		base = 10
-	case Own:
-		base = 100
-	}
-	return base + owner.LocalPrefBias[r.NextAS()]
-}
-
 func containsAS(path []topology.ASN, a topology.ASN) bool {
 	for _, p := range path {
 		if p == a {
@@ -263,39 +388,73 @@ func prepend(a topology.ASN, path []topology.ASN) []topology.ASN {
 	return out
 }
 
-func sameRoute(a, b *Route) bool {
-	if a == nil || b == nil {
-		return a == b
-	}
-	if a.Class != b.Class || len(a.Path) != len(b.Path) {
+func pathEqual(a, b []topology.ASN) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	for i := range a.Path {
-		if a.Path[i] != b.Path[i] {
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
 	return true
 }
 
+// pair resolves a source/destination ASN pair to indices and the
+// destination's converged column, reporting ok=false when either AS is
+// unknown or the source has no route.
+func (t *Table) pair(src, dst topology.ASN) (si int32, c *col, ok bool) {
+	si, okS := t.asIndex[src]
+	di, okD := t.asIndex[dst]
+	if !okS || !okD {
+		return 0, nil, false
+	}
+	c = t.column(di)
+	if c == nil || c.next[si] == noRoute {
+		return 0, nil, false
+	}
+	return si, c, true
+}
+
 // Route returns the converged route from src to dst, or nil if none.
-func (t *Table) Route(src, dst topology.ASN) *Route { return t.routes[src][dst] }
+func (t *Table) Route(src, dst topology.ASN) *Route {
+	si, c, ok := t.pair(src, dst)
+	if !ok {
+		return nil
+	}
+	return &Route{Path: t.walk(c, si), Class: c.class[si]}
+}
+
+// walk materializes the AS path from source index si by following the
+// column's next hops; at the fixpoint this is exactly the rib path.
+func (t *Table) walk(c *col, si int32) []topology.ASN {
+	path := make([]topology.ASN, 0, c.plen[si])
+	cur := si
+	for {
+		path = append(path, t.asns[cur])
+		next := c.next[cur]
+		if next == cur {
+			return path
+		}
+		cur = next
+	}
+}
 
 // NextAS returns the next AS on the path from src to dst.
 func (t *Table) NextAS(src, dst topology.ASN) (topology.ASN, bool) {
-	r := t.routes[src][dst]
-	if r == nil {
+	si, c, ok := t.pair(src, dst)
+	if !ok {
 		return 0, false
 	}
-	return r.NextAS(), true
+	return t.asns[c.next[si]], true
 }
 
 // ASPath returns the full AS path from src to dst (starting with src,
 // ending with dst), or nil if unreachable.
 func (t *Table) ASPath(src, dst topology.ASN) []topology.ASN {
-	r := t.routes[src][dst]
-	if r == nil {
+	si, c, ok := t.pair(src, dst)
+	if !ok {
 		return nil
 	}
-	return r.Path
+	return t.walk(c, si)
 }

@@ -141,11 +141,50 @@ func (a *Analyzer) bestAlternatesOn(g *graph, metric Metric, maxVia int, exclude
 	return a.bestAlternatesWith(g, metric, maxVia, excluded, a.workers())
 }
 
+// workerArenas hands each worker of a batched analysis a persistent
+// pair of search scratches — one for source trees, one for per-pair
+// fallback searches — borrowed once from the graph's pool for the whole
+// shard instead of bouncing through the pool per pair.
+type workerArenas struct {
+	g      *graph
+	arenas []struct{ tree, pair *searchScratch }
+}
+
+func newWorkerArenas(g *graph, workers int) *workerArenas {
+	return &workerArenas{g: g, arenas: make([]struct{ tree, pair *searchScratch }, workers)}
+}
+
+func (wa *workerArenas) tree(w int) *searchScratch {
+	if wa.arenas[w].tree == nil {
+		wa.arenas[w].tree = wa.g.scratch.Get().(*searchScratch)
+	}
+	return wa.arenas[w].tree
+}
+
+func (wa *workerArenas) pair(w int) *searchScratch {
+	if wa.arenas[w].pair == nil {
+		wa.arenas[w].pair = wa.g.scratch.Get().(*searchScratch)
+	}
+	return wa.arenas[w].pair
+}
+
+func (wa *workerArenas) release() {
+	for _, ar := range wa.arenas {
+		if ar.tree != nil {
+			wa.g.scratch.Put(ar.tree)
+		}
+		if ar.pair != nil {
+			wa.g.scratch.Put(ar.pair)
+		}
+	}
+}
+
 // bestAlternatesWith is the engine under BestAlternates: pairs are
 // prefiltered sequentially, searched across the given number of workers
 // with results written into per-pair slots, then compacted in pair-key
 // order — so the output is byte-identical for any worker count.
 func (a *Analyzer) bestAlternatesWith(g *graph, metric Metric, maxVia int, excluded []bool, workers int) ([]PairResult, error) {
+	g.freeze() // staged callers pack here, before the concurrent fan-out
 	keys := a.ds.PairKeys()
 	type pairJob struct {
 		key    dataset.PairKey
@@ -198,11 +237,12 @@ func (a *Analyzer) bestAlternatesWith(g *graph, metric Metric, maxVia int, exclu
 			groups = append(groups, span{start, end})
 			start = end
 		}
-		err = parallelFor(a.context(), workers, len(groups), func(_, gi int) error {
+		wa := newWorkerArenas(g, workers)
+		defer wa.release()
+		err = parallelFor(a.context(), workers, len(groups), func(w, gi int) error {
 			gr := groups[gi]
 			src := int(jobs[gr.start].si)
-			s := g.scratch.Get().(*searchScratch)
-			defer g.scratch.Put(s)
+			s := wa.tree(w)
 			g.sourceTree(src, excluded, s)
 			for i := gr.start; i < gr.end; i++ {
 				di := int(jobs[i].di)
@@ -220,8 +260,9 @@ func (a *Analyzer) bestAlternatesWith(g *graph, metric Metric, maxVia int, exclu
 				} else {
 					// The direct edge won and dst is a tree interior
 					// vertex (or dst is unreachable); search with the
-					// direct edge excluded.
-					path, found = g.shortestAlternate(src, di, 0, excluded)
+					// direct edge excluded, in the worker's second
+					// arena (the tree in s stays live for later pairs).
+					path, found = g.shortestAlternateInto(wa.pair(w), src, di, 0, excluded)
 				}
 				if !found {
 					continue
@@ -233,13 +274,20 @@ func (a *Analyzer) bestAlternatesWith(g *graph, metric Metric, maxVia int, exclu
 			return nil
 		})
 	} else {
-		err = parallelFor(a.context(), workers, len(jobs), func(_, i int) error {
+		wa := newWorkerArenas(g, workers)
+		defer wa.release()
+		err = parallelFor(a.context(), workers, len(jobs), func(w, i int) error {
 			j := jobs[i]
 			direct, found := g.directEdge(int(j.si), int(j.di))
 			if !found {
 				return nil
 			}
-			path, found := g.shortestAlternate(int(j.si), int(j.di), maxVia, excluded)
+			var path []int
+			if maxVia == 1 {
+				path, found = g.oneHopAlternate(int(j.si), int(j.di), excluded, wa.pair(w))
+			} else {
+				path, found = g.shortestAlternateInto(wa.pair(w), int(j.si), int(j.di), maxVia, excluded)
+			}
 			if !found {
 				return nil
 			}
@@ -540,8 +588,11 @@ type EpisodeAnalysis struct {
 // AnalyzeEpisodes computes, within each episode, the best alternate path
 // using only that episode's simultaneous measurements, and aggregates the
 // per-episode differences both pair-averaged and raw. Episodes are
-// independent, so they are analyzed concurrently and merged in episode
-// order; the aggregation is identical to the sequential one.
+// independent, so they are analyzed concurrently; processing streams
+// through fixed-size chunks whose outputs merge in episode order, so the
+// aggregation is identical to the sequential one while peak memory stays
+// bounded by the chunk, the per-worker graphs, and the running
+// aggregates — not by the episode count.
 func (a *Analyzer) AnalyzeEpisodes() (EpisodeAnalysis, error) {
 	if len(a.ds.Episodes) == 0 {
 		return EpisodeAnalysis{}, fmt.Errorf("core: dataset %q has no episodes", a.ds.Name)
@@ -552,67 +603,98 @@ func (a *Analyzer) AnalyzeEpisodes() (EpisodeAnalysis, error) {
 		index[h] = len(hosts)
 		hosts = append(hosts, h)
 	}
-	// Per-episode outputs, aligned: keys[i], diffs[i], relays[i].
+	workers := a.workers()
+	// Per-episode outputs, aligned: keys[i], diffs[i], relays[i]. The
+	// chunk's slots (and their slices) are reused across chunks.
 	type episodeOut struct {
 		keys   []dataset.PairKey
 		diffs  []float64
 		relays []topology.HostID
 	}
-	outs := make([]episodeOut, len(a.ds.Episodes))
-	err := parallelFor(a.context(), a.workers(), len(a.ds.Episodes), func(_, ei int) error {
-		ep := a.ds.Episodes[ei]
-		g := newGraph(hosts, index)
-		// Deterministic edge insertion order.
-		keys := make([]dataset.PairKey, 0, len(ep.RTTMs))
-		for k := range ep.RTTMs {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].Src != keys[j].Src {
-				return keys[i].Src < keys[j].Src
-			}
-			return keys[i].Dst < keys[j].Dst
-		})
-		for _, k := range keys {
-			v := ep.RTTMs[k]
-			si, di := index[k.Src], index[k.Dst]
-			g.addEdge(si, edge{to: di, weight: v, value: v})
-		}
-		out := &outs[ei]
-		for _, k := range keys {
-			si, di := index[k.Src], index[k.Dst]
-			path, found := g.shortestAlternate(si, di, 0, nil)
-			if !found {
-				continue
-			}
-			altVal, _, err := g.composePath(MetricRTT, path)
-			if err != nil {
-				return err
-			}
-			out.keys = append(out.keys, k)
-			out.diffs = append(out.diffs, ep.RTTMs[k]-altVal)
-			out.relays = append(out.relays, hosts[path[1]])
-		}
-		return nil
-	})
-	if err != nil {
-		return EpisodeAnalysis{}, err
+	chunk := workers * 4
+	if chunk < 16 {
+		chunk = 16
 	}
-	// Merge in episode order: identical accumulation order to a
-	// sequential pass, so the result is independent of worker count.
+	if chunk > len(a.ds.Episodes) {
+		chunk = len(a.ds.Episodes)
+	}
+	outs := make([]episodeOut, chunk)
+	// One graph per worker, rebuilt in place per episode: the CSR and
+	// staging slabs are retained across resets, so steady-state episode
+	// processing allocates almost nothing.
+	graphs := make([]*graph, workers)
+	// Running aggregates, merged chunk by chunk in episode order:
+	// identical accumulation order to a sequential pass, so the result
+	// is independent of worker count and chunking.
 	perPair := map[dataset.PairKey]*stats.Accum{}
 	relaySeq := map[dataset.PairKey][]topology.HostID{}
 	var unaveraged []float64
-	for _, out := range outs {
-		for i, k := range out.keys {
-			unaveraged = append(unaveraged, out.diffs[i])
-			acc, ok := perPair[k]
-			if !ok {
-				acc = &stats.Accum{}
-				perPair[k] = acc
+	for base := 0; base < len(a.ds.Episodes); base += chunk {
+		nb := len(a.ds.Episodes) - base
+		if nb > chunk {
+			nb = chunk
+		}
+		err := parallelFor(a.context(), workers, nb, func(w, i int) error {
+			ep := a.ds.Episodes[base+i]
+			g := graphs[w]
+			if g == nil {
+				g = newGraph(hosts, index)
+				graphs[w] = g
+			} else {
+				g.reset()
 			}
-			acc.Add(out.diffs[i])
-			relaySeq[k] = append(relaySeq[k], out.relays[i])
+			// Deterministic edge insertion order.
+			keys := make([]dataset.PairKey, 0, len(ep.RTTMs))
+			for k := range ep.RTTMs {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i].Src != keys[j].Src {
+					return keys[i].Src < keys[j].Src
+				}
+				return keys[i].Dst < keys[j].Dst
+			})
+			for _, k := range keys {
+				v := ep.RTTMs[k]
+				si, di := index[k.Src], index[k.Dst]
+				g.addEdge(si, edge{to: di, weight: v, value: v})
+			}
+			g.freeze()
+			out := &outs[i]
+			out.keys = out.keys[:0]
+			out.diffs = out.diffs[:0]
+			out.relays = out.relays[:0]
+			for _, k := range keys {
+				si, di := index[k.Src], index[k.Dst]
+				path, found := g.shortestAlternate(si, di, 0, nil)
+				if !found {
+					continue
+				}
+				altVal, _, err := g.composePath(MetricRTT, path)
+				if err != nil {
+					return err
+				}
+				out.keys = append(out.keys, k)
+				out.diffs = append(out.diffs, ep.RTTMs[k]-altVal)
+				out.relays = append(out.relays, hosts[path[1]])
+			}
+			return nil
+		})
+		if err != nil {
+			return EpisodeAnalysis{}, err
+		}
+		for oi := range outs[:nb] {
+			out := &outs[oi]
+			for i, k := range out.keys {
+				unaveraged = append(unaveraged, out.diffs[i])
+				acc, ok := perPair[k]
+				if !ok {
+					acc = &stats.Accum{}
+					perPair[k] = acc
+				}
+				acc.Add(out.diffs[i])
+				relaySeq[k] = append(relaySeq[k], out.relays[i])
+			}
 		}
 	}
 	var pairAveraged []float64

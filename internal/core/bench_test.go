@@ -123,6 +123,90 @@ func BenchmarkGreedyRemoveTop(b *testing.B) {
 	}
 }
 
+// benchSparseDataset builds a sparse random measurement graph: n hosts
+// with ~deg measured destinations each and 8 samples per pair. Unlike
+// benchDataset it stays linear in n, so it can exercise the substrate
+// at sizes where a dense mesh would not fit in a benchmark run.
+func benchSparseDataset(n, deg int) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(3))
+	hosts := make([]topology.HostID, n)
+	for i := range hosts {
+		hosts[i] = topology.HostID(i)
+	}
+	ds := dataset.New("bench-sparse", hosts)
+	for i := 0; i < n; i++ {
+		for d := 0; d < deg; d++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			k := dataset.PairKey{Src: hosts[i], Dst: hosts[j]}
+			base := 20 + rng.Float64()*180
+			for s := 0; s < 8; s++ {
+				rtt := base + rng.ExpFloat64()*30
+				lost := rng.Float64() < 0.02
+				if lost {
+					rtt = 0
+				}
+				ds.RecordEcho(k, netsim.Time(s*600), []float64{rtt}, []bool{lost}, nil, 1)
+			}
+		}
+	}
+	return ds
+}
+
+// BenchmarkBuildGraphSizes tracks CSR graph construction across the
+// size curve, straddling the scan/heap engine threshold; the edge count
+// is reported so slab growth shows up next to the timing.
+func BenchmarkBuildGraphSizes(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{{"n64", 64}, {"n512", 512}, {"n2048", 2048}} {
+		ds := benchSparseDataset(bc.n, 32)
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var edges int
+			for i := 0; i < b.N; i++ {
+				g, err := buildGraph(ds, MetricRTT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = len(g.wt)
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkShortestAlternateSizes tracks the per-pair alternate search
+// across the same size curve: the small case uses the array scan, the
+// larger ones the binary heap with ALT landmark pruning.
+func BenchmarkShortestAlternateSizes(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		n    int
+	}{{"n64", 64}, {"n512", 512}, {"n2048", 2048}} {
+		ds := benchSparseDataset(bc.n, 32)
+		g, err := buildGraph(ds, MetricRTT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			found := 0
+			for i := 0; i < b.N; i++ {
+				if _, ok := g.shortestAlternate(i%bc.n, (i+bc.n/2)%bc.n, 0, nil); ok {
+					found++
+				}
+			}
+			if b.N > 100 && found == 0 {
+				b.Fatal("never found an alternate")
+			}
+		})
+	}
+}
+
 func BenchmarkBuildGraph(b *testing.B) {
 	ds := benchDataset(40)
 	b.ResetTimer()

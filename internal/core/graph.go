@@ -11,9 +11,11 @@
 // decomposition).
 //
 // The alternate search is embarrassingly parallel across host pairs, and
-// the engine exploits that: graphs carry an O(1) directed-edge index,
-// each search borrows its working arrays from a pool instead of
-// allocating, and the Analyzer shards pairs across a worker pool (see
+// the engine exploits that: graphs pack their adjacency into CSR slabs
+// with a binary-search edge index, each search borrows its working
+// arrays from a pool (or a per-worker arena) instead of allocating,
+// per-pair searches on large graphs prune with ALT landmark lower
+// bounds, and the Analyzer shards pairs across a worker pool (see
 // Analyzer.Concurrency). Output is bit-identical regardless of worker
 // count.
 package core
@@ -23,6 +25,7 @@ import (
 	"math"
 	"sync"
 
+	"pathsel/internal/csr"
 	"pathsel/internal/dataset"
 	"pathsel/internal/stats"
 	"pathsel/internal/topology"
@@ -75,28 +78,57 @@ type edge struct {
 	summary stats.Summary
 }
 
-// maxDenseVertices bounds the flat src*n+dst edge index: up to this many
-// vertices the index costs n*n int32 cells (16 MiB at the limit); larger
-// graphs fall back to a map keyed by the packed vertex pair.
-const maxDenseVertices = 2048
-
-// graph is the measurement graph for one metric. After construction
-// (addEdge calls) it is read-only and safe for concurrent searches.
+// graph is the measurement graph for one metric, packed in compressed-
+// sparse-row form: a shared offset/target index (see internal/csr) plus
+// parallel weight/value/summary slabs, sorted by target within each row.
+// One layout serves every size — the former dense O(n²) table and its
+// per-lookup hash-map fallback are gone, and loss weights are computed
+// once at staging time and stored in the slab, never recomputed at
+// lookup.
+//
+// Edges are staged by addEdge and packed by freeze (idempotent; invoked
+// by buildGraph and lazily by lookups). A frozen graph is read-only and
+// safe for concurrent searches; freeze itself is not safe to race with
+// searches, so concurrent users must build — or freeze — before fanning
+// out, which every Analyzer entry point does.
 type graph struct {
 	hosts []topology.HostID
 	index map[topology.HostID]int
-	adj   [][]edge // adjacency by vertex index
 
-	// Directed-edge index for O(1) lookup: the stored value is the edge's
-	// position within adj[src] plus one, so zero means absent. Exactly one
-	// of dense/sparse is non-nil.
-	dense  []int32         // dense[src*n+dst], for small vertex counts
-	sparse map[int64]int32 // keyed src<<32|dst, for large vertex counts
+	// Staged edges, consumed by freeze but retained so a reset graph
+	// reuses their capacity (the episode analysis rebuilds one graph per
+	// episode over a fixed host list).
+	stageSrc []int32
+	stageDst []int32
+	stageWt  []float64
+	stageVal []float64
+	stageSum []stats.Summary
+
+	frozen bool
+	ix     csr.Index
+	wt     []float64       // Dijkstra cost per slot
+	val    []float64       // metric value in natural units per slot
+	sum    []stats.Summary // per-slot summary
+	perm   []int32         // freeze scratch, kept for reuse
+
+	// Reverse adjacency over the same edges: rix rows are incoming
+	// neighbors sorted by source, rwt the matching weights. The one-hop
+	// and replay searches gather a destination's in-weights into a dense
+	// per-scratch array through it, and the landmark builder runs its
+	// reverse Dijkstras over it.
+	rix   csr.Index
+	rwt   []float64
+	rperm []int32
 
 	// scratch pools per-search working state (distance/predecessor arrays
 	// and the priority queue) so searches allocate nothing proportional
 	// to the graph.
 	scratch sync.Pool
+
+	// ALT landmark tables for goal-directed pruning of per-pair searches
+	// on large graphs; built lazily by the first search that uses them.
+	lmOnce sync.Once
+	lm     *landmarks
 }
 
 // newGraph creates an empty graph over the given hosts. If index is nil
@@ -110,26 +142,98 @@ func newGraph(hosts []topology.HostID, index map[topology.HostID]int) *graph {
 		}
 	}
 	n := len(hosts)
-	g := &graph{hosts: hosts, index: index, adj: make([][]edge, n)}
-	if n <= maxDenseVertices {
-		g.dense = make([]int32, n*n)
-	} else {
-		g.sparse = make(map[int64]int32)
-	}
+	g := &graph{hosts: hosts, index: index}
 	g.scratch.New = func() any { return newSearchScratch(n) }
 	return g
 }
 
-// addEdge appends a directed edge and records it in the O(1) index. At
-// most one edge may exist per (src, dst) pair.
+// addEdge stages a directed edge for the next freeze. At most one edge
+// may exist per (src, dst) pair.
 func (g *graph) addEdge(src int, e edge) {
-	g.adj[src] = append(g.adj[src], e)
-	pos := int32(len(g.adj[src])) // position + 1; 0 means absent
-	if g.dense != nil {
-		g.dense[src*len(g.hosts)+e.to] = pos
-	} else {
-		g.sparse[int64(src)<<32|int64(uint32(e.to))] = pos
+	g.stageSrc = append(g.stageSrc, int32(src))
+	g.stageDst = append(g.stageDst, int32(e.to))
+	g.stageWt = append(g.stageWt, e.weight)
+	g.stageVal = append(g.stageVal, e.value)
+	g.stageSum = append(g.stageSum, e.summary)
+	g.frozen = false
+}
+
+// freeze packs the staged edges into the CSR slabs. Idempotent; called
+// by buildGraph and lazily by the first lookup or search on a staged
+// graph. Not safe to race with concurrent searches.
+func (g *graph) freeze() {
+	if g.frozen {
+		return
 	}
+	m := len(g.stageSrc)
+	g.perm = g.ix.Rebuild(len(g.hosts), g.stageSrc, g.stageDst, g.perm)
+	g.wt = growFloats(g.wt, m)
+	g.val = growFloats(g.val, m)
+	g.sum = growSummaries(g.sum, m)
+	for slot := 0; slot < m; slot++ {
+		src := g.perm[slot]
+		g.wt[slot] = g.stageWt[src]
+		g.val[slot] = g.stageVal[src]
+		g.sum[slot] = g.stageSum[src]
+	}
+	// The reverse index packs the same staged edges with the endpoints
+	// swapped; only the weight payload is needed on that side.
+	g.rperm = g.rix.Rebuild(len(g.hosts), g.stageDst, g.stageSrc, g.rperm)
+	g.rwt = growFloats(g.rwt, m)
+	for slot := 0; slot < m; slot++ {
+		g.rwt[slot] = g.stageWt[g.rperm[slot]]
+	}
+	g.frozen = true
+}
+
+// fillInWeights loads the weights of dst's incoming edges into the
+// dense array wTo, indexed by source vertex. wTo must hold +Inf
+// everywhere on entry (the searchScratch invariant); the first staged
+// edge wins on duplicates, matching csr.Find. Callers must restore the
+// invariant with clearInWeights.
+func (g *graph) fillInWeights(dst int, wTo []float64) {
+	lo, hi := g.rix.Row(int32(dst))
+	for slot := lo; slot < hi; slot++ {
+		v := g.rix.Tgt[slot]
+		if math.IsInf(wTo[v], 1) {
+			wTo[v] = g.rwt[slot]
+		}
+	}
+}
+
+// clearInWeights resets the entries written by fillInWeights to +Inf.
+func (g *graph) clearInWeights(dst int, wTo []float64) {
+	lo, hi := g.rix.Row(int32(dst))
+	for slot := lo; slot < hi; slot++ {
+		wTo[g.rix.Tgt[slot]] = math.Inf(1)
+	}
+}
+
+// reset returns the graph to the empty staged state over the same host
+// list, retaining slab capacity. Landmarks are discarded with the edges.
+func (g *graph) reset() {
+	g.stageSrc = g.stageSrc[:0]
+	g.stageDst = g.stageDst[:0]
+	g.stageWt = g.stageWt[:0]
+	g.stageVal = g.stageVal[:0]
+	g.stageSum = g.stageSum[:0]
+	g.frozen = false
+	g.lmOnce = sync.Once{}
+	g.lm = nil
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growSummaries(s []stats.Summary, n int) []stats.Summary {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]stats.Summary, n)
 }
 
 // lossWeight converts a loss probability to an additive cost.
@@ -163,14 +267,26 @@ func metricEdge(metric Metric, to int, s stats.Summary) edge {
 	return e
 }
 
-// buildGraph constructs the per-metric measurement graph from a dataset.
+// buildGraph constructs the per-metric measurement graph from a dataset,
+// returning it frozen and ready for concurrent searches.
 func buildGraph(ds *dataset.Dataset, metric Metric) (*graph, error) {
 	g := newGraph(ds.Hosts, nil)
+	if err := stageGraph(g, ds, metric); err != nil {
+		return nil, err
+	}
+	g.freeze()
+	return g, nil
+}
+
+// stageGraph stages a dataset's measured pairs into an existing (reset)
+// graph; callers that pool graphs reuse the staging and CSR slabs across
+// builds.
+func stageGraph(g *graph, ds *dataset.Dataset, metric Metric) error {
 	for _, k := range ds.PairKeys() {
 		si, ok1 := g.index[k.Src]
 		di, ok2 := g.index[k.Dst]
 		if !ok1 || !ok2 {
-			return nil, fmt.Errorf("core: path %v references host outside dataset host list", k)
+			return fmt.Errorf("core: path %v references host outside dataset host list", k)
 		}
 		var s stats.Summary
 		switch metric {
@@ -193,25 +309,34 @@ func buildGraph(ds *dataset.Dataset, metric Metric) (*graph, error) {
 			}
 			s = stats.Summary{N: ds.Paths[k].Measurements, Mean: v}
 		default:
-			return nil, fmt.Errorf("core: unknown metric %v", metric)
+			return fmt.Errorf("core: unknown metric %v", metric)
 		}
 		g.addEdge(si, metricEdge(metric, di, s))
 	}
-	return g, nil
+	return nil
 }
 
-// directEdge returns the direct edge between two vertices, if measured.
+// directEdge returns the direct edge between two vertices, if measured:
+// a binary search of dst within src's sorted CSR row.
 func (g *graph) directEdge(src, dst int) (edge, bool) {
-	var pos int32
-	if g.dense != nil {
-		pos = g.dense[src*len(g.hosts)+dst]
-	} else {
-		pos = g.sparse[int64(src)<<32|int64(uint32(dst))]
+	if !g.frozen {
+		g.freeze()
 	}
-	if pos == 0 {
+	slot := g.ix.Find(int32(src), int32(dst))
+	if slot < 0 {
 		return edge{}, false
 	}
-	return g.adj[src][pos-1], true
+	return g.edgeAt(slot), true
+}
+
+// edgeAt materializes the edge stored at a CSR slot.
+func (g *graph) edgeAt(slot int32) edge {
+	return edge{
+		to:      int(g.ix.Tgt[slot]),
+		weight:  g.wt[slot],
+		value:   g.val[slot],
+		summary: g.sum[slot],
+	}
 }
 
 // pqItem is one priority-queue entry of the Dijkstra search.
@@ -279,7 +404,9 @@ func (q *pq) pop() pqItem {
 // searchScratch is the reusable working state of one shortest-path
 // search: Dijkstra's arrays, the heap, and (grown on demand) the layered
 // buffers of the bounded DP. Scratches live in the graph's pool; a
-// search borrows one, so concurrent searches never share state.
+// search borrows one, so concurrent searches never share state. The
+// batched analyses instead hold one arena per worker for the duration
+// of a whole shard (see bestAlternatesWith).
 type searchScratch struct {
 	dist []float64
 	prev []int32
@@ -290,7 +417,11 @@ type searchScratch struct {
 	// parent[v] reports whether v is an interior vertex of the latest
 	// source tree (some vertex's predecessor).
 	parent []bool
-	q      pq
+	// wTo is a dense in-weight gather array for one destination at a
+	// time: wTo[v] = weight of the v->dst edge, +Inf when absent.
+	// Invariant: all +Inf between fillInWeights/clearInWeights windows.
+	wTo []float64
+	q   pq
 	// Layered DP state for boundedAlternate: (maxEdges+1)*n cells each,
 	// laid out as layer*n+vertex.
 	ldist []float64
@@ -298,14 +429,19 @@ type searchScratch struct {
 }
 
 func newSearchScratch(n int) *searchScratch {
-	return &searchScratch{
+	s := &searchScratch{
 		dist:   make([]float64, n),
 		prev:   make([]int32, n),
 		done:   make([]bool, n),
 		order:  make([]int32, 0, n),
 		parent: make([]bool, n),
+		wTo:    make([]float64, n),
 		q:      make(pq, 0, 64),
 	}
+	for i := range s.wTo {
+		s.wTo[i] = math.Inf(1)
+	}
+	return s
 }
 
 // shortestAlternate finds the minimum-weight path src->dst that does not
@@ -314,53 +450,75 @@ func newSearchScratch(n int) *searchScratch {
 // intermediate hosts: 0 means unlimited, 1 restricts to one-hop
 // alternates (the paper's bandwidth and median analyses). It returns the
 // vertex sequence including endpoints, or ok=false if no alternate
-// exists. Safe for concurrent use on a fully built graph.
+// exists. Safe for concurrent use on a frozen graph.
 func (g *graph) shortestAlternate(src, dst, maxVia int, excluded []bool) (path []int, ok bool) {
+	if !g.frozen {
+		g.freeze()
+	}
+	s := g.scratch.Get().(*searchScratch)
+	defer g.scratch.Put(s)
+	return g.shortestAlternateInto(s, src, dst, maxVia, excluded)
+}
+
+// shortestAlternateInto is shortestAlternate with a caller-owned scratch,
+// so batched analyses reuse one arena per worker instead of bouncing
+// through the pool for every pair.
+func (g *graph) shortestAlternateInto(s *searchScratch, src, dst, maxVia int, excluded []bool) (path []int, ok bool) {
+	if !g.frozen {
+		g.freeze()
+	}
 	switch {
 	case maxVia == 1:
-		// The alternate must be src->via->dst; enumerate directly.
-		best := math.Inf(1)
-		bestVia := -1
-		for _, e1 := range g.adj[src] {
-			if e1.to == dst || e1.to == src || (excluded != nil && excluded[e1.to]) {
-				continue
-			}
-			e2, found := g.directEdge(e1.to, dst)
-			if !found {
-				continue
-			}
-			w := e1.weight + e2.weight
-			//repolint:allow floateq -- deterministic tie-break on identical sums of the same stored weights
-			if w < best || (w == best && e1.to < bestVia) {
-				best, bestVia = w, e1.to
-			}
-		}
-		if bestVia == -1 {
-			return nil, false
-		}
-		return []int{src, bestVia, dst}, true
+		return g.oneHopAlternate(src, dst, excluded, s)
 	case maxVia > 1:
-		return g.boundedAlternate(src, dst, maxVia, excluded)
+		return g.boundedAlternate(src, dst, maxVia, excluded, s)
 	default:
-		return g.dijkstraAlternate(src, dst, excluded)
+		return g.dijkstraAlternate(src, dst, excluded, s)
 	}
+}
+
+// oneHopAlternate enumerates src->via->dst candidates directly. The
+// destination's in-weights are gathered once into the scratch's dense
+// array, so the scan over src's row costs O(1) per candidate instead of
+// a binary search each.
+func (g *graph) oneHopAlternate(src, dst int, excluded []bool, s *searchScratch) (path []int, ok bool) {
+	best := math.Inf(1)
+	bestVia := -1
+	wTo := s.wTo
+	g.fillInWeights(dst, wTo)
+	lo, hi := g.ix.Row(int32(src))
+	for slot := lo; slot < hi; slot++ {
+		via := int(g.ix.Tgt[slot])
+		if via == dst || via == src || (excluded != nil && excluded[via]) {
+			continue
+		}
+		w := g.wt[slot] + wTo[via]
+		//repolint:allow floateq -- deterministic tie-break on identical sums of the same stored weights
+		if w < best || (w == best && via < bestVia) {
+			best, bestVia = w, via
+		}
+	}
+	g.clearInWeights(dst, wTo)
+	if bestVia == -1 {
+		return nil, false
+	}
+	return []int{src, bestVia, dst}, true
 }
 
 // scanMinVertices is the size below which the unlimited search uses the
 // O(n^2) array-scan Dijkstra instead of the heap. Measurement graphs are
-// small (tens of hosts) and nearly complete, so scanning an n-element
-// distance array for the next vertex is cheaper than maintaining a heap
-// over ~n^2 lazily deleted entries; above the threshold the sparser
-// heap variant wins.
+// often small (tens of hosts) and nearly complete, so scanning an
+// n-element distance array for the next vertex is cheaper than
+// maintaining a heap over ~n^2 lazily deleted entries; above the
+// threshold the sparser heap variant (with ALT pruning for per-pair
+// queries) wins.
 const scanMinVertices = 512
 
 // dijkstraAlternate is the unlimited-length search. Both variants
 // finalize vertices in (distance, vertex) order, so they produce
 // identical paths.
-func (g *graph) dijkstraAlternate(src, dst int, excluded []bool) (path []int, ok bool) {
+func (g *graph) dijkstraAlternate(src, dst int, excluded []bool, s *searchScratch) (path []int, ok bool) {
 	n := len(g.hosts)
-	s := g.scratch.Get().(*searchScratch)
-	defer g.scratch.Put(s)
 	dist, prev, done := s.dist, s.prev, s.done
 	for i := 0; i < n; i++ {
 		dist[i], prev[i], done[i] = math.MaxFloat64, -1, false
@@ -370,7 +528,7 @@ func (g *graph) dijkstraAlternate(src, dst int, excluded []bool) (path []int, ok
 	if n <= scanMinVertices {
 		g.dijkstraScan(src, dst, excluded, s)
 	} else {
-		g.dijkstraHeap(src, dst, excluded, s)
+		g.dijkstraHeap(src, dst, excluded, s, g.landmarksFor(dst))
 	}
 	return pathFromPrev(prev, src, dst)
 }
@@ -409,6 +567,9 @@ func pathFromPrev(prev []int32, src, dst int) (path []int, ok bool) {
 // fallback. This amortizes one search per source across all its
 // destinations.
 func (g *graph) sourceTree(src int, excluded []bool, s *searchScratch) {
+	if !g.frozen {
+		g.freeze()
+	}
 	n := len(g.hosts)
 	for i := 0; i < n; i++ {
 		s.dist[i], s.prev[i], s.done[i], s.parent[i] = math.MaxFloat64, -1, false, false
@@ -418,7 +579,7 @@ func (g *graph) sourceTree(src int, excluded []bool, s *searchScratch) {
 	if n <= scanMinVertices {
 		g.dijkstraScan(src, -1, excluded, s)
 	} else {
-		g.dijkstraHeap(src, -1, excluded, s)
+		g.dijkstraHeap(src, -1, excluded, s, nil)
 	}
 	for v := 0; v < n; v++ {
 		if p := s.prev[v]; p >= 0 {
@@ -442,6 +603,8 @@ func (g *graph) sourceTree(src int, excluded []bool, s *searchScratch) {
 func (g *graph) replayLastHop(src, dst int, s *searchScratch) (path []int, ok bool) {
 	cur := math.MaxFloat64
 	best := -1
+	wTo := s.wTo
+	g.fillInWeights(dst, wTo)
 	for _, u32 := range s.order {
 		u := int(u32)
 		// dst pops before u does: the search is over.
@@ -452,14 +615,11 @@ func (g *graph) replayLastHop(src, dst int, s *searchScratch) (path []int, ok bo
 		if u == src || u == dst {
 			continue
 		}
-		e, found := g.directEdge(u, dst)
-		if !found {
-			continue
-		}
-		if nd := s.dist[u] + e.weight; nd < cur {
+		if nd := s.dist[u] + wTo[u]; nd < cur {
 			cur, best = nd, u
 		}
 	}
+	g.clearInWeights(dst, wTo)
 	if best == -1 {
 		return nil, false
 	}
@@ -488,8 +648,10 @@ func (g *graph) dijkstraScan(src, dst int, excluded []bool, s *searchScratch) {
 		}
 		done[u] = true
 		s.order = append(s.order, int32(u))
-		for _, e := range g.adj[u] {
-			v := e.to
+		lo, hi := g.ix.Row(int32(u))
+		tgt, wts := g.ix.Tgt[lo:hi], g.wt[lo:hi]
+		for i, v32 := range tgt {
+			v := int(v32)
 			if done[v] {
 				continue
 			}
@@ -499,7 +661,7 @@ func (g *graph) dijkstraScan(src, dst int, excluded []bool, s *searchScratch) {
 			if u == src && v == dst {
 				continue // forbid the direct edge
 			}
-			nd := du + e.weight
+			nd := du + wts[i]
 			if nd < dist[v] {
 				dist[v] = nd
 				prev[v] = int32(u)
@@ -509,8 +671,15 @@ func (g *graph) dijkstraScan(src, dst int, excluded []bool, s *searchScratch) {
 }
 
 // dijkstraHeap is the classic lazy-deletion heap variant for large
-// sparse graphs.
-func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch) {
+// sparse graphs. For per-pair queries (dst >= 0) a non-nil lm applies
+// ALT landmark pruning: a finalized vertex whose distance plus the
+// landmark lower bound to dst strictly exceeds the tentative distance
+// of dst cannot lie on any optimal path to dst, so its expansion is
+// skipped. Every vertex of the returned path satisfies
+// dist[v] + lb(v,dst) <= d(dst), so the pruned search finalizes and
+// relaxes the path's vertices exactly as the unpruned one does — paths
+// stay bit-identical (see DESIGN.md §10).
+func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch, lm *landmarks) {
 	dist, prev, done := s.dist, s.prev, s.done
 	q := s.q[:0]
 	q.push(pqItem{vertex: src, dist: 0})
@@ -525,8 +694,13 @@ func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch) {
 			break
 		}
 		s.order = append(s.order, int32(u))
-		for _, e := range g.adj[u] {
-			v := e.to
+		if lm != nil && it.dist+lm.lowerBound(u, dst) > dist[dst] {
+			continue // ALT prune: u cannot improve any path to dst
+		}
+		lo, hi := g.ix.Row(int32(u))
+		tgt, wts := g.ix.Tgt[lo:hi], g.wt[lo:hi]
+		for i, v32 := range tgt {
+			v := int(v32)
 			if done[v] {
 				continue
 			}
@@ -536,7 +710,7 @@ func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch) {
 			if u == src && v == dst {
 				continue // forbid the direct edge
 			}
-			nd := it.dist + e.weight
+			nd := it.dist + wts[i]
 			if nd < dist[v] {
 				dist[v] = nd
 				prev[v] = int32(u)
@@ -552,12 +726,10 @@ func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch) {
 // programming over (edge count, vertex) states — plain Dijkstra with a
 // hop cap is incorrect because the cheapest unlimited path can exceed
 // the cap while a costlier short path satisfies it.
-func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []int, ok bool) {
+func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool, s *searchScratch) (path []int, ok bool) {
 	n := len(g.hosts)
 	maxEdges := maxVia + 1
 	const inf = math.MaxFloat64
-	s := g.scratch.Get().(*searchScratch)
-	defer g.scratch.Put(s)
 	// dist[h*n+v]: min weight of a path src->v with <=h edges.
 	cells := (maxEdges + 1) * n
 	if cap(s.ldist) < cells {
@@ -580,8 +752,11 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []
 			if last[u] == inf {
 				continue
 			}
-			for _, e := range g.adj[u] {
-				v := e.to
+			lo, hi := g.ix.Row(int32(u))
+			tgt, wts := g.ix.Tgt[lo:hi], g.wt[lo:hi]
+			du := last[u]
+			for i, v32 := range tgt {
+				v := int(v32)
 				if excluded != nil && excluded[v] && v != dst {
 					continue
 				}
@@ -591,7 +766,7 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []
 				if v == src {
 					continue
 				}
-				nd := last[u] + e.weight
+				nd := du + wts[i]
 				if nd < cur[v] {
 					cur[v] = nd
 					curPrev[v] = int32(u)

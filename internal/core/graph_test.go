@@ -292,24 +292,27 @@ func TestBoundedMatchesBruteForce(t *testing.T) {
 func bruteBest(g *graph, src, dst, maxVia int) (float64, bool) {
 	best := math.Inf(1)
 	found := false
+	g.freeze()
 	var rec func(cur int, used map[int]bool, weight float64, vias int)
 	rec = func(cur int, used map[int]bool, weight float64, vias int) {
-		for _, e := range g.adj[cur] {
-			if cur == src && e.to == dst {
+		lo, hi := g.ix.Row(int32(cur))
+		for s := lo; s < hi; s++ {
+			to, w := int(g.ix.Tgt[s]), g.wt[s]
+			if cur == src && to == dst {
 				continue
 			}
-			if e.to == dst {
-				if w := weight + e.weight; w < best {
+			if to == dst {
+				if w := weight + w; w < best {
 					best, found = w, true
 				}
 				continue
 			}
-			if used[e.to] || vias >= maxVia {
+			if used[to] || vias >= maxVia {
 				continue
 			}
-			used[e.to] = true
-			rec(e.to, used, weight+e.weight, vias+1)
-			delete(used, e.to)
+			used[to] = true
+			rec(to, used, weight+w, vias+1)
+			delete(used, to)
 		}
 	}
 	rec(src, map[int]bool{src: true}, 0, 0)

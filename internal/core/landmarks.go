@@ -1,0 +1,164 @@
+package core
+
+import "math"
+
+// numLandmarks is the ALT landmark budget. Eight landmarks cost
+// 2·8·n float64 cells (128 bytes per vertex) and typically prune the
+// large majority of finalizations in goal-directed searches on the
+// sparse sampled-pair graphs of the scale preset.
+const numLandmarks = 8
+
+// landmarks holds ALT (A*, landmarks, triangle inequality) distance
+// tables: for each landmark l, the forward distance d(l→v) and the
+// reverse distance d(v→l) for every vertex v, computed on the full
+// graph. Both tables use math.MaxFloat64 as the "unreachable" sentinel.
+//
+// For any vertices u, t the triangle inequality gives two lower bounds
+// on d(u→t):
+//
+//	d(u→t) >= d(l→t) − d(l→u)   (forward table)
+//	d(u→t) >= d(u→l) − d(t→l)   (reverse table)
+//
+// The bounds stay admissible for every search this package runs: the
+// searches only restrict the graph (excluded vertices, the forbidden
+// direct edge), and restricting a graph can only increase distances, so
+// a full-graph lower bound still under-estimates. The sentinel even
+// sharpens the bound correctly: d(l→t) = ∞ with d(l→u) finite proves t
+// unreachable from u (a u→t path would extend l→u), and the huge
+// difference prunes everything, which is exact.
+type landmarks struct {
+	n   int
+	k   int
+	fwd []float64 // fwd[l*n+v] = d(landmark l → v)
+	rev []float64 // rev[l*n+v] = d(v → landmark l)
+}
+
+// lowerBound returns the best landmark lower bound on d(u→dst),
+// never negative.
+func (lm *landmarks) lowerBound(u, dst int) float64 {
+	best := 0.0
+	for l := 0; l < lm.k; l++ {
+		base := l * lm.n
+		if d := lm.fwd[base+dst] - lm.fwd[base+u]; d > best {
+			best = d
+		}
+		if d := lm.rev[base+u] - lm.rev[base+dst]; d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// landmarksFor returns the graph's landmark tables for a per-pair
+// search, building them on first use. Source-tree searches (dst < 0)
+// cannot use goal direction and get nil.
+func (g *graph) landmarksFor(dst int) *landmarks {
+	if dst < 0 {
+		return nil
+	}
+	g.lmOnce.Do(g.buildLandmarks)
+	return g.lm
+}
+
+// buildLandmarks selects landmarks by deterministic farthest-point
+// traversal and fills their forward/reverse distance tables. The first
+// landmark is the lowest-numbered non-isolated vertex; each subsequent
+// one is the non-isolated vertex farthest (by forward distance) from
+// all chosen landmarks, unreachable vertices counting as farthest and
+// ties resolving to the lowest vertex. The selection depends only on
+// the frozen slabs, so it is identical across runs and worker counts.
+func (g *graph) buildLandmarks() {
+	n := len(g.hosts)
+	m := g.ix.NumEdges()
+	if n == 0 || m == 0 {
+		return // leaves g.lm nil: searches simply skip pruning
+	}
+
+	isolated := make([]bool, n)
+	for v := range isolated {
+		isolated[v] = true
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := g.ix.Row(int32(u))
+		if lo != hi {
+			isolated[u] = false
+		}
+		for slot := lo; slot < hi; slot++ {
+			isolated[g.ix.Tgt[slot]] = false
+		}
+	}
+
+	lm := &landmarks{n: n}
+	minTo := make([]float64, n) // min forward distance from any landmark
+	for i := range minTo {
+		minTo[i] = math.MaxFloat64
+	}
+	chosen := make([]bool, n)
+	var q pq
+	for lm.k < numLandmarks {
+		pick := -1
+		if lm.k == 0 {
+			for v := 0; v < n; v++ {
+				if !isolated[v] {
+					pick = v
+					break
+				}
+			}
+		} else {
+			best := -1.0
+			for v := 0; v < n; v++ {
+				if isolated[v] || chosen[v] {
+					continue
+				}
+				if d := minTo[v]; d > best {
+					best, pick = d, v
+				}
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		chosen[pick] = true
+		base := lm.k * n
+		lm.fwd = append(lm.fwd, make([]float64, n)...)
+		lm.rev = append(lm.rev, make([]float64, n)...)
+		dijkstraFrom(g.ix.Off, g.ix.Tgt, g.wt, pick, lm.fwd[base:base+n], &q)
+		dijkstraFrom(g.rix.Off, g.rix.Tgt, g.rwt, pick, lm.rev[base:base+n], &q)
+		for v := 0; v < n; v++ {
+			if d := lm.fwd[base+v]; d < minTo[v] {
+				minTo[v] = d
+			}
+		}
+		lm.k++
+	}
+	if lm.k > 0 {
+		g.lm = lm
+	}
+}
+
+// dijkstraFrom runs an unrestricted single-source shortest-path search
+// over raw CSR slabs, filling dist (math.MaxFloat64 = unreachable).
+func dijkstraFrom(off, tgt []int32, wt []float64, src int, dist []float64, q *pq) {
+	for i := range dist {
+		dist[i] = math.MaxFloat64
+	}
+	dist[src] = 0
+	h := (*q)[:0]
+	h.push(pqItem{vertex: src, dist: 0})
+	for len(h) > 0 {
+		it := h.pop()
+		u := it.vertex
+		if it.dist > dist[u] {
+			continue // stale heap entry
+		}
+		lo, hi := off[u], off[u+1]
+		for slot := lo; slot < hi; slot++ {
+			v := int(tgt[slot])
+			if nd := it.dist + wt[slot]; nd < dist[v] {
+				dist[v] = nd
+				h.push(pqItem{vertex: v, dist: nd})
+			}
+		}
+	}
+	*q = h[:0]
+}

@@ -1,0 +1,580 @@
+// This file preserves the pre-CSR graph implementation — the dense
+// src*n+dst table below oldMaxDenseVertices and the hash-map fallback
+// above it — verbatim, as a reference oracle for the differential
+// property tests in differential_test.go. It must behave exactly like
+// the implementation that shipped before the CSR rewrite; do not
+// "improve" it.
+//
+// Identifiers carry an old/Old prefix so the fixture can coexist with
+// the live implementation in graph.go. Shared leaf declarations
+// (Metric, edge, lossWeight, metricEdge) are used from the live file so
+// both implementations interpret measurements identically.
+
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pathsel/internal/dataset"
+	"pathsel/internal/stats"
+	"pathsel/internal/topology"
+)
+
+// oldMaxDenseVertices bounds the flat src*n+dst edge index: up to this many
+// vertices the index costs n*n int32 cells (16 MiB at the limit); larger
+// graphs fall back to a map keyed by the packed vertex pair.
+const oldMaxDenseVertices = 2048
+
+// oldGraph is the measurement oldGraph for one metric. After construction
+// (addEdge calls) it is read-only and safe for concurrent searches.
+type oldGraph struct {
+	hosts []topology.HostID
+	index map[topology.HostID]int
+	adj   [][]edge // adjacency by vertex index
+
+	// Directed-edge index for O(1) lookup: the stored value is the edge's
+	// position within adj[src] plus one, so zero means absent. Exactly one
+	// of dense/sparse is non-nil.
+	dense  []int32         // dense[src*n+dst], for small vertex counts
+	sparse map[int64]int32 // keyed src<<32|dst, for large vertex counts
+
+	// scratch pools per-search working state (distance/predecessor arrays
+	// and the priority queue) so searches allocate nothing proportional
+	// to the oldGraph.
+	scratch sync.Pool
+}
+
+// newOldGraph creates an empty oldGraph over the given hosts. If index is nil
+// a host-to-vertex index is built (hosts must then be duplicate-free);
+// passing a prebuilt index lets callers share one across many graphs.
+func newOldGraph(hosts []topology.HostID, index map[topology.HostID]int) *oldGraph {
+	if index == nil {
+		index = make(map[topology.HostID]int, len(hosts))
+		for i, h := range hosts {
+			index[h] = i
+		}
+	}
+	n := len(hosts)
+	g := &oldGraph{hosts: hosts, index: index, adj: make([][]edge, n)}
+	if n <= oldMaxDenseVertices {
+		g.dense = make([]int32, n*n)
+	} else {
+		g.sparse = make(map[int64]int32)
+	}
+	g.scratch.New = func() any { return newOldSearchScratch(n) }
+	return g
+}
+
+// addEdge appends a directed edge and records it in the O(1) index. At
+// most one edge may exist per (src, dst) pair.
+func (g *oldGraph) addEdge(src int, e edge) {
+	g.adj[src] = append(g.adj[src], e)
+	pos := int32(len(g.adj[src])) // position + 1; 0 means absent
+	if g.dense != nil {
+		g.dense[src*len(g.hosts)+e.to] = pos
+	} else {
+		g.sparse[int64(src)<<32|int64(uint32(e.to))] = pos
+	}
+}
+
+// buildOldGraph constructs the per-metric measurement oldGraph from a dataset.
+func buildOldGraph(ds *dataset.Dataset, metric Metric) (*oldGraph, error) {
+	g := newOldGraph(ds.Hosts, nil)
+	for _, k := range ds.PairKeys() {
+		si, ok1 := g.index[k.Src]
+		di, ok2 := g.index[k.Dst]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: path %v references host outside dataset host list", k)
+		}
+		var s stats.Summary
+		switch metric {
+		case MetricRTT:
+			sum, ok := ds.MeanRTT(k)
+			if !ok {
+				continue
+			}
+			s = sum
+		case MetricLoss:
+			sum, ok := ds.LossRate(k)
+			if !ok {
+				continue
+			}
+			s = sum
+		case MetricPropDelay:
+			v, ok := ds.PropagationDelay(k, PropagationQuantile)
+			if !ok {
+				continue
+			}
+			s = stats.Summary{N: ds.Paths[k].Measurements, Mean: v}
+		default:
+			return nil, fmt.Errorf("core: unknown metric %v", metric)
+		}
+		g.addEdge(si, metricEdge(metric, di, s))
+	}
+	return g, nil
+}
+
+// directEdge returns the direct edge between two vertices, if measured.
+func (g *oldGraph) directEdge(src, dst int) (edge, bool) {
+	var pos int32
+	if g.dense != nil {
+		pos = g.dense[src*len(g.hosts)+dst]
+	} else {
+		pos = g.sparse[int64(src)<<32|int64(uint32(dst))]
+	}
+	if pos == 0 {
+		return edge{}, false
+	}
+	return g.adj[src][pos-1], true
+}
+
+// oldPQItem is one priority-queue entry of the Dijkstra search.
+type oldPQItem struct {
+	vertex int
+	dist   float64
+}
+
+// oldPQLess orders items by distance, breaking ties by vertex so the pop
+// order (and therefore the search) is fully deterministic.
+func oldPQLess(a, b oldPQItem) bool {
+	//repolint:allow floateq -- deterministic tie-break: equal costs fall through to the vertex comparison
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.vertex < b.vertex
+}
+
+// oldPQ is a hand-rolled binary min-heap. Unlike container/heap it moves
+// concrete oldPQItem values, so pushes never box through an interface and
+// the search allocates only when the backing array grows (amortized to
+// nothing once the scratch is warm).
+type oldPQ []oldPQItem
+
+func (q *oldPQ) push(it oldPQItem) {
+	*q = append(*q, it)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !oldPQLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *oldPQ) pop() oldPQItem {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && oldPQLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && oldPQLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
+// oldSearchScratch is the reusable working state of one shortest-path
+// search: Dijkstra's arrays, the heap, and (grown on demand) the layered
+// buffers of the bounded DP. Scratches live in the oldGraph's pool; a
+// search borrows one, so concurrent searches never share state.
+type oldSearchScratch struct {
+	dist []float64
+	prev []int32
+	done []bool
+	// order records vertices in finalize order; replayLastHop walks it
+	// to re-create the relaxation sequence of a per-pair search.
+	order []int32
+	// parent[v] reports whether v is an interior vertex of the latest
+	// source tree (some vertex's predecessor).
+	parent []bool
+	q      oldPQ
+	// Layered DP state for boundedAlternate: (maxEdges+1)*n cells each,
+	// laid out as layer*n+vertex.
+	ldist []float64
+	lprev []int32
+}
+
+func newOldSearchScratch(n int) *oldSearchScratch {
+	return &oldSearchScratch{
+		dist:   make([]float64, n),
+		prev:   make([]int32, n),
+		done:   make([]bool, n),
+		order:  make([]int32, 0, n),
+		parent: make([]bool, n),
+		q:      make(oldPQ, 0, 64),
+	}
+}
+
+// shortestAlternate finds the minimum-weight path src->dst that does not
+// use the direct src->dst edge, optionally excluding a set of vertices
+// (for the host-removal analysis). maxVia limits the number of
+// intermediate hosts: 0 means unlimited, 1 restricts to one-hop
+// alternates (the paper's bandwidth and median analyses). It returns the
+// vertex sequence including endpoints, or ok=false if no alternate
+// exists. Safe for concurrent use on a fully built oldGraph.
+func (g *oldGraph) shortestAlternate(src, dst, maxVia int, excluded []bool) (path []int, ok bool) {
+	switch {
+	case maxVia == 1:
+		// The alternate must be src->via->dst; enumerate directly.
+		best := math.Inf(1)
+		bestVia := -1
+		for _, e1 := range g.adj[src] {
+			if e1.to == dst || e1.to == src || (excluded != nil && excluded[e1.to]) {
+				continue
+			}
+			e2, found := g.directEdge(e1.to, dst)
+			if !found {
+				continue
+			}
+			w := e1.weight + e2.weight
+			//repolint:allow floateq -- deterministic tie-break on identical sums of the same stored weights
+			if w < best || (w == best && e1.to < bestVia) {
+				best, bestVia = w, e1.to
+			}
+		}
+		if bestVia == -1 {
+			return nil, false
+		}
+		return []int{src, bestVia, dst}, true
+	case maxVia > 1:
+		return g.boundedAlternate(src, dst, maxVia, excluded)
+	default:
+		return g.dijkstraAlternate(src, dst, excluded)
+	}
+}
+
+// oldScanMinVertices is the size below which the unlimited search uses the
+// O(n^2) array-scan Dijkstra instead of the heap. Measurement graphs are
+// small (tens of hosts) and nearly complete, so scanning an n-element
+// distance array for the next vertex is cheaper than maintaining a heap
+// over ~n^2 lazily deleted entries; above the threshold the sparser
+// heap variant wins.
+const oldScanMinVertices = 512
+
+// dijkstraAlternate is the unlimited-length search. Both variants
+// finalize vertices in (distance, vertex) order, so they produce
+// identical paths.
+func (g *oldGraph) dijkstraAlternate(src, dst int, excluded []bool) (path []int, ok bool) {
+	n := len(g.hosts)
+	s := g.scratch.Get().(*oldSearchScratch)
+	defer g.scratch.Put(s)
+	dist, prev, done := s.dist, s.prev, s.done
+	for i := 0; i < n; i++ {
+		dist[i], prev[i], done[i] = math.MaxFloat64, -1, false
+	}
+	dist[src] = 0
+	s.order = s.order[:0]
+	if n <= oldScanMinVertices {
+		g.dijkstraScan(src, dst, excluded, s)
+	} else {
+		g.dijkstraHeap(src, dst, excluded, s)
+	}
+	return oldPathFromPrev(prev, src, dst)
+}
+
+// oldPathFromPrev reconstructs the src->dst vertex sequence from a
+// predecessor array.
+func oldPathFromPrev(prev []int32, src, dst int) (path []int, ok bool) {
+	if prev[dst] == -1 {
+		return nil, false
+	}
+	for v := dst; v != -1; v = int(prev[v]) {
+		path = append(path, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if path[0] != src {
+		return nil, false
+	}
+	return path, true
+}
+
+// sourceTree runs one full Dijkstra from src with every direct edge
+// present (dst=-1 disables both the early exit and the direct-edge
+// exclusion) into a scratch borrowed by the caller. Whenever the
+// resulting tree reaches a destination through a relay — prev[dst] is
+// neither src nor -1 — the tree path is exactly what the per-pair
+// direct-edge-excluded search would find: src pops first and seeds
+// dst with the direct edge, so a different predecessor means some
+// relayed path won a strict improvement, and the two searches accept
+// the same improvement sequence below the direct weight. Only when the
+// direct edge wins (prev[dst]==src) does the caller need the per-pair
+// fallback. This amortizes one search per source across all its
+// destinations.
+func (g *oldGraph) sourceTree(src int, excluded []bool, s *oldSearchScratch) {
+	n := len(g.hosts)
+	for i := 0; i < n; i++ {
+		s.dist[i], s.prev[i], s.done[i], s.parent[i] = math.MaxFloat64, -1, false, false
+	}
+	s.dist[src] = 0
+	s.order = s.order[:0]
+	if n <= oldScanMinVertices {
+		g.dijkstraScan(src, -1, excluded, s)
+	} else {
+		g.dijkstraHeap(src, -1, excluded, s)
+	}
+	for v := 0; v < n; v++ {
+		if p := s.prev[v]; p >= 0 {
+			s.parent[p] = true
+		}
+	}
+}
+
+// replayLastHop resolves a pair whose direct edge won the source tree
+// and whose destination is a tree leaf, without another search. When
+// dst has no tree children, removing the direct edge changes nothing
+// about the rest of the tree: every other vertex keeps its distance and
+// predecessor, and the per-pair search would finalize them in exactly
+// the recorded order, stopping once dst itself becomes the minimum. So
+// the search's whole effect on dst can be replayed from the tree: walk
+// the finalize order, apply each vertex's relaxation of dst (skipping
+// the forbidden direct edge), and stop where dst would have popped.
+// Returns the alternate path per-pair Dijkstra would return, or
+// ok=false if none exists. Only valid when !s.parent[dst] and
+// s.prev[dst]==src.
+func (g *oldGraph) replayLastHop(src, dst int, s *oldSearchScratch) (path []int, ok bool) {
+	cur := math.MaxFloat64
+	best := -1
+	for _, u32 := range s.order {
+		u := int(u32)
+		// dst pops before u does: the search is over.
+		//repolint:allow floateq -- replays the pop order's exact tie-break; values are copies, not recomputations
+		if s.dist[u] > cur || (s.dist[u] == cur && u > dst) {
+			break
+		}
+		if u == src || u == dst {
+			continue
+		}
+		e, found := g.directEdge(u, dst)
+		if !found {
+			continue
+		}
+		if nd := s.dist[u] + e.weight; nd < cur {
+			cur, best = nd, u
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	path, ok = oldPathFromPrev(s.prev, src, best)
+	if !ok {
+		return nil, false
+	}
+	return append(path, dst), true
+}
+
+// dijkstraScan selects the next vertex by scanning the distance array:
+// strict less-than keeps the lowest vertex on ties, matching the heap's
+// (distance, vertex) pop order.
+func (g *oldGraph) dijkstraScan(src, dst int, excluded []bool, s *oldSearchScratch) {
+	n := len(g.hosts)
+	dist, prev, done := s.dist, s.prev, s.done
+	for {
+		u, du := -1, math.MaxFloat64
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < du {
+				u, du = v, dist[v]
+			}
+		}
+		if u == -1 || u == dst {
+			return
+		}
+		done[u] = true
+		s.order = append(s.order, int32(u))
+		for _, e := range g.adj[u] {
+			v := e.to
+			if done[v] {
+				continue
+			}
+			if excluded != nil && excluded[v] && v != dst {
+				continue
+			}
+			if u == src && v == dst {
+				continue // forbid the direct edge
+			}
+			nd := du + e.weight
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = int32(u)
+			}
+		}
+	}
+}
+
+// dijkstraHeap is the classic lazy-deletion heap variant for large
+// sparse graphs.
+func (g *oldGraph) dijkstraHeap(src, dst int, excluded []bool, s *oldSearchScratch) {
+	dist, prev, done := s.dist, s.prev, s.done
+	q := s.q[:0]
+	q.push(oldPQItem{vertex: src, dist: 0})
+	for len(q) > 0 {
+		it := q.pop()
+		u := it.vertex
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		s.order = append(s.order, int32(u))
+		for _, e := range g.adj[u] {
+			v := e.to
+			if done[v] {
+				continue
+			}
+			if excluded != nil && excluded[v] && v != dst {
+				continue
+			}
+			if u == src && v == dst {
+				continue // forbid the direct edge
+			}
+			nd := it.dist + e.weight
+			if nd < dist[v] {
+				dist[v] = nd
+				prev[v] = int32(u)
+				q.push(oldPQItem{vertex: v, dist: nd})
+			}
+		}
+	}
+	s.q = q[:0] // keep the grown backing array for the next search
+}
+
+// boundedAlternate finds the minimum-weight alternate using at most
+// maxVia intermediate hosts (i.e. maxVia+1 edges), by dynamic
+// programming over (edge count, vertex) states — plain Dijkstra with a
+// hop cap is incorrect because the cheapest unlimited path can exceed
+// the cap while a costlier short path satisfies it.
+func (g *oldGraph) boundedAlternate(src, dst, maxVia int, excluded []bool) (path []int, ok bool) {
+	n := len(g.hosts)
+	maxEdges := maxVia + 1
+	const inf = math.MaxFloat64
+	s := g.scratch.Get().(*oldSearchScratch)
+	defer g.scratch.Put(s)
+	// dist[h*n+v]: min weight of a path src->v with <=h edges.
+	cells := (maxEdges + 1) * n
+	if cap(s.ldist) < cells {
+		s.ldist = make([]float64, cells)
+		s.lprev = make([]int32, cells)
+	}
+	dist := s.ldist[:cells]
+	prev := s.lprev[:cells]
+	for i := range dist {
+		dist[i], prev[i] = inf, -1
+	}
+	dist[src] = 0
+	for h := 1; h <= maxEdges; h++ {
+		cur, last := dist[h*n:(h+1)*n], dist[(h-1)*n:h*n]
+		curPrev, lastPrev := prev[h*n:(h+1)*n], prev[(h-1)*n:h*n]
+		copy(cur, last)
+		copy(curPrev, lastPrev)
+		for u := 0; u < n; u++ {
+			//repolint:allow floateq -- +Inf sentinel for "unreached"; no arithmetic ever produces it
+			if last[u] == inf {
+				continue
+			}
+			for _, e := range g.adj[u] {
+				v := e.to
+				if excluded != nil && excluded[v] && v != dst {
+					continue
+				}
+				if u == src && v == dst {
+					continue
+				}
+				if v == src {
+					continue
+				}
+				nd := last[u] + e.weight
+				if nd < cur[v] {
+					cur[v] = nd
+					curPrev[v] = int32(u)
+				}
+			}
+		}
+	}
+	//repolint:allow floateq -- +Inf sentinel for "unreached"; no arithmetic ever produces it
+	if dist[maxEdges*n+dst] == inf {
+		return nil, false
+	}
+	// Reconstruct by walking layers backwards.
+	v := dst
+	h := maxEdges
+	var rev []int
+	for v != -1 {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		// Find the layer where v's best distance was set.
+		//repolint:allow floateq -- layers copy values verbatim, so equality means "unchanged", bit for bit
+		for h > 0 && dist[(h-1)*n+v] == dist[h*n+v] && prev[(h-1)*n+v] == prev[h*n+v] {
+			h--
+		}
+		v = int(prev[h*n+v])
+		h--
+		if len(rev) > maxEdges+2 {
+			return nil, false // defensive
+		}
+	}
+	if len(rev) == 0 || rev[len(rev)-1] != src {
+		return nil, false
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// composePath combines the edges along a vertex sequence into the
+// alternate path's metric value and summary. For loss the values compose
+// by independence; for RTT and propagation delay they add. The summary's
+// squared standard errors always add (independent hops).
+func (g *oldGraph) composePath(metric Metric, path []int) (value float64, sum stats.Summary, err error) {
+	if len(path) < 2 {
+		return 0, stats.Summary{}, fmt.Errorf("core: path too short: %v", path)
+	}
+	parts := make([]stats.Summary, 0, len(path)-1)
+	weightTotal := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		e, found := g.directEdge(path[i], path[i+1])
+		if !found {
+			return 0, stats.Summary{}, fmt.Errorf("core: missing edge %d->%d in composed path", path[i], path[i+1])
+		}
+		weightTotal += e.weight
+		parts = append(parts, e.summary)
+	}
+	sum = stats.SumSummaries(parts...)
+	switch metric {
+	case MetricLoss:
+		value = lossFromWeight(weightTotal)
+		// The summary mean for loss must be the composed probability,
+		// not the sum of hop probabilities.
+		sum.Mean = value
+	default:
+		value = weightTotal
+	}
+	return value, sum, nil
+}

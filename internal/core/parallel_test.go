@@ -133,10 +133,19 @@ func TestDijkstraScanMatchesHeap(t *testing.T) {
 				continue
 			}
 			scanPath, scanOK := run(g.dijkstraScan, src, dst)
-			heapPath, heapOK := run(g.dijkstraHeap, src, dst)
+			heapPath, heapOK := run(func(src, dst int, excluded []bool, s *searchScratch) {
+				g.dijkstraHeap(src, dst, excluded, s, nil)
+			}, src, dst)
 			if scanOK != heapOK || !reflect.DeepEqual(scanPath, heapPath) {
 				t.Fatalf("pair %d->%d: scan %v/%v heap %v/%v",
 					src, dst, scanPath, scanOK, heapPath, heapOK)
+			}
+			altPath, altOK := run(func(src, dst int, excluded []bool, s *searchScratch) {
+				g.dijkstraHeap(src, dst, excluded, s, g.landmarksFor(dst))
+			}, src, dst)
+			if altOK != heapOK || !reflect.DeepEqual(altPath, heapPath) {
+				t.Fatalf("pair %d->%d: ALT-pruned heap %v/%v, plain heap %v/%v",
+					src, dst, altPath, altOK, heapPath, heapOK)
 			}
 		}
 	}

@@ -1,0 +1,142 @@
+// Package csr provides a compact compressed-sparse-row edge index shared
+// by the graph substrates in core, topology, bgp, and igp. A CSR index
+// packs a directed graph's adjacency into two flat slabs — an offset
+// array and a target array sorted within each row — so that neighbor
+// iteration is a contiguous scan, edge lookup is a binary search, and
+// building involves no per-edge map or per-vertex slice churn.
+//
+// The package is deliberately payload-agnostic: Rebuild returns a
+// permutation mapping packed slots back to input edge indices, and
+// callers permute their own parallel payload slices (weights, summaries,
+// link IDs) alongside the targets. This keeps one packing routine shared
+// across graphs whose edges carry very different data.
+package csr
+
+import "sort"
+
+// Index is a compressed-sparse-row adjacency over vertices 0..n-1: the
+// targets of row u occupy Tgt[Off[u]:Off[u+1]], sorted ascending.
+// Duplicate targets are permitted and keep their input order.
+type Index struct {
+	Off []int32 // len n+1; Off[0] == 0, Off[n] == len(Tgt)
+	Tgt []int32
+
+	cur []int32 // distribution cursors, reused across Rebuilds
+}
+
+// NumVertices returns the vertex count the index was built over.
+func (ix *Index) NumVertices() int {
+	if len(ix.Off) == 0 {
+		return 0
+	}
+	return len(ix.Off) - 1
+}
+
+// NumEdges returns the packed edge count.
+func (ix *Index) NumEdges() int { return len(ix.Tgt) }
+
+// Row returns the slab bounds [lo, hi) of vertex u's targets.
+func (ix *Index) Row(u int32) (lo, hi int32) { return ix.Off[u], ix.Off[u+1] }
+
+// Find returns the slot of the first edge u -> v, or -1 if absent.
+func (ix *Index) Find(u, v int32) int32 {
+	lo, hi := ix.Off[u], ix.Off[u+1]
+	end := hi
+	for hi-lo > 8 {
+		mid := lo + (hi-lo)/2
+		if ix.Tgt[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// The first slot >= v lies in [lo, hi]; scan forward from lo and
+	// stop at the first slot past v.
+	for i := lo; i < end; i++ {
+		switch {
+		case ix.Tgt[i] == v:
+			return i
+		case ix.Tgt[i] > v:
+			return -1
+		}
+	}
+	return -1
+}
+
+// Rebuild repacks the directed edges src[i] -> dst[i] over n vertices
+// into the index, reusing slab capacity from prior builds. It returns
+// perm (grown as needed) where perm[slot] is the input index of the edge
+// occupying that slot, so callers can gather payload slices:
+// packed[slot] = payload[perm[slot]].
+func (ix *Index) Rebuild(n int, src, dst []int32, perm []int32) []int32 {
+	m := len(src)
+	ix.Off = grow(ix.Off, n+1)
+	for i := range ix.Off {
+		ix.Off[i] = 0
+	}
+	ix.Tgt = grow(ix.Tgt, m)
+	ix.cur = grow(ix.cur, n)
+	perm = grow(perm, m)
+
+	for _, u := range src {
+		ix.Off[u+1]++
+	}
+	for u := 0; u < n; u++ {
+		ix.Off[u+1] += ix.Off[u]
+		ix.cur[u] = ix.Off[u]
+	}
+	for i, u := range src {
+		p := ix.cur[u]
+		ix.cur[u] = p + 1
+		ix.Tgt[p] = dst[i]
+		perm[p] = int32(i)
+	}
+	for u := 0; u < n; u++ {
+		sortRow(ix.Tgt[ix.Off[u]:ix.Off[u+1]], perm[ix.Off[u]:ix.Off[u+1]])
+	}
+	return perm
+}
+
+// Build packs the directed edges src[i] -> dst[i] over n vertices into a
+// fresh index, returning it with the slot -> input permutation.
+func Build(n int, src, dst []int32) (*Index, []int32) {
+	ix := &Index{}
+	perm := ix.Rebuild(n, src, dst, nil)
+	return ix, perm
+}
+
+// grow returns s resized to length n, reusing capacity when possible.
+func grow(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+// sortRow stably sorts one row's targets ascending, carrying the
+// permutation entries along. Rows are usually short, so insertion sort
+// handles the common case without allocation.
+func sortRow(tgt, perm []int32) {
+	if len(tgt) <= 64 {
+		for i := 1; i < len(tgt); i++ {
+			t, p := tgt[i], perm[i]
+			j := i - 1
+			for j >= 0 && tgt[j] > t {
+				tgt[j+1], perm[j+1] = tgt[j], perm[j]
+				j--
+			}
+			tgt[j+1], perm[j+1] = t, p
+		}
+		return
+	}
+	sort.Stable(&rowSorter{tgt, perm})
+}
+
+type rowSorter struct{ tgt, perm []int32 }
+
+func (r *rowSorter) Len() int           { return len(r.tgt) }
+func (r *rowSorter) Less(i, j int) bool { return r.tgt[i] < r.tgt[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.tgt[i], r.tgt[j] = r.tgt[j], r.tgt[i]
+	r.perm[i], r.perm[j] = r.perm[j], r.perm[i]
+}

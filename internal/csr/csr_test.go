@@ -1,0 +1,124 @@
+package csr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naive builds the reference adjacency: per-source target lists in
+// input order, then stably sorted by target.
+func naive(n int, src, dst []int32) [][]int32 {
+	out := make([][]int32, n)
+	for i := range src {
+		out[src[i]] = append(out[src[i]], dst[i])
+	}
+	for u := range out {
+		row := out[u]
+		for i := 1; i < len(row); i++ {
+			t := row[i]
+			j := i - 1
+			for j >= 0 && row[j] > t {
+				row[j+1] = row[j]
+				j--
+			}
+			row[j+1] = t
+		}
+	}
+	return out
+}
+
+func TestBuildMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		m := rng.Intn(4 * n)
+		src := make([]int32, m)
+		dst := make([]int32, m)
+		for i := range src {
+			src[i] = int32(rng.Intn(n))
+			dst[i] = int32(rng.Intn(n))
+		}
+		ix, perm := Build(n, src, dst)
+		if ix.NumVertices() != n || ix.NumEdges() != m {
+			t.Fatalf("trial %d: dims %d/%d, want %d/%d", trial, ix.NumVertices(), ix.NumEdges(), n, m)
+		}
+		want := naive(n, src, dst)
+		for u := 0; u < n; u++ {
+			lo, hi := ix.Row(int32(u))
+			if int(hi-lo) != len(want[u]) {
+				t.Fatalf("trial %d: row %d has %d targets, want %d", trial, u, hi-lo, len(want[u]))
+			}
+			for i := lo; i < hi; i++ {
+				if ix.Tgt[i] != want[u][i-lo] {
+					t.Fatalf("trial %d: row %d slot %d = %d, want %d", trial, u, i-lo, ix.Tgt[i], want[u][i-lo])
+				}
+				// The permutation must point at a matching input edge.
+				e := perm[i]
+				if src[e] != int32(u) || dst[e] != ix.Tgt[i] {
+					t.Fatalf("trial %d: perm[%d]=%d names edge %d->%d, slot holds %d->%d",
+						trial, i, e, src[e], dst[e], u, ix.Tgt[i])
+				}
+			}
+		}
+		// Find agrees with membership for a sample of pairs.
+		for k := 0; k < 200; k++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			slot := ix.Find(u, v)
+			member := false
+			for _, w := range want[u] {
+				if w == v {
+					member = true
+					break
+				}
+			}
+			if (slot >= 0) != member {
+				t.Fatalf("trial %d: Find(%d,%d)=%d, membership %v", trial, u, v, slot, member)
+			}
+			if slot >= 0 && (slot < ix.Off[u] || slot >= ix.Off[u+1] || ix.Tgt[slot] != v) {
+				t.Fatalf("trial %d: Find(%d,%d) returned bad slot %d", trial, u, v, slot)
+			}
+		}
+	}
+}
+
+func TestRebuildReusesCapacity(t *testing.T) {
+	ix := &Index{}
+	var perm []int32
+	perm = ix.Rebuild(4, []int32{0, 1, 2, 3}, []int32{1, 2, 3, 0}, perm)
+	tgtCap, offCap := cap(ix.Tgt), cap(ix.Off)
+	perm = ix.Rebuild(3, []int32{2, 0}, []int32{0, 2}, perm)
+	if cap(ix.Tgt) != tgtCap || cap(ix.Off) != offCap {
+		t.Error("smaller rebuild should reuse slab capacity")
+	}
+	if ix.NumVertices() != 3 || ix.NumEdges() != 2 {
+		t.Fatalf("dims after rebuild: %d/%d", ix.NumVertices(), ix.NumEdges())
+	}
+	if ix.Find(0, 2) < 0 || ix.Find(2, 0) < 0 || ix.Find(0, 1) >= 0 {
+		t.Error("rebuild contents wrong")
+	}
+	_ = perm
+}
+
+func TestStableDuplicates(t *testing.T) {
+	// Two parallel edges 0->1: packed order must match input order.
+	ix, perm := Build(2, []int32{0, 0, 0}, []int32{1, 0, 1})
+	lo, hi := ix.Row(0)
+	if hi-lo != 3 || ix.Tgt[lo] != 0 || ix.Tgt[lo+1] != 1 || ix.Tgt[lo+2] != 1 {
+		t.Fatalf("row 0: %v", ix.Tgt[lo:hi])
+	}
+	if perm[lo+1] != 0 || perm[lo+2] != 2 {
+		t.Fatalf("duplicate order not stable: perm %v", perm[lo:hi])
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	ix, _ := Build(0, nil, nil)
+	if ix.NumVertices() != 0 || ix.NumEdges() != 0 {
+		t.Fatal("empty build should have no vertices or edges")
+	}
+	ix2, _ := Build(3, nil, nil)
+	if lo, hi := ix2.Row(1); lo != hi {
+		t.Fatal("vertex with no edges should have an empty row")
+	}
+}

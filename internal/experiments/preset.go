@@ -2,18 +2,21 @@ package experiments
 
 import "fmt"
 
-// ParsePreset resolves a campaign-scale name ("quick" or "full") to its
-// Preset. Every command that exposes a -preset flag (and the serve
-// query parameter) routes through this one parser, so the accepted
-// names and the error message stay consistent across the toolchain.
+// ParsePreset resolves a campaign-scale name ("quick", "full" or
+// "scale") to its Preset. Every command that exposes a -preset flag
+// (and the serve query parameter) routes through this one parser, so
+// the accepted names and the error message stay consistent across the
+// toolchain.
 func ParsePreset(s string) (Preset, error) {
 	switch s {
 	case "quick":
 		return Quick, nil
 	case "full":
 		return Full, nil
+	case "scale":
+		return Scale, nil
 	default:
-		return 0, fmt.Errorf("unknown preset %q (want quick or full)", s)
+		return 0, fmt.Errorf("unknown preset %q (want quick, full or scale)", s)
 	}
 }
 
@@ -23,7 +26,7 @@ func ParsePreset(s string) (Preset, error) {
 // so callers may skip calling it themselves.
 func (c Config) Validate() error {
 	switch c.Preset {
-	case Quick, Full:
+	case Quick, Full, Scale:
 	default:
 		return fmt.Errorf("experiments: invalid preset %v", c.Preset)
 	}

@@ -15,6 +15,7 @@ func TestParsePreset(t *testing.T) {
 	}{
 		{"quick", Quick, true},
 		{"full", Full, true},
+		{"scale", Scale, true},
 		{"Quick", 0, false},
 		{"", 0, false},
 		{"medium", 0, false},
@@ -28,7 +29,7 @@ func TestParsePreset(t *testing.T) {
 		if c.ok && got != c.want {
 			t.Errorf("ParsePreset(%q) = %v, want %v", c.in, got, c.want)
 		}
-		if !c.ok && !strings.Contains(err.Error(), "quick or full") {
+		if !c.ok && !strings.Contains(err.Error(), "quick, full or scale") {
 			t.Errorf("ParsePreset(%q) error %q should name the valid presets", c.in, err)
 		}
 	}
@@ -40,6 +41,9 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if err := (Config{Preset: Full, Concurrency: 8}).Validate(); err != nil {
 		t.Errorf("full config: %v", err)
+	}
+	if err := (Config{Preset: Scale}).Validate(); err != nil {
+		t.Errorf("scale config: %v", err)
 	}
 	if err := (Config{Preset: Preset(42)}).Validate(); err == nil {
 		t.Error("bogus preset accepted")

@@ -35,6 +35,13 @@ const (
 	// development while preserving every structural property (multi-day
 	// spans with weekends, >30 measurements per path, episodes).
 	Quick
+	// Scale runs the UW campaigns on a planet-scale substrate — ten
+	// thousand stub ASes and one hundred thousand hosts — with the UW3
+	// campaign sampling clustered pair meshes from a 560-host pool so
+	// pair coverage stays dense while the pair count grows linearly.
+	// The D2/N2 plane keeps the full-preset sizes (the 1995 Internet
+	// was not planet-scale).
+	Scale
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +51,8 @@ func (p Preset) String() string {
 		return "full"
 	case Quick:
 		return "quick"
+	case Scale:
+		return "scale"
 	default:
 		return fmt.Sprintf("preset(%d)", int(p))
 	}
@@ -157,16 +166,37 @@ type campaignScale struct {
 	uw1Mean, uw3Mean, uw4aMean, uw4bMean, d2Mean, n2Mean float64
 
 	minMeasurements int
+
+	// uw3Pool/uw3Cluster switch UW3 to the SampledPairs scheduler over
+	// a pool of uw3Pool hosts split into clusters of uw3Cluster; zero
+	// keeps the paper's ExponentialPairs discipline. uw3Min overrides
+	// the per-path measurement floor for UW3 alone (0 = use
+	// minMeasurements).
+	uw3Pool, uw3Cluster, uw3Min int
 }
 
 func scaleFor(p Preset) campaignScale {
-	if p == Quick {
+	switch p {
+	case Quick:
 		return campaignScale{
 			uwHosts: 16, uw4Hosts: 8, d2Hosts: 14, n2Hosts: 14,
 			uw1Days: 10, uw3Days: 7, uw4Days: 7, d2Days: 14, n2Days: 14,
 			uw1Mean: 1800, uw3Mean: 60, uw4aMean: 2400, uw4bMean: 300,
 			d2Mean: 120, n2Mean: 250,
 			minMeasurements: 20,
+		}
+	case Scale:
+		// The UW3 pool samples 560 hosts (64 above the analyzer's
+		// heap-search threshold, so goal-directed searches are the norm)
+		// in clusters of 70; with a ~45000 s mean round interval over
+		// seven days each pair is measured ~13 times.
+		return campaignScale{
+			uwHosts: 39, uw4Hosts: 15, d2Hosts: 33, n2Hosts: 31,
+			uw1Days: 34, uw3Days: 7, uw4Days: 14, d2Days: 48, n2Days: 44,
+			uw1Mean: 1800, uw3Mean: 45000, uw4aMean: 1000, uw4bMean: 150,
+			d2Mean: 118, n2Mean: 208,
+			minMeasurements: dataset.MinMeasurementsPerPath,
+			uw3Pool:         560, uw3Cluster: 70, uw3Min: 8,
 		}
 	}
 	return campaignScale{
@@ -274,6 +304,17 @@ func buildUWPart(ctx context.Context, s *Suite, cfg Config, sc campaignScale) er
 		uwTopCfg.NumStub = 60
 		uwTopCfg.RoutersTier1 = 8
 	}
+	if cfg.Preset == Scale {
+		// Planet-scale substrate: >10k ASes, 100k hosts spread ten to a
+		// stub. Stubs shrink to two routers so the router count stays
+		// near 22k.
+		uwTopCfg.NumTier1 = 12
+		uwTopCfg.NumTransit = 300
+		uwTopCfg.NumStub = 10000
+		uwTopCfg.RoutersStub = 2
+		uwTopCfg.NumHosts = 100000
+		uwTopCfg.HostsPerStub = 10
+	}
 	uwPlane, err := buildPlane(uwTopCfg, cfg.Seed+101, cfg.Seed+201)
 	if err != nil {
 		return fmt.Errorf("experiments: UW plane: %w", err)
@@ -288,6 +329,24 @@ func buildUWPart(ctx context.Context, s *Suite, cfg Config, sc campaignScale) er
 	}
 	uw1Hosts := allUW[:min(sc.uwHosts-3, len(allUW))] // UW1 kept rate limiters as sources
 	uw3Hosts := nonRL[:sc.uwHosts]
+	uw3Spec := measure.Spec{
+		Name: "UW3", Hosts: uw3Hosts,
+		Method: measure.MethodTraceroute, Scheduler: measure.ExponentialPairs,
+		MeanIntervalSec: sc.uw3Mean, DurationSec: sc.uw3Days * 86400,
+		RateLimit:       measure.FilterHosts,
+		MinMeasurements: sc.minMeasurements, Seed: cfg.Seed + 402,
+	}
+	if sc.uw3Pool > 0 {
+		if len(nonRL) < sc.uw3Pool {
+			return fmt.Errorf("experiments: only %d non-rate-limited hosts, need %d for the UW3 pool", len(nonRL), sc.uw3Pool)
+		}
+		uw3Spec.Hosts = nonRL[:sc.uw3Pool]
+		uw3Spec.Scheduler = measure.SampledPairs
+		uw3Spec.ClusterSize = sc.uw3Cluster
+		if sc.uw3Min > 0 {
+			uw3Spec.MinMeasurements = sc.uw3Min
+		}
+	}
 	// UW4: a random subset of the UW3 pool, as in the paper ("selected
 	// at random from a pool of 35 hosts").
 	poolN := min(len(uw3Hosts), sc.uwHosts-4)
@@ -308,13 +367,7 @@ func buildUWPart(ctx context.Context, s *Suite, cfg Config, sc campaignScale) er
 			RateLimit: measure.FilterTargets, MirrorMissing: true,
 			MinMeasurements: sc.minMeasurements, Seed: cfg.Seed + 401,
 		},
-		{
-			Name: "UW3", Hosts: uw3Hosts,
-			Method: measure.MethodTraceroute, Scheduler: measure.ExponentialPairs,
-			MeanIntervalSec: sc.uw3Mean, DurationSec: sc.uw3Days * 86400,
-			RateLimit:       measure.FilterHosts,
-			MinMeasurements: sc.minMeasurements, Seed: cfg.Seed + 402,
-		},
+		uw3Spec,
 		{
 			Name: "UW4-A", Hosts: uw4Hosts,
 			Method: measure.MethodTraceroute, Scheduler: measure.Episodes,

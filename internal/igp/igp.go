@@ -6,11 +6,16 @@
 // propagation delay ("most larger AS's set internal metrics manually to
 // distribute load and to avoid using links with excessive propagation
 // delay"). The metric choice is per-AS-class and configurable.
+//
+// Routing state is stored per AS as flat all-pairs arrays over local
+// router indices rather than nested maps, so a planet-scale topology's
+// IGP (dominated by thousands of tiny stub ASes) costs a few contiguous
+// slabs per AS instead of millions of small map allocations.
 package igp
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 
 	"pathsel/internal/topology"
 )
@@ -50,32 +55,55 @@ func DefaultConfig() Config {
 	return Config{StubMetric: HopCount, TransitMetric: Delay, Tier1Metric: Delay}
 }
 
+// asTable holds one AS's converged all-pairs state over local router
+// indices 0..n-1 (the order of AS.Routers). Cell [from*n+to] describes
+// the shortest path from local router from to local router to;
+// unreachable cells hold math.MaxFloat64 / noLink.
+type asTable struct {
+	n     int
+	dist  []float64
+	delay []float64
+	// next[from*n+to] is the first link on the path, noLink when
+	// unreachable or from == to.
+	next []topology.LinkID
+}
+
+const noLink = topology.LinkID(-1)
+
+const unreachable = math.MaxFloat64
+
 // IGP holds the converged intra-AS routing state for every AS in a
 // topology: all-pairs shortest paths computed per AS.
 type IGP struct {
 	top *topology.Topology
 	cfg Config
 
-	// nextLink[from][to] is the first link on the shortest path from
-	// router from to router to (both must be in the same AS); 0 links
-	// means unreachable or from==to. Indexed by global RouterID.
-	nextLink map[topology.RouterID]map[topology.RouterID]topology.LinkID
-	dist     map[topology.RouterID]map[topology.RouterID]float64
-	// delay[from][to] is the propagation-delay sum along the chosen
-	// path, regardless of metric (used for hot-potato comparisons and
-	// by the network simulator).
-	delay map[topology.RouterID]map[topology.RouterID]float64
+	// tabOf[r] is router r's AS table; loc[r] its local index there.
+	tabOf []*asTable
+	loc   []int32
 }
 
 // New computes intra-AS routing for the whole topology.
 func New(top *topology.Topology, cfg Config) *IGP {
 	g := &IGP{
-		top:      top,
-		cfg:      cfg,
-		nextLink: map[topology.RouterID]map[topology.RouterID]topology.LinkID{},
-		dist:     map[topology.RouterID]map[topology.RouterID]float64{},
-		delay:    map[topology.RouterID]map[topology.RouterID]float64{},
+		top:   top,
+		cfg:   cfg,
+		tabOf: make([]*asTable, len(top.Routers)),
+		loc:   make([]int32, len(top.Routers)),
 	}
+	// Shared per-run scratch, sized to the largest AS.
+	maxN := 0
+	for _, as := range top.ASList {
+		if len(as.Routers) > maxN {
+			maxN = len(as.Routers)
+		}
+	}
+	visited := make([]bool, maxN)
+	var h igpHeap
+	// localOf maps global router ID -> local index for the AS being
+	// solved; global IDs are dense, so a flat array beats a map.
+	localOf := make([]int32, len(top.Routers))
+
 	for _, as := range top.ASList {
 		metric := cfg.StubMetric
 		switch as.Class {
@@ -84,8 +112,23 @@ func New(top *topology.Topology, cfg Config) *IGP {
 		case topology.Transit:
 			metric = cfg.TransitMetric
 		}
-		for _, r := range as.Routers {
-			g.runDijkstra(r, metric)
+		n := len(as.Routers)
+		t := &asTable{
+			n:     n,
+			dist:  make([]float64, n*n),
+			delay: make([]float64, n*n),
+			next:  make([]topology.LinkID, n*n),
+		}
+		for i, r := range as.Routers {
+			g.tabOf[r] = t
+			g.loc[r] = int32(i)
+			localOf[r] = int32(i)
+		}
+		for i, r := range as.Routers {
+			base := i * n
+			g.runDijkstra(t, as.ASN, r, metric,
+				t.dist[base:base+n], t.delay[base:base+n], t.next[base:base+n],
+				localOf, visited[:n], &h)
 		}
 	}
 	return g
@@ -98,97 +141,141 @@ func linkCost(l *topology.Link, m Metric) float64 {
 	return l.PropDelayMs
 }
 
-type pqItem struct {
+// igpItem orders the frontier by (dist, global router ID): the ID
+// tiebreak keeps the expansion order — and therefore equal-cost path
+// choices — deterministic.
+type igpItem struct {
 	router topology.RouterID
 	dist   float64
-	index  int
 }
 
-type priorityQueue []*pqItem
-
-func (pq priorityQueue) Len() int { return len(pq) }
-func (pq priorityQueue) Less(i, j int) bool {
-	if pq[i].dist != pq[j].dist {
-		return pq[i].dist < pq[j].dist
+func igpLess(a, b igpItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	return pq[i].router < pq[j].router // deterministic tiebreak
-}
-func (pq priorityQueue) Swap(i, j int) {
-	pq[i], pq[j] = pq[j], pq[i]
-	pq[i].index = i
-	pq[j].index = j
-}
-func (pq *priorityQueue) Push(x any) {
-	it := x.(*pqItem)
-	it.index = len(*pq)
-	*pq = append(*pq, it)
-}
-func (pq *priorityQueue) Pop() any {
-	old := *pq
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*pq = old[:n-1]
-	return it
+	return a.router < b.router
 }
 
-// runDijkstra computes shortest paths from src to all routers in its AS.
-func (g *IGP) runDijkstra(src topology.RouterID, metric Metric) {
-	asn := g.top.Router(src).AS
-	distTo := map[topology.RouterID]float64{src: 0}
-	delayTo := map[topology.RouterID]float64{src: 0}
-	// firstLink[r] is the first link of the path src->r.
-	firstLink := map[topology.RouterID]topology.LinkID{}
-	visited := map[topology.RouterID]bool{}
+// igpHeap is a value-type binary min-heap; no interface boxing, and the
+// backing slice is reused across runs.
+type igpHeap []igpItem
 
-	pq := &priorityQueue{}
-	heap.Init(pq)
-	heap.Push(pq, &pqItem{router: src, dist: 0})
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(*pqItem)
+func (h *igpHeap) push(it igpItem) {
+	q := append(*h, it)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !igpLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *igpHeap) pop() igpItem {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q) && igpLess(q[l], q[small]) {
+			small = l
+		}
+		if r < len(q) && igpLess(q[r], q[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	*h = q
+	return top
+}
+
+// runDijkstra computes shortest paths from src to all routers in its AS,
+// filling the source's rows of the flat table.
+func (g *IGP) runDijkstra(t *asTable, asn topology.ASN, src topology.RouterID, metric Metric,
+	dist, delay []float64, next []topology.LinkID, localOf []int32, visited []bool, h *igpHeap) {
+	for i := range dist {
+		dist[i] = unreachable
+		delay[i] = unreachable
+		next[i] = noLink
+		visited[i] = false
+	}
+	srcLoc := int(localOf[src])
+	dist[srcLoc] = 0
+	delay[srcLoc] = 0
+
+	*h = (*h)[:0]
+	h.push(igpItem{router: src, dist: 0})
+	for len(*h) > 0 {
+		it := h.pop()
 		u := it.router
-		if visited[u] {
+		ul := int(localOf[u])
+		if visited[ul] {
 			continue
 		}
-		visited[u] = true
+		visited[ul] = true
 		for _, lid := range g.top.OutLinks(u) {
 			l := g.top.Link(lid)
 			if l.Rel != topology.Internal || g.top.Router(l.To).AS != asn {
 				continue
 			}
-			v := l.To
-			nd := distTo[u] + linkCost(l, metric)
-			old, seen := distTo[v]
-			if !seen || nd < old-1e-12 {
-				distTo[v] = nd
-				delayTo[v] = delayTo[u] + l.PropDelayMs
+			vl := int(localOf[l.To])
+			nd := dist[ul] + linkCost(l, metric)
+			if nd < dist[vl]-1e-12 {
+				dist[vl] = nd
+				delay[vl] = delay[ul] + l.PropDelayMs
 				if u == src {
-					firstLink[v] = lid
+					next[vl] = lid
 				} else {
-					firstLink[v] = firstLink[u]
+					next[vl] = next[ul]
 				}
-				heap.Push(pq, &pqItem{router: v, dist: nd})
+				h.push(igpItem{router: l.To, dist: nd})
 			}
 		}
 	}
+}
 
-	g.dist[src] = distTo
-	g.delay[src] = delayTo
-	g.nextLink[src] = firstLink
+// cell resolves a router pair to its table cell, reporting ok=false for
+// unknown routers or routers in different ASes.
+func (g *IGP) cell(from, to topology.RouterID) (*asTable, int, bool) {
+	if int(from) < 0 || int(from) >= len(g.tabOf) || int(to) < 0 || int(to) >= len(g.tabOf) {
+		return nil, 0, false
+	}
+	t := g.tabOf[from]
+	if t == nil || g.tabOf[to] != t {
+		return nil, 0, false
+	}
+	return t, int(g.loc[from])*t.n + int(g.loc[to]), true
 }
 
 // Dist returns the IGP metric distance between two routers of the same
 // AS, and whether to is reachable from from.
 func (g *IGP) Dist(from, to topology.RouterID) (float64, bool) {
-	d, ok := g.dist[from][to]
-	return d, ok
+	t, c, ok := g.cell(from, to)
+	if !ok || t.dist[c] == unreachable {
+		return 0, false
+	}
+	return t.dist[c], true
 }
 
 // Delay returns the propagation-delay sum in ms along the chosen
 // intra-AS path, and whether to is reachable.
 func (g *IGP) Delay(from, to topology.RouterID) (float64, bool) {
-	d, ok := g.delay[from][to]
-	return d, ok
+	t, c, ok := g.cell(from, to)
+	if !ok || t.delay[c] == unreachable {
+		return 0, false
+	}
+	return t.delay[c], true
 }
 
 // Path returns the link IDs of the shortest intra-AS path from from to
@@ -198,15 +285,15 @@ func (g *IGP) Path(from, to topology.RouterID) ([]topology.LinkID, bool) {
 	if from == to {
 		return nil, true
 	}
-	if g.top.Router(from) == nil || g.top.Router(to) == nil ||
-		g.top.Router(from).AS != g.top.Router(to).AS {
+	t, _, ok := g.cell(from, to)
+	if !ok {
 		return nil, false
 	}
 	var path []topology.LinkID
 	cur := from
 	for cur != to {
-		lid, ok := g.nextLink[cur][to]
-		if !ok {
+		lid := t.next[int(g.loc[cur])*t.n+int(g.loc[to])]
+		if lid == noLink {
 			return nil, false
 		}
 		path = append(path, lid)

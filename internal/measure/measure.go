@@ -55,6 +55,13 @@ const (
 	// Episodes draws exponential episode times; in each episode every
 	// ordered pair is measured "simultaneously" (UW4-A).
 	Episodes
+	// SampledPairs partitions the host pool into disjoint consecutive
+	// clusters of Spec.ClusterSize and, at exponentially spaced rounds,
+	// measures the full ordered mesh within each cluster. Pair coverage
+	// stays dense while the pair count grows linearly in the pool size
+	// instead of quadratically — the discipline the planet-scale preset
+	// uses to keep 100k-host campaigns tractable.
+	SampledPairs
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +73,8 @@ func (s Scheduler) String() string {
 		return "exponential-pairs"
 	case Episodes:
 		return "episodes"
+	case SampledPairs:
+		return "sampled-pairs"
 	default:
 		return fmt.Sprintf("scheduler(%d)", int(s))
 	}
@@ -115,6 +124,11 @@ type Spec struct {
 	// StartSec and DurationSec bound the campaign in simulated time.
 	StartSec    float64
 	DurationSec float64
+	// ClusterSize partitions Hosts into consecutive disjoint clusters
+	// of this size for the SampledPairs scheduler; pairs are measured
+	// only within a cluster (a short final cluster keeps the leftover
+	// hosts). Ignored by other schedulers.
+	ClusterSize int
 	// KeepSamples caps how many echo samples per traceroute count as
 	// loss observations (1 implements the D2 heuristic; 0 means all).
 	KeepSamples int
@@ -145,6 +159,10 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("measure: %s: DurationSec must be positive", s.Name)
 	case s.Method == MethodTransfer && s.Scheduler != ExponentialPairs:
 		return fmt.Errorf("measure: %s: transfer campaigns require ExponentialPairs", s.Name)
+	case s.Scheduler == SampledPairs && s.ClusterSize < 2:
+		return fmt.Errorf("measure: %s: SampledPairs needs ClusterSize >= 2, have %d", s.Name, s.ClusterSize)
+	case s.Scheduler == SampledPairs && s.Method != MethodTraceroute:
+		return fmt.Errorf("measure: %s: SampledPairs campaigns require traceroutes", s.Name)
 	}
 	return nil
 }
@@ -194,6 +212,8 @@ func RunContext(ctx context.Context, top *topology.Topology, prb *probe.Prober, 
 		err = runExponentialPairs(ctx, ds, prb, spec, rng, hosts, targets, keep)
 	case Episodes:
 		err = runEpisodes(ctx, ds, prb, spec, rng, hosts, keep)
+	case SampledPairs:
+		err = runSampledPairs(ctx, ds, prb, spec, rng, hosts, keep)
 	default:
 		err = fmt.Errorf("measure: %s: unknown scheduler %v", spec.Name, spec.Scheduler)
 	}
@@ -363,6 +383,50 @@ func runEpisodes(ctx context.Context, ds *dataset.Dataset, prb *probe.Prober, sp
 			}
 		}
 		ds.AddEpisode(ep)
+	}
+}
+
+// runSampledPairs measures, at each exponentially spaced round, the full
+// ordered mesh within every disjoint cluster of ClusterSize consecutive
+// hosts. Probes are staggered in time within the round like an episode's
+// (each traceroute takes nonzero real time).
+func runSampledPairs(ctx context.Context, ds *dataset.Dataset, prb *probe.Prober, spec Spec,
+	rng *rand.Rand, hosts []topology.HostID, keep int) error {
+	end := spec.StartSec + spec.DurationSec
+	at := spec.StartSec
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		at += rng.ExpFloat64() * spec.MeanIntervalSec
+		if at >= end {
+			return nil
+		}
+		offset := 0.0
+		for base := 0; base < len(hosts); base += spec.ClusterSize {
+			hi := base + spec.ClusterSize
+			if hi > len(hosts) {
+				hi = len(hosts)
+			}
+			cluster := hosts[base:hi]
+			for _, src := range cluster {
+				for _, dst := range cluster {
+					if src == dst {
+						continue
+					}
+					t := netsim.Time(at + offset)
+					offset += 1.5
+					res, err := prb.Traceroute(src, dst, t)
+					if err != nil {
+						return fmt.Errorf("measure: %s: %w", spec.Name, err)
+					}
+					if spec.Observer != nil {
+						spec.Observer(res)
+					}
+					recordResult(ds, res, keep)
+				}
+			}
+		}
 	}
 }
 

@@ -52,10 +52,17 @@ type Config struct {
 	RoutersTransit int
 	RoutersStub    int
 
-	// NumHosts end hosts are attached to distinct randomly chosen stub
-	// ASes (at most one measurement host per stub, matching the paper's
-	// geographically diverse server sets).
+	// NumHosts end hosts are attached to randomly chosen stub ASes. By
+	// default each stub hosts at most one measurement host, matching the
+	// paper's geographically diverse server sets; HostsPerStub raises
+	// that cap for planet-scale configurations.
 	NumHosts int
+
+	// HostsPerStub caps how many hosts may share one stub AS. Zero or
+	// one keeps the paper's one-host-per-stub rule; larger values let
+	// host counts exceed the stub count (hosts are spread round-robin
+	// over the stubs).
+	HostsPerStub int
 
 	// NumExchanges is the number of public exchange points at which
 	// peer-to-peer links concentrate.
@@ -135,8 +142,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("topology: need at least 2 stub ASes, have %d", c.NumStub)
 	case c.NumHosts < 2:
 		return fmt.Errorf("topology: need at least 2 hosts, have %d", c.NumHosts)
-	case c.NumHosts > c.NumStub:
-		return fmt.Errorf("topology: %d hosts exceed %d stub ASes (one host per stub)", c.NumHosts, c.NumStub)
+	case c.HostsPerStub < 0:
+		return fmt.Errorf("topology: HostsPerStub %d negative", c.HostsPerStub)
+	case c.NumHosts > c.NumStub*c.hostsPerStub():
+		return fmt.Errorf("topology: %d hosts exceed %d stub ASes x %d hosts per stub",
+			c.NumHosts, c.NumStub, c.hostsPerStub())
 	case c.RoutersTier1 < 2 || c.RoutersTransit < 2 || c.RoutersStub < 1:
 		return fmt.Errorf("topology: router counts too small (tier1=%d transit=%d stub=%d)",
 			c.RoutersTier1, c.RoutersTransit, c.RoutersStub)
@@ -154,6 +164,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("topology: RemoteProviderProb %.2f out of [0,1]", c.RemoteProviderProb)
 	}
 	return nil
+}
+
+// hostsPerStub returns the effective per-stub host cap (zero means one).
+func (c Config) hostsPerStub() int {
+	if c.HostsPerStub < 1 {
+		return 1
+	}
+	return c.HostsPerStub
 }
 
 // capacity classes in Mbps by era and link role.

@@ -41,10 +41,9 @@ func Generate(cfg Config) (*Topology, error) {
 	caps := cfg.capacities()
 
 	t := &Topology{
-		Config:   cfg,
-		asByNum:  map[ASN]*AS{},
-		outLinks: map[RouterID][]LinkID{},
-		interAS:  map[[2]ASN][]LinkID{},
+		Config:  cfg,
+		asByNum: map[ASN]*AS{},
+		interAS: map[[2]ASN][]LinkID{},
 	}
 
 	nEx := cfg.NumExchanges
@@ -236,11 +235,14 @@ func Generate(cfg Config) (*Topology, error) {
 	}
 
 	// --- Hosts ---
+	// Hosts are assigned round-robin over a shuffled stub order, so each
+	// stub gets at most ceil(NumHosts/NumStub) hosts — within the
+	// HostsPerStub cap Validate enforces.
 	hostStubs := make([]*AS, len(stubs))
 	copy(hostStubs, stubs)
 	rng.Shuffle(len(hostStubs), func(i, j int) { hostStubs[i], hostStubs[j] = hostStubs[j], hostStubs[i] })
 	for i := 0; i < cfg.NumHosts; i++ {
-		as := hostStubs[i]
+		as := hostStubs[i%len(hostStubs)]
 		attach := as.Routers[rng.Intn(len(as.Routers))]
 		rl := rng.Float64() < cfg.RateLimitProb
 		h := &Host{
@@ -260,6 +262,9 @@ func Generate(cfg Config) (*Topology, error) {
 	}
 
 	sortNeighbors(t)
+	// Pack the out-link adjacency before the topology escapes, so
+	// concurrent consumers only ever read the finished slabs.
+	t.packOutLinks()
 	return t, nil
 }
 

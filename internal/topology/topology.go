@@ -17,8 +17,16 @@ type Topology struct {
 	// ExchangeCount is the number of exchange points actually used.
 	ExchangeCount int
 
-	asByNum  map[ASN]*AS
-	outLinks map[RouterID][]LinkID
+	asByNum map[ASN]*AS
+	// outOff/outSlab pack the per-router out-link adjacency in CSR form:
+	// router r's out-links occupy outSlab[outOff[r]:outOff[r+1]], in link
+	// ID order. The slabs are rebuilt lazily from Links whenever the link
+	// count changes, so the build path appends links with no per-edge map
+	// or per-router slice churn; Generate packs once before returning, so
+	// concurrent readers never trigger a rebuild.
+	outOff    []int32
+	outSlab   []LinkID
+	outPacked int // len(Links) when the slabs were built; -1 = stale
 	// interAS maps an ordered AS pair to the directed links from the
 	// first to the second.
 	interAS map[[2]ASN][]LinkID
@@ -52,7 +60,44 @@ func (t *Topology) Link(id LinkID) *Link {
 }
 
 // OutLinks returns the IDs of the links leaving a router, in ID order.
-func (t *Topology) OutLinks(r RouterID) []LinkID { return t.outLinks[r] }
+// The returned slice aliases the packed adjacency; callers must not
+// modify it.
+func (t *Topology) OutLinks(r RouterID) []LinkID {
+	if t.outPacked != len(t.Links) || t.outOff == nil {
+		t.packOutLinks()
+	}
+	if int(r) < 0 || int(r)+1 >= len(t.outOff) {
+		return nil
+	}
+	return t.outSlab[t.outOff[r]:t.outOff[r+1]]
+}
+
+// packOutLinks (re)builds the CSR out-link slabs from Links by counting
+// sort. Links carry ascending IDs in slice order, so each row comes out
+// in link-ID order without an explicit sort.
+func (t *Topology) packOutLinks() {
+	n := len(t.Routers)
+	t.outOff = make([]int32, n+1)
+	for _, l := range t.Links {
+		t.outOff[int(l.From)+1]++
+	}
+	for r := 0; r < n; r++ {
+		t.outOff[r+1] += t.outOff[r]
+	}
+	if cap(t.outSlab) >= len(t.Links) {
+		t.outSlab = t.outSlab[:len(t.Links)]
+	} else {
+		t.outSlab = make([]LinkID, len(t.Links))
+	}
+	cur := make([]int32, n)
+	copy(cur, t.outOff[:n])
+	for _, l := range t.Links {
+		p := cur[int(l.From)]
+		cur[int(l.From)] = p + 1
+		t.outSlab[p] = l.ID
+	}
+	t.outPacked = len(t.Links)
+}
 
 // InterASLinks returns the directed links from AS a to AS b.
 func (t *Topology) InterASLinks(a, b ASN) []LinkID { return t.interAS[[2]ASN{a, b}] }
@@ -80,8 +125,7 @@ func (t *Topology) addLinkPair(from, to RouterID, rel Relationship, delayMs, cap
 		PropDelayMs: delayMs, CapacityMbps: capMbps, Exchange: exchange,
 	}
 	t.Links = append(t.Links, rev)
-	t.outLinks[from] = append(t.outLinks[from], fwd.ID)
-	t.outLinks[to] = append(t.outLinks[to], rev.ID)
+	t.outPacked = -1
 	if rel != Internal {
 		fa, ta := t.Routers[from].AS, t.Routers[to].AS
 		t.interAS[[2]ASN{fa, ta}] = append(t.interAS[[2]ASN{fa, ta}], fwd.ID)
@@ -172,7 +216,11 @@ func (t *Topology) Validate() error {
 				i, f.Rel, fromAS, toAS)
 		}
 	}
-	seenAS := map[ASN]bool{}
+	maxPerStub := t.Config.HostsPerStub
+	if maxPerStub < 1 {
+		maxPerStub = 1
+	}
+	hostsInAS := map[ASN]int{}
 	for i, h := range t.Hosts {
 		if int(h.ID) != i {
 			return fmt.Errorf("topology: host %d has ID %d", i, h.ID)
@@ -185,10 +233,10 @@ func (t *Topology) Validate() error {
 		if as == nil || as.Class != Stub {
 			return fmt.Errorf("topology: host %d not in a stub AS", i)
 		}
-		if seenAS[h.AS] {
-			return fmt.Errorf("topology: multiple hosts in AS %d", h.AS)
+		hostsInAS[h.AS]++
+		if hostsInAS[h.AS] > maxPerStub {
+			return fmt.Errorf("topology: more than %d hosts in AS %d", maxPerStub, h.AS)
 		}
-		seenAS[h.AS] = true
 		if h.AccessDelayMs < 0 || h.AccessCapacityMbps <= 0 {
 			return fmt.Errorf("topology: host %d has bad access link %f/%f", i, h.AccessDelayMs, h.AccessCapacityMbps)
 		}
@@ -205,7 +253,7 @@ func (t *Topology) checkIntraASConnected(as *AS) error {
 	for len(queue) > 0 {
 		r := queue[0]
 		queue = queue[1:]
-		for _, lid := range t.outLinks[r] {
+		for _, lid := range t.OutLinks(r) {
 			l := t.Links[lid]
 			if l.Rel != Internal {
 				continue
