@@ -36,7 +36,7 @@ bench:
 # -benchtime=1x keeps the expensive ablations bounded), converted to
 # JSON by cmd/benchjson.
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_6.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_7.json
 
 # Planet-scale smoke: build the 10k-AS / 100k-host suite end to end
 # under a hard memory ceiling and wall-clock timeout. The test itself

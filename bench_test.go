@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -113,6 +114,49 @@ func BenchmarkBestAlternatesPreset(b *testing.B) {
 			}
 			b.ReportMetric(float64(pairs), "pairs")
 		})
+	}
+}
+
+// BenchmarkQueryK times the unified Query API at increasing path-set
+// sizes on the quick-preset UW3 dataset. k=1 routes through the legacy
+// single-alternate engine (the byte-identical fast path); k>1 pays the
+// Yen spur searches, so the curve shows the marginal cost per extra
+// alternate.
+func BenchmarkQueryK(b *testing.B) {
+	s := benchSuite(b)
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			a := core.NewAnalyzer(s.UW3)
+			b.ResetTimer()
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				rs, err := a.Query(core.QuerySpec{Metric: core.MetricRTT, K: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs.Pairs) == 0 {
+					b.Fatal("no results")
+				}
+				pairs = len(rs.Pairs)
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
+	}
+}
+
+// BenchmarkMultipathExhibit times the end-to-end multipath analysis:
+// one k-set query plus disjointness scoring and strategy selection.
+func BenchmarkMultipathExhibit(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Multipath(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Pairs == 0 {
+			b.Fatal("no pairs")
+		}
 	}
 }
 

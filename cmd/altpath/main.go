@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-workers N] [-plot] [-episodes] dataset.gob.gz
+//	altpath [-metric rtt|loss|prop|bw] [-maxvia N] [-k N] [-workers N] [-plot] [-episodes] dataset.gob.gz
 //	altpath -suite UW3 [-preset quick|full|scale] [-seed N] [-metric ...]
 //
 // The first form loads a dataset saved by pathsim; the second builds
@@ -26,6 +26,7 @@ import (
 	"pathsel/internal/core"
 	"pathsel/internal/dataset"
 	"pathsel/internal/experiments"
+	"pathsel/internal/pathset"
 	"pathsel/internal/report"
 	"pathsel/internal/stats"
 	"pathsel/internal/tcpmodel"
@@ -34,6 +35,7 @@ import (
 func main() {
 	metricStr := flag.String("metric", "rtt", "metric: rtt, loss, prop or bw")
 	maxVia := flag.Int("maxvia", 0, "max intermediate hosts per alternate (0 = unlimited)")
+	k := flag.Int("k", 1, "alternate paths per pair; >1 adds the path-set report")
 	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
 	plot := flag.Bool("plot", false, "draw an ASCII CDF")
 	episodes := flag.Bool("episodes", false, "run the simultaneous-episode analysis instead")
@@ -47,7 +49,7 @@ func main() {
 	}
 	ds, err := loadDataset(*suiteName, *preset, *seed, *workers, flag.Arg(0))
 	if err == nil {
-		err = run(ds, *metricStr, *maxVia, *workers, *plot, *episodes)
+		err = run(ds, *metricStr, *maxVia, *k, *workers, *plot, *episodes)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "altpath:", err)
@@ -78,7 +80,7 @@ func loadDataset(suiteName, preset string, seed int64, workers int, path string)
 	return ds, nil
 }
 
-func run(ds *dataset.Dataset, metricStr string, maxVia, workers int, plot, episodes bool) error {
+func run(ds *dataset.Dataset, metricStr string, maxVia, k, workers int, plot, episodes bool) error {
 	c := ds.Characteristics()
 	fmt.Printf("dataset %s: %d hosts, %d measurements, %.0f%% coverage\n",
 		c.Name, c.Hosts, c.Measurements, c.PercentCovered)
@@ -102,10 +104,11 @@ func run(ds *dataset.Dataset, metricStr string, maxVia, workers int, plot, episo
 	default:
 		return fmt.Errorf("unknown metric %q", metricStr)
 	}
-	results, err := analyzer.BestAlternates(metric, maxVia)
+	rs, err := analyzer.Query(core.QuerySpec{Metric: metric, MaxVia: maxVia, K: k, Annotate: k > 1})
 	if err != nil {
 		return err
 	}
+	results := rs.PairResults()
 	if len(results) == 0 {
 		return fmt.Errorf("no comparable pairs in dataset")
 	}
@@ -138,6 +141,10 @@ func run(ds *dataset.Dataset, metricStr string, maxVia, workers int, plot, episo
 		fmt.Printf("  %v: %.3g -> %.3g via %v\n", r.Key, r.DefaultValue, r.AltValue, r.Via)
 	}
 
+	if k > 1 {
+		reportPathSets(rs)
+	}
+
 	if plot {
 		lo, _ := cdf.Quantile(0.02)
 		hi, _ := cdf.Quantile(0.98)
@@ -149,15 +156,45 @@ func run(ds *dataset.Dataset, metricStr string, maxVia, workers int, plot, episo
 	return nil
 }
 
+// reportPathSets summarizes a k>1 query: how the best-of-k improvement
+// grows with k, and how AS-disjoint from the default the sets get.
+func reportPathSets(rs core.ResultSet) {
+	k := rs.Spec.K
+	fmt.Printf("\npath sets (k=%d):\n", k)
+	for n := 1; n <= k; n++ {
+		var acc stats.Accum
+		covered := 0
+		for _, p := range rs.Pairs {
+			set := p.Alternates
+			if set.Len() > n {
+				set.Paths = set.Paths[:n]
+			}
+			bestN := p.Default.Value
+			for _, alt := range set.Paths {
+				if alt.Value < bestN {
+					bestN = alt.Value
+				}
+			}
+			acc.Add(p.Default.Value - bestN)
+			if set.MaxDisjointness(pathset.LevelAS, p.Default) >= 1 {
+				covered++
+			}
+		}
+		fmt.Printf("  best of %d: mean improvement %.3g, AS-disjoint alternate for %.0f%% of pairs\n",
+			n, acc.Mean(), 100*float64(covered)/float64(len(rs.Pairs)))
+	}
+}
+
 // runBandwidth runs the one-hop Mathis-model bandwidth comparison under
 // both loss-composition modes.
 func runBandwidth(analyzer *core.Analyzer) error {
 	model := tcpmodel.Default()
 	for _, mode := range []core.BandwidthMode{core.Pessimistic, core.Optimistic} {
-		results, err := analyzer.BestBandwidthAlternates(model, mode)
+		rs, err := analyzer.Query(core.QuerySpec{Bandwidth: &core.BandwidthQuery{Model: model, Mode: mode}})
 		if err != nil {
 			return err
 		}
+		results := rs.BandwidthResults()
 		if len(results) == 0 {
 			return fmt.Errorf("no transfer measurements in dataset (collect with -method transfer)")
 		}

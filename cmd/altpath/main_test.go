@@ -36,7 +36,7 @@ func runFile(path, metric string, maxVia, workers int, plot, episodes bool) erro
 	if err != nil {
 		return err
 	}
-	return run(ds, metric, maxVia, workers, plot, episodes)
+	return run(ds, metric, maxVia, 1, workers, plot, episodes)
 }
 
 func TestRunMetrics(t *testing.T) {
@@ -52,6 +52,17 @@ func TestRunOneHop(t *testing.T) {
 	path := writeTestDataset(t)
 	if err := runFile(path, "rtt", 1, 0, false, false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunPathSets(t *testing.T) {
+	path := writeTestDataset(t)
+	ds, err := loadDataset("", "", 0, 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ds, "rtt", 0, 3, 0, false, false); err != nil {
+		t.Fatalf("k=3 run: %v", err)
 	}
 }
 

@@ -423,6 +423,39 @@ func run(cfg experiments.Config, outDir string) error {
 		return err
 	}
 
+	mp, err := experiments.Multipath(s)
+	if err != nil {
+		return fmt.Errorf("multipath: %w", err)
+	}
+	fmt.Printf("\n== Extension: k-alternate path sets and AS disjointness (%s, %d pairs) ==\n",
+		mp.Dataset, mp.Pairs)
+	mrows := [][]string{{"k", "Mean improvement (ms)", "AS-disjoint pairs", "Mean max disjointness"}}
+	for _, pt := range mp.Curve {
+		mrows = append(mrows, []string{
+			fmt.Sprint(pt.K),
+			fmt.Sprintf("%.2f", pt.MeanImprovementMs),
+			fmt.Sprintf("%.0f%%", 100*pt.FullyDisjointFrac),
+			fmt.Sprintf("%.2f", pt.MeanMaxDisjointness),
+		})
+	}
+	if err := report.Table(os.Stdout, mrows); err != nil {
+		return err
+	}
+	srows := [][]string{{"Strategy", "Mean pick RTT (ms)", "Mean AS disjointness"}}
+	for _, row := range mp.Strategies {
+		srows = append(srows, []string{
+			row.Strategy,
+			fmt.Sprintf("%.1f", row.MeanLatencyMs),
+			fmt.Sprintf("%.2f", row.MeanDisjointness),
+		})
+	}
+	if err := report.Table(os.Stdout, srows); err != nil {
+		return err
+	}
+	if err := dumpMultipath(overlayDir(outDir), mp); err != nil {
+		return err
+	}
+
 	fracs, err := experiments.SeedSensitivity(cfg.Seed, 5)
 	if err != nil {
 		return fmt.Errorf("seed sensitivity: %w", err)
@@ -484,6 +517,24 @@ func dumpOverlay(dir string, ov experiments.OverlayResult) error {
 		}
 	}
 	return nil
+}
+
+// dumpMultipath writes the multipath exhibit's data files: the
+// k-vs-benefit curve and the per-pair best-AS-disjointness CDF.
+func dumpMultipath(dir string, mp experiments.MultipathResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("# k\tmean_improvement_ms\tfully_disjoint_frac\tmean_max_disjointness\n")
+	for _, pt := range mp.Curve {
+		fmt.Fprintf(&b, "%d\t%.6f\t%.6f\t%.6f\n",
+			pt.K, pt.MeanImprovementMs, pt.FullyDisjointFrac, pt.MeanMaxDisjointness)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "multipath-kcurve.dat"), []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	return dumpCDFFile(dir, "multipath-disjointness.dat", mp.Disjointness)
 }
 
 func dumpCDFFile(dir, name string, values []float64) error {

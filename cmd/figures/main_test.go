@@ -58,6 +58,18 @@ func TestRunQuickWritesAllFigureData(t *testing.T) {
 		t.Errorf("overlay-summary.dat has %d lines, want header + 3 budgets", len(lines))
 	}
 
+	// The multipath exhibit dumps the k-curve and the disjointness CDF.
+	for _, want := range []string{"multipath-kcurve.dat", "multipath-disjointness.dat"} {
+		if !names[want] {
+			t.Errorf("missing multipath data file %s (have %v)", want, names)
+		}
+	}
+	if b, err := os.ReadFile(filepath.Join(dir, "multipath-kcurve.dat")); err != nil {
+		t.Error(err)
+	} else if lines := strings.Split(strings.TrimSpace(string(b)), "\n"); len(lines) != experiments.MultipathK+1 {
+		t.Errorf("multipath-kcurve.dat has %d lines, want header + %d", len(lines), experiments.MultipathK)
+	}
+
 	// Data files are tab-separated numbers.
 	b, err := os.ReadFile(filepath.Join(dir, "figure14.dat"))
 	if err != nil {

@@ -50,6 +50,10 @@ type suiteEntry struct {
 	// ovMu guards overlay, the memoized overlay-exhibit computation.
 	ovMu    sync.Mutex
 	overlay *overlayFuture
+
+	// mpMu guards multipath, the memoized path-set exhibit.
+	mpMu      sync.Mutex
+	multipath *multipathFuture
 }
 
 // figFuture memoizes one figure computation on a suite.
@@ -63,6 +67,13 @@ type figFuture struct {
 type overlayFuture struct {
 	done chan struct{}
 	res  experiments.OverlayResult
+	err  error
+}
+
+// multipathFuture memoizes the path-set exhibit on a suite.
+type multipathFuture struct {
+	done chan struct{}
+	res  experiments.MultipathResult
 	err  error
 }
 

@@ -38,6 +38,7 @@ func newHandler(cache *suiteCache, defaults experiments.Config, reg *obs.Registr
 	h.mux.HandleFunc("GET /api/figure/{n}", h.figure)
 	h.mux.HandleFunc("GET /api/cdf/{fig}/{series}", h.cdf)
 	h.mux.HandleFunc("GET /api/overlay", h.overlay)
+	h.mux.HandleFunc("GET /api/multipath", h.multipath)
 	h.mux.HandleFunc("GET /api/suites", h.suites)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.Handle("GET /metrics", reg.Handler())
@@ -471,6 +472,54 @@ func (h *handler) overlay(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// multipathFor returns the (memoized) path-set exhibit for a cached
+// suite, with the same cancel-retry semantics as seriesFor and
+// overlayFor.
+func (h *handler) multipathFor(ctx context.Context, e *suiteEntry) (experiments.MultipathResult, error) {
+	for {
+		e.mpMu.Lock()
+		f := e.multipath
+		if f == nil {
+			f = &multipathFuture{done: make(chan struct{})}
+			e.multipath = f
+			e.mpMu.Unlock()
+			f.res, f.err = experiments.Multipath(e.suite.WithContext(ctx))
+			if f.err != nil && errors.Is(f.err, context.Canceled) {
+				e.mpMu.Lock()
+				e.multipath = nil
+				e.mpMu.Unlock()
+			}
+			close(f.done)
+			return f.res, f.err
+		}
+		e.mpMu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil && errors.Is(f.err, context.Canceled) && ctx.Err() == nil {
+				continue // the computing request disconnected; retry as owner
+			}
+			return f.res, f.err
+		case <-ctx.Done():
+			return experiments.MultipathResult{}, ctx.Err()
+		}
+	}
+}
+
+func (h *handler) multipath(w http.ResponseWriter, r *http.Request) {
+	e, ok := h.entryFor(w, r)
+	if !ok {
+		return
+	}
+	res, err := h.multipathFor(r.Context(), e)
+	if err != nil {
+		if r.Context().Err() == nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	writeJSON(w, res)
+}
+
 // suites reports the cache contents: which configurations are resident
 // and whether each is ready or still building.
 func (h *handler) suites(w http.ResponseWriter, _ *http.Request) {
@@ -493,6 +542,7 @@ the requested suite on demand (cached, LRU-bounded).</p>
 <li><a href="/api/table/2">Table 2: RTT verdicts</a> · <a href="/api/table/3">Table 3: loss verdicts</a></li>
 {{range .Figures}}<li><a href="/api/figure/{{.}}">Figure {{.}}</a></li>
 {{end}}<li><a href="/api/overlay">Overlay exhibit: online path selection vs default vs offline optimum</a></li>
+<li><a href="/api/multipath">Multipath exhibit: k-alternate path sets and AS disjointness</a></li>
 </ul>
 <p>Operations: <a href="/api/suites">cached suites</a> ·
 <a href="/metrics">metrics</a> · <a href="/healthz">health</a> ·

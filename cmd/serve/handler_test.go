@@ -207,6 +207,28 @@ func TestOverlayEndpoint(t *testing.T) {
 	}
 }
 
+func TestMultipathEndpoint(t *testing.T) {
+	h := testHandler(t)
+	rec := get(t, h, "/api/multipath")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out experiments.MultipathResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if out.Pairs == 0 || len(out.Curve) != experiments.MultipathK {
+		t.Fatalf("degenerate exhibit: %+v", out)
+	}
+	if len(out.Strategies) != 3 {
+		t.Fatalf("got %d strategy rows, want 3", len(out.Strategies))
+	}
+	// The memoized second hit is byte-identical.
+	if again := get(t, h, "/api/multipath"); again.Body.String() != rec.Body.String() {
+		t.Error("repeated multipath request differs")
+	}
+}
+
 func TestBadQueryParams(t *testing.T) {
 	h := testHandler(t)
 	for _, path := range []string{

@@ -64,14 +64,15 @@ func main() {
 
 	model := tcpmodel.Default()
 	analyzer := core.NewAnalyzer(ds)
-	pess, err := analyzer.BestBandwidthAlternates(model, core.Pessimistic)
+	pessRS, err := analyzer.Query(core.QuerySpec{Bandwidth: &core.BandwidthQuery{Model: model, Mode: core.Pessimistic}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, err := analyzer.BestBandwidthAlternates(model, core.Optimistic)
+	optRS, err := analyzer.Query(core.QuerySpec{Bandwidth: &core.BandwidthQuery{Model: model, Mode: core.Optimistic}})
 	if err != nil {
 		log.Fatal(err)
 	}
+	pess, opt := pessRS.BandwidthResults(), optRS.BandwidthResults()
 	betterP, betterO := 0, 0
 	for _, r := range pess {
 		if r.Improvement() > 0 {

@@ -71,10 +71,11 @@ func main() {
 
 	// 5. The paper's question: for each measured pair, is there a
 	//    better synthetic alternate path through other hosts?
-	results, err := core.NewAnalyzer(ds).BestAlternates(core.MetricRTT, 0)
+	rs, err := core.NewAnalyzer(ds).Query(core.QuerySpec{Metric: core.MetricRTT})
 	if err != nil {
 		log.Fatal(err)
 	}
+	results := rs.PairResults()
 	cdf := core.ImprovementCDF(results)
 	fmt.Printf("\npairs compared: %d\n", cdf.N())
 	fmt.Printf("alternate beats default:            %.0f%%\n", 100*cdf.FractionAbove(0))

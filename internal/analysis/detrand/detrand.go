@@ -25,7 +25,7 @@ func init() {
 	for _, name := range []string{
 		"topology", "igp", "bgp", "netsim", "measure", "core",
 		"experiments", "stats", "tcpmodel", "tcpsim", "dynamics",
-		"geo", "probe", "optimal", "overlay", "csr",
+		"geo", "probe", "optimal", "overlay", "csr", "pathset",
 	} {
 		Packages["pathsel/internal/"+name] = true
 	}

@@ -126,12 +126,15 @@ func (a *Analyzer) Dataset() *dataset.Dataset { return a.ds }
 // length in intermediate hosts (0 = unlimited). Pairs without a measured
 // default path or without any alternate are skipped. Results are in
 // deterministic (PairKeys) order regardless of Concurrency.
+//
+// Deprecated: use Query with a QuerySpec{Metric, MaxVia} and
+// ResultSet.PairResults, which this adapter wraps byte-identically.
 func (a *Analyzer) BestAlternates(metric Metric, maxVia int) ([]PairResult, error) {
-	g, err := a.graphFor(metric)
+	rs, err := a.Query(QuerySpec{Metric: metric, MaxVia: maxVia})
 	if err != nil {
 		return nil, err
 	}
-	return a.bestAlternatesOn(g, metric, maxVia, nil)
+	return rs.PairResults(), nil
 }
 
 // bestAlternatesOn runs the comparison on a prebuilt graph, optionally
@@ -381,75 +384,16 @@ func (r BandwidthResult) Ratio() float64 {
 // paths are one hop ("to be computationally tractable, we only consider
 // alternate paths of length one hop"), RTTs add, losses compose per the
 // mode, and throughput follows the Mathis model.
+//
+// Deprecated: use Query with QuerySpec{Bandwidth: &BandwidthQuery{...}}
+// and ResultSet.BandwidthResults, which this adapter wraps
+// byte-identically.
 func (a *Analyzer) BestBandwidthAlternates(model tcpmodel.Model, mode BandwidthMode) ([]BandwidthResult, error) {
-	type pathStat struct{ rtt, loss float64 }
-	st := map[dataset.PairKey]pathStat{}
-	for _, k := range a.ds.PairKeys() {
-		rtt, loss, ok := a.ds.TransferMeans(k)
-		if !ok {
-			continue
-		}
-		st[k] = pathStat{rtt: rtt.Mean, loss: loss.Mean}
-	}
-	keys := a.ds.PairKeys()
-	results := make([]BandwidthResult, len(keys))
-	valid := make([]bool, len(keys))
-	err := parallelFor(a.context(), a.workers(), len(keys), func(_, i int) error {
-		k := keys[i]
-		direct, ok := st[k]
-		if !ok {
-			return nil
-		}
-		defBW, err := model.BandwidthKBs(direct.rtt, direct.loss)
-		if err != nil {
-			return fmt.Errorf("core: default bandwidth for %v: %w", k, err)
-		}
-		bestBW := math.Inf(-1)
-		bestVia := topology.HostID(-1)
-		for _, via := range a.ds.Hosts {
-			if via == k.Src || via == k.Dst {
-				continue
-			}
-			s1, ok1 := st[dataset.PairKey{Src: k.Src, Dst: via}]
-			s2, ok2 := st[dataset.PairKey{Src: via, Dst: k.Dst}]
-			if !ok1 || !ok2 {
-				continue
-			}
-			rtt := s1.rtt + s2.rtt
-			var loss float64
-			switch mode {
-			case Optimistic:
-				loss = math.Max(s1.loss, s2.loss)
-			case Pessimistic:
-				loss = 1 - (1-s1.loss)*(1-s2.loss)
-			default:
-				return fmt.Errorf("core: unknown bandwidth mode %v", mode)
-			}
-			bw, err := model.BandwidthKBs(rtt, loss)
-			if err != nil {
-				return fmt.Errorf("core: alternate bandwidth for %v via %d: %w", k, via, err)
-			}
-			if bw > bestBW {
-				bestBW, bestVia = bw, via
-			}
-		}
-		if bestVia == -1 {
-			return nil
-		}
-		results[i] = BandwidthResult{Key: k, DefaultKBs: defBW, AltKBs: bestBW, Via: bestVia}
-		valid[i] = true
-		return nil
-	})
+	rs, err := a.Query(QuerySpec{Bandwidth: &BandwidthQuery{Model: model, Mode: mode}})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]BandwidthResult, 0, len(keys))
-	for i, ok := range valid {
-		if ok {
-			out = append(out, results[i])
-		}
-	}
-	return out, nil
+	return rs.BandwidthResults(), nil
 }
 
 // MedianResult compares medians (composed by convolution) alongside

@@ -421,7 +421,16 @@ type searchScratch struct {
 	// time: wTo[v] = weight of the v->dst edge, +Inf when absent.
 	// Invariant: all +Inf between fillInWeights/clearInWeights windows.
 	wTo []float64
-	q   pq
+	// banTo marks forbidden first hops out of the search source: the
+	// edge src->v is skipped when banTo[v] is set. The classic
+	// alternate-path search bans exactly {dst} (the direct edge); the
+	// k-alternates spur searches ban the next hop of every previously
+	// accepted path sharing the spur's root (all such banned edges
+	// originate at the sub-search's source, which is what makes one
+	// dense mask sufficient). Invariant: all false between searches;
+	// setters restore the entries they flip.
+	banTo []bool
+	q     pq
 	// Layered DP state for boundedAlternate: (maxEdges+1)*n cells each,
 	// laid out as layer*n+vertex.
 	ldist []float64
@@ -436,6 +445,7 @@ func newSearchScratch(n int) *searchScratch {
 		order:  make([]int32, 0, n),
 		parent: make([]bool, n),
 		wTo:    make([]float64, n),
+		banTo:  make([]bool, n),
 		q:      make(pq, 0, 64),
 	}
 	for i := range s.wTo {
@@ -467,6 +477,12 @@ func (g *graph) shortestAlternateInto(s *searchScratch, src, dst, maxVia int, ex
 	if !g.frozen {
 		g.freeze()
 	}
+	// Ban the direct edge by marking dst as a forbidden first hop; the
+	// entry's previous value is restored so callers (the k-alternates
+	// spur loop) can stack additional bans around this search.
+	wasBanned := s.banTo[dst]
+	s.banTo[dst] = true
+	defer func() { s.banTo[dst] = wasBanned }()
 	switch {
 	case maxVia == 1:
 		return g.oneHopAlternate(src, dst, excluded, s)
@@ -489,7 +505,7 @@ func (g *graph) oneHopAlternate(src, dst int, excluded []bool, s *searchScratch)
 	lo, hi := g.ix.Row(int32(src))
 	for slot := lo; slot < hi; slot++ {
 		via := int(g.ix.Tgt[slot])
-		if via == dst || via == src || (excluded != nil && excluded[via]) {
+		if via == dst || via == src || s.banTo[via] || (excluded != nil && excluded[via]) {
 			continue
 		}
 		w := g.wt[slot] + wTo[via]
@@ -658,8 +674,8 @@ func (g *graph) dijkstraScan(src, dst int, excluded []bool, s *searchScratch) {
 			if excluded != nil && excluded[v] && v != dst {
 				continue
 			}
-			if u == src && v == dst {
-				continue // forbid the direct edge
+			if u == src && s.banTo[v] {
+				continue // forbidden first hop (direct edge, or a spur ban)
 			}
 			nd := du + wts[i]
 			if nd < dist[v] {
@@ -707,8 +723,8 @@ func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch, lm
 			if excluded != nil && excluded[v] && v != dst {
 				continue
 			}
-			if u == src && v == dst {
-				continue // forbid the direct edge
+			if u == src && s.banTo[v] {
+				continue // forbidden first hop (direct edge, or a spur ban)
 			}
 			nd := it.dist + wts[i]
 			if nd < dist[v] {
@@ -760,8 +776,8 @@ func (g *graph) boundedAlternate(src, dst, maxVia int, excluded []bool, s *searc
 				if excluded != nil && excluded[v] && v != dst {
 					continue
 				}
-				if u == src && v == dst {
-					continue
+				if u == src && s.banTo[v] {
+					continue // forbidden first hop
 				}
 				if v == src {
 					continue
@@ -836,4 +852,19 @@ func (g *graph) composePath(metric Metric, path []int) (value float64, sum stats
 		value = weightTotal
 	}
 	return value, sum, nil
+}
+
+// pathWeight sums the stored edge weights along a vertex sequence,
+// +Inf when a hop is unmeasured. Candidate ordering in the
+// k-alternates search keys on this exact sum.
+func (g *graph) pathWeight(path []int) float64 {
+	w := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		e, found := g.directEdge(path[i], path[i+1])
+		if !found {
+			return math.Inf(1)
+		}
+		w += e.weight
+	}
+	return w
 }

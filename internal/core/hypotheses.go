@@ -291,10 +291,11 @@ type ASCount struct {
 // traverse it. An alternate path traverses the union of the ASes of its
 // constituent measured hops.
 func (a *Analyzer) ASAppearances(metric Metric, maxVia int) ([]ASCount, error) {
-	results, err := a.BestAlternates(metric, maxVia)
+	rs, err := a.Query(QuerySpec{Metric: metric, MaxVia: maxVia})
 	if err != nil {
 		return nil, err
 	}
+	results := rs.PairResults()
 	direct := map[topology.ASN]int{}
 	alt := map[topology.ASN]int{}
 	asesOf := func(k dataset.PairKey) []topology.ASN {
@@ -410,10 +411,11 @@ func classifyDelay(x, y float64) DelayGroup {
 // pair's difference into propagation (tenth-percentile) and queuing
 // components (Section 7.2, Figure 16).
 func (a *Analyzer) DecomposeDelay() ([]DelayDecomposition, error) {
-	results, err := a.BestAlternates(MetricRTT, 0)
+	rs, err := a.Query(QuerySpec{Metric: MetricRTT})
 	if err != nil {
 		return nil, err
 	}
+	results := rs.PairResults()
 	prop := map[dataset.PairKey]float64{}
 	for _, k := range a.ds.PairKeys() {
 		if v, ok := a.ds.PropagationDelay(k, PropagationQuantile); ok {

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"pathsel/internal/dataset"
+)
+
+// yenGraph builds the analyzer's RTT graph for a dataset and hands the
+// test a scratch + yenState over it.
+func yenGraph(t *testing.T, ds *dataset.Dataset) (*graph, *searchScratch, *yenState) {
+	t.Helper()
+	a := NewAnalyzer(ds)
+	g, err := a.graphFor(MetricRTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.freeze()
+	s := g.scratch.Get().(*searchScratch)
+	t.Cleanup(func() { g.scratch.Put(s) })
+	return g, s, newYenState(len(g.hosts), nil)
+}
+
+func TestKAlternatesMatchesSingleSearch(t *testing.T) {
+	ds := randomDataset(5, 10, 0.7)
+	g, s, y := yenGraph(t, ds)
+	for si := 0; si < len(g.hosts); si++ {
+		for di := 0; di < len(g.hosts); di++ {
+			if si == di {
+				continue
+			}
+			single, ok := g.shortestAlternateInto(s, si, di, 0, nil)
+			paths := g.kAlternatesInto(s, y, si, di, 1, 0)
+			if !ok {
+				if len(paths) != 0 {
+					t.Fatalf("%d->%d: k=1 found %v, single search found nothing", si, di, paths)
+				}
+				continue
+			}
+			if len(paths) != 1 || !samePath(paths[0], single) {
+				t.Fatalf("%d->%d: k=1 %v, single %v", si, di, paths, single)
+			}
+		}
+	}
+}
+
+func TestKAlternatesProperties(t *testing.T) {
+	ds := randomDataset(9, 10, 0.7)
+	g, s, y := yenGraph(t, ds)
+	const k = 5
+	for si := 0; si < len(g.hosts); si++ {
+		for di := 0; di < len(g.hosts); di++ {
+			if si == di {
+				continue
+			}
+			paths := g.kAlternatesInto(s, y, si, di, k, 0)
+			for i, p := range paths {
+				if len(p) < 3 {
+					t.Fatalf("%d->%d: direct or degenerate path %v", si, di, p)
+				}
+				if p[0] != si || p[len(p)-1] != di {
+					t.Fatalf("%d->%d: endpoints wrong in %v", si, di, p)
+				}
+				if i > 0 && g.pathWeight(p) < g.pathWeight(paths[i-1]) {
+					t.Fatalf("%d->%d: weights not ascending: %v", si, di, paths)
+				}
+				for j := 0; j < i; j++ {
+					if samePath(p, paths[j]) {
+						t.Fatalf("%d->%d: duplicate %v", si, di, p)
+					}
+				}
+				seen := map[int]bool{}
+				for _, v := range p {
+					if seen[v] {
+						t.Fatalf("%d->%d: vertex revisited in %v", si, di, p)
+					}
+					seen[v] = true
+				}
+			}
+		}
+	}
+	// The per-worker state must be clean between pairs: masks all false.
+	for v, b := range y.excl {
+		if b {
+			t.Fatalf("exclusion mask leaked at vertex %d", v)
+		}
+	}
+	for v, b := range s.banTo {
+		if b {
+			t.Fatalf("ban mask leaked at vertex %d", v)
+		}
+	}
+}
+
+func TestKAlternatesMaxVia(t *testing.T) {
+	ds := randomDataset(13, 10, 0.7)
+	g, s, y := yenGraph(t, ds)
+	for _, maxVia := range []int{1, 2} {
+		for si := 0; si < len(g.hosts); si++ {
+			for di := 0; di < len(g.hosts); di++ {
+				if si == di {
+					continue
+				}
+				for _, p := range g.kAlternatesInto(s, y, si, di, 4, maxVia) {
+					if len(p)-2 > maxVia {
+						t.Fatalf("maxVia=%d violated by %v", maxVia, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKAlternatesRespectsExclusions(t *testing.T) {
+	ds := randomDataset(21, 10, 0.7)
+	a := NewAnalyzer(ds)
+	g, err := a.graphFor(MetricRTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.freeze()
+	s := g.scratch.Get().(*searchScratch)
+	defer g.scratch.Put(s)
+	excluded := make([]bool, len(g.hosts))
+	excluded[3] = true
+	y := newYenState(len(g.hosts), excluded)
+	for si := 0; si < len(g.hosts); si++ {
+		for di := 0; di < len(g.hosts); di++ {
+			if si == di || si == 3 || di == 3 {
+				continue
+			}
+			for _, p := range g.kAlternatesInto(s, y, si, di, 4, 0) {
+				for _, v := range p[1 : len(p)-1] {
+					if v == 3 {
+						t.Fatalf("excluded vertex used in %v", p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCandLess(t *testing.T) {
+	a := yenCand{path: []int{0, 1, 2}, weight: 5}
+	b := yenCand{path: []int{0, 3, 2}, weight: 5}
+	c := yenCand{path: []int{0, 1, 3, 2}, weight: 5}
+	d := yenCand{path: []int{0, 9, 2}, weight: 4}
+	if !candLess(d, a) || candLess(a, d) {
+		t.Error("lower weight must win")
+	}
+	if !candLess(a, c) || candLess(c, a) {
+		t.Error("shorter path must win at equal weight")
+	}
+	if !candLess(a, b) || candLess(b, a) {
+		t.Error("lexicographic hops must break full ties")
+	}
+	if candLess(a, a) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestSpurSearchHonorsBans(t *testing.T) {
+	ds := dataset.New("spur", hostIDs(3))
+	addRTT(ds, 0, 1, 50)
+	addRTT(ds, 0, 2, 10)
+	addRTT(ds, 2, 1, 10)
+	g, s, y := yenGraph(t, ds)
+	// Unbanned, the spur search may take the direct 0->1 edge.
+	p, ok := g.spurSearch(s, 0, 1, -1, y.excl)
+	if !ok || !reflect.DeepEqual(p, []int{0, 2, 1}) {
+		t.Fatalf("unbanned spur: %v ok=%v (cheapest is via 2)", p, ok)
+	}
+	// Banning the first hop to 2 forces the direct edge.
+	s.banTo[2] = true
+	p, ok = g.spurSearch(s, 0, 1, -1, y.excl)
+	s.banTo[2] = false
+	if !ok || !reflect.DeepEqual(p, []int{0, 1}) {
+		t.Fatalf("banned spur: %v ok=%v (must fall back to direct)", p, ok)
+	}
+}

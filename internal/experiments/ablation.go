@@ -121,10 +121,11 @@ func runCauseVariant(cfg Config, v CauseVariant) (CauseResult, error) {
 	if err != nil {
 		return CauseResult{}, err
 	}
-	results, err := core.NewAnalyzer(ds).WithConcurrency(cfg.Concurrency).BestAlternates(core.MetricRTT, 0)
+	rs, err := core.NewAnalyzer(ds).WithConcurrency(cfg.Concurrency).Query(core.QuerySpec{Metric: core.MetricRTT})
 	if err != nil {
 		return CauseResult{}, err
 	}
+	results := rs.PairResults()
 	if len(results) == 0 {
 		return CauseResult{}, fmt.Errorf("no comparable pairs")
 	}

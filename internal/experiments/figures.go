@@ -24,11 +24,11 @@ const Confidence = 0.95
 func improvementSeries(s *Suite, dss []*dataset.Dataset, metric core.Metric, maxVia int) ([]Series, error) {
 	var out []Series
 	for _, ds := range dss {
-		results, err := s.analyzer(ds).BestAlternates(metric, maxVia)
+		rs, err := s.analyzer(ds).Query(core.QuerySpec{Metric: metric, MaxVia: maxVia})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s/%v: %w", ds.Name, metric, err)
 		}
-		out = append(out, Series{Name: ds.Name, CDF: core.ImprovementCDF(results)})
+		out = append(out, Series{Name: ds.Name, CDF: core.ImprovementCDF(rs.PairResults())})
 	}
 	return out, nil
 }
@@ -44,11 +44,11 @@ func Figure1(s *Suite) ([]Series, error) {
 func Figure2(s *Suite) ([]Series, error) {
 	var out []Series
 	for _, ds := range s.Datasets() {
-		results, err := s.analyzer(ds).BestAlternates(core.MetricRTT, 0)
+		rs, err := s.analyzer(ds).Query(core.QuerySpec{Metric: core.MetricRTT})
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Series{Name: ds.Name, CDF: core.RatioCDF(results)})
+		out = append(out, Series{Name: ds.Name, CDF: core.RatioCDF(rs.PairResults())})
 	}
 	return out, nil
 }
@@ -66,10 +66,11 @@ func bandwidthSeries(s *Suite, ratio bool) ([]Series, error) {
 	var out []Series
 	for _, ds := range []*dataset.Dataset{s.N2, s.N2NA} {
 		for _, mode := range []core.BandwidthMode{core.Pessimistic, core.Optimistic} {
-			results, err := s.analyzer(ds).BestBandwidthAlternates(model, mode)
+			rs, err := s.analyzer(ds).Query(core.QuerySpec{Bandwidth: &core.BandwidthQuery{Model: model, Mode: mode}})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s bandwidth: %w", ds.Name, err)
 			}
+			results := rs.BandwidthResults()
 			vals := make([]float64, 0, len(results))
 			for _, r := range results {
 				if ratio {
@@ -117,20 +118,20 @@ func Figure6(s *Suite) ([]Series, error) {
 // Figure7 is the UW3 round-trip improvement CDF annotated with 95%
 // confidence half-widths per pair.
 func Figure7(s *Suite) ([]core.CIPoint, error) {
-	results, err := s.analyzer(s.UW3).BestAlternates(core.MetricRTT, 0)
+	rs, err := s.analyzer(s.UW3).Query(core.QuerySpec{Metric: core.MetricRTT})
 	if err != nil {
 		return nil, err
 	}
-	return core.ImprovementsWithCI(results, Confidence), nil
+	return core.ImprovementsWithCI(rs.PairResults(), Confidence), nil
 }
 
 // Figure8 is the same for loss rate.
 func Figure8(s *Suite) ([]core.CIPoint, error) {
-	results, err := s.analyzer(s.UW3).BestAlternates(core.MetricLoss, 0)
+	rs, err := s.analyzer(s.UW3).Query(core.QuerySpec{Metric: core.MetricLoss})
 	if err != nil {
 		return nil, err
 	}
-	return core.ImprovementsWithCI(results, Confidence), nil
+	return core.ImprovementsWithCI(rs.PairResults(), Confidence), nil
 }
 
 // bucketSeries runs the time-of-day breakdown on UW3 (Figures 9 and 10).
@@ -158,10 +159,11 @@ func Figure10(s *Suite) ([]Series, error) { return bucketSeries(s, core.MetricLo
 // the UW4-B improvement CDF versus the UW4-A pair-averaged and
 // unaveraged episode CDFs.
 func Figure11(s *Suite) ([]Series, error) {
-	bResults, err := s.analyzer(s.UW4B).BestAlternates(core.MetricRTT, 0)
+	brs, err := s.analyzer(s.UW4B).Query(core.QuerySpec{Metric: core.MetricRTT})
 	if err != nil {
 		return nil, err
 	}
+	bResults := brs.PairResults()
 	ep, err := s.analyzer(s.UW4A).AnalyzeEpisodes()
 	if err != nil {
 		return nil, err
@@ -187,10 +189,11 @@ type Figure12Result struct {
 // round-trip CDF (greedy, as in the paper) and compares the curves.
 func Figure12(s *Suite) (Figure12Result, error) {
 	a := s.analyzer(s.UW3)
-	all, err := a.BestAlternates(core.MetricRTT, 0)
+	allRS, err := a.Query(core.QuerySpec{Metric: core.MetricRTT})
 	if err != nil {
 		return Figure12Result{}, err
 	}
+	all := allRS.PairResults()
 	// Removing ten of the paper's 39 hosts drops about a quarter of the
 	// host set; cap the removal at that proportion so reduced host sets
 	// (the quick preset) test the same question.
@@ -233,17 +236,17 @@ func Figure14(s *Suite) ([]core.ASCount, error) {
 // (tenth-percentile estimate) and mean round-trip time.
 func Figure15(s *Suite) ([]Series, error) {
 	a := s.analyzer(s.UW3)
-	prop, err := a.BestAlternates(core.MetricPropDelay, 0)
+	prop, err := a.Query(core.QuerySpec{Metric: core.MetricPropDelay})
 	if err != nil {
 		return nil, err
 	}
-	rtt, err := a.BestAlternates(core.MetricRTT, 0)
+	rtt, err := a.Query(core.QuerySpec{Metric: core.MetricRTT})
 	if err != nil {
 		return nil, err
 	}
 	return []Series{
-		{Name: "propagation delay", CDF: core.ImprovementCDF(prop)},
-		{Name: "mean round-trip", CDF: core.ImprovementCDF(rtt)},
+		{Name: "propagation delay", CDF: core.ImprovementCDF(prop.PairResults())},
+		{Name: "mean round-trip", CDF: core.ImprovementCDF(rtt.PairResults())},
 	}, nil
 }
 

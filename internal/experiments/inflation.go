@@ -58,10 +58,11 @@ type InflationSummary struct {
 func PathInflation(s *Suite) ([]InflationResult, InflationSummary, error) {
 	opt := optimal.New(s.TopoUW)
 	a := s.analyzer(s.UW3)
-	results, err := a.BestAlternates(core.MetricPropDelay, 0)
+	rs, err := a.Query(core.QuerySpec{Metric: core.MetricPropDelay})
 	if err != nil {
 		return nil, InflationSummary{}, err
 	}
+	results := rs.PairResults()
 	var out []InflationResult
 	for _, r := range results {
 		optRTT, err := opt.HostRTT(r.Key.Src, r.Key.Dst)

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pathsel/internal/core"
+	"pathsel/internal/pathset"
+	"pathsel/internal/stats"
+)
+
+// MultipathK is how many alternates per pair the multipath exhibit
+// requests — enough to see the k-vs-benefit curve flatten without
+// leaving the paper's "a handful of alternates" regime.
+const MultipathK = 6
+
+// MultipathKPoint is one point of the k-vs-benefit curve: what the
+// best-of-the-first-k alternates buy over the default path, and how
+// AS-disjoint those first k get.
+type MultipathKPoint struct {
+	K int
+	// MeanImprovementMs is the mean over pairs of default mean RTT
+	// minus the best of {default, first k alternates}.
+	MeanImprovementMs float64
+	// FullyDisjointFrac is the fraction of pairs whose first k
+	// alternates include one fully AS-disjoint from the default.
+	FullyDisjointFrac float64
+	// MeanMaxDisjointness is the mean over pairs of the best AS-level
+	// disjointness among the first k alternates.
+	MeanMaxDisjointness float64
+}
+
+// MultipathStrategyRow compares one selection strategy's top pick
+// across all pairs.
+type MultipathStrategyRow struct {
+	Strategy string
+	// MeanLatencyMs is the mean round-trip time of the strategy's top
+	// pick (pairs whose pick lacks a latency annotation are skipped).
+	MeanLatencyMs float64
+	// MeanDisjointness is the mean AS-level disjointness of the top
+	// pick against the default path.
+	MeanDisjointness float64
+}
+
+// MultipathResult is the path-set exhibit: the single-best-alternate
+// methodology extended to k alternates per pair, quantifying how fast
+// the benefit saturates with k, how much AS-level failure independence
+// the sets offer, and how the built-in selection strategies trade
+// latency against disjointness.
+type MultipathResult struct {
+	Dataset string
+	Pairs   int
+	K       int
+
+	// Curve has one point per k in 1..K.
+	Curve []MultipathKPoint
+	// Disjointness is the per-pair best AS-level disjointness over the
+	// full k-set, in pair order (the CDF exhibit sorts it).
+	Disjointness []float64
+	// Strategies compares the built-in selection strategies' top picks.
+	Strategies []MultipathStrategyRow
+}
+
+// Multipath runs the k-alternates query on UW3 by mean round-trip time
+// and derives the exhibit. Deterministic: the query is bit-identical at
+// any concurrency and everything here folds over it in pair order.
+func Multipath(s *Suite) (MultipathResult, error) {
+	rs, err := s.analyzer(s.UW3).Query(core.QuerySpec{
+		Metric:   core.MetricRTT,
+		K:        MultipathK,
+		Annotate: true,
+	})
+	if err != nil {
+		return MultipathResult{}, fmt.Errorf("experiments: multipath query: %w", err)
+	}
+	if len(rs.Pairs) == 0 {
+		return MultipathResult{}, fmt.Errorf("experiments: multipath: no comparable pairs")
+	}
+	res := MultipathResult{Dataset: s.UW3.Name, Pairs: len(rs.Pairs), K: MultipathK}
+	for k := 1; k <= MultipathK; k++ {
+		var imp, maxD stats.Accum
+		disjoint := 0
+		for _, p := range rs.Pairs {
+			set := p.Alternates
+			if set.Len() > k {
+				set.Paths = set.Paths[:k]
+			}
+			best := p.Default.Value
+			for _, alt := range set.Paths {
+				if alt.Value < best {
+					best = alt.Value
+				}
+			}
+			imp.Add(p.Default.Value - best)
+			d := set.MaxDisjointness(pathset.LevelAS, p.Default)
+			maxD.Add(d)
+			if d >= 1 {
+				disjoint++
+			}
+		}
+		res.Curve = append(res.Curve, MultipathKPoint{
+			K:                   k,
+			MeanImprovementMs:   imp.Mean(),
+			FullyDisjointFrac:   float64(disjoint) / float64(len(rs.Pairs)),
+			MeanMaxDisjointness: maxD.Mean(),
+		})
+	}
+	for _, p := range rs.Pairs {
+		res.Disjointness = append(res.Disjointness, p.Alternates.MaxDisjointness(pathset.LevelAS, p.Default))
+	}
+	strategies := []pathset.SelectionStrategy{
+		pathset.ByLatency{},
+		pathset.ByLoss{},
+		pathset.MostDisjoint{Level: pathset.LevelAS},
+	}
+	for _, strat := range strategies {
+		var lat, dis stats.Accum
+		for _, p := range rs.Pairs {
+			pick, ok := strat.Select(p.Default, p.Alternates, 1).Best()
+			if !ok {
+				continue
+			}
+			if !math.IsNaN(pick.LatencyMs) {
+				lat.Add(pick.LatencyMs)
+			}
+			dis.Add(pathset.Disjointness(pathset.LevelAS, p.Default, pick))
+		}
+		res.Strategies = append(res.Strategies, MultipathStrategyRow{
+			Strategy:         strat.Name(),
+			MeanLatencyMs:    lat.Mean(),
+			MeanDisjointness: dis.Mean(),
+		})
+	}
+	return res, nil
+}

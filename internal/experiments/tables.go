@@ -28,13 +28,13 @@ type VerdictRow struct {
 func verdictTable(s *Suite, metric core.Metric) ([]VerdictRow, error) {
 	var out []VerdictRow
 	for _, ds := range s.Datasets() {
-		results, err := s.analyzer(ds).BestAlternates(metric, 0)
+		rs, err := s.analyzer(ds).Query(core.QuerySpec{Metric: metric})
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, VerdictRow{
 			Dataset: ds.Name,
-			Counts:  core.ClassifyVerdicts(results, Confidence),
+			Counts:  core.ClassifyVerdicts(rs.PairResults(), Confidence),
 		})
 	}
 	return out, nil

@@ -98,10 +98,11 @@ func trueRTT(net *netsim.Network, fwdPath, revPath forward.Path, src, dst topolo
 func ValidateConservativity(s *Suite) (ConservativityResult, error) {
 	fwd, net := s.UWForwarding()
 	a := s.analyzer(s.UW3)
-	results, err := a.BestAlternates(core.MetricRTT, 1)
+	rs, err := a.Query(core.QuerySpec{Metric: core.MetricRTT, MaxVia: 1})
 	if err != nil {
 		return ConservativityResult{}, err
 	}
+	results := rs.PairResults()
 	times := validationSampleTimes()
 	var out ConservativityResult
 	for _, r := range results {
@@ -210,10 +211,11 @@ func AblateEgress(cfg Config) ([]EgressAblation, error) {
 			return nil, err
 		}
 		a := core.NewAnalyzer(ds).WithConcurrency(cfg.Concurrency)
-		results, err := a.BestAlternates(core.MetricRTT, 0)
+		rs, err := a.Query(core.QuerySpec{Metric: core.MetricRTT})
 		if err != nil {
 			return nil, err
 		}
+		results := rs.PairResults()
 		var meanDefault stats.Accum
 		for _, r := range results {
 			meanDefault.Add(r.DefaultValue)
@@ -257,10 +259,11 @@ func (r TriangulationResult) ViolatesTriangle() bool {
 // dataset using one-hop relays.
 func Triangulation(s *Suite) ([]TriangulationResult, error) {
 	a := s.analyzer(s.UW3)
-	results, err := a.BestAlternates(core.MetricPropDelay, 1)
+	rs, err := a.Query(core.QuerySpec{Metric: core.MetricPropDelay, MaxVia: 1})
 	if err != nil {
 		return nil, err
 	}
+	results := rs.PairResults()
 	out := make([]TriangulationResult, 0, len(results))
 	for _, r := range results {
 		out = append(out, TriangulationResult{
