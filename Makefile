@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test vet lint race bench bench-json bench-scale fuzz-smoke staticcheck vuln check check-all
+.PHONY: build test vet lint lint-json race bench bench-json bench-scale fuzz-smoke staticcheck vuln check check-all
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,18 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The repo's own analyzer suite: determinism (detrand, maporder),
-# cancellation (ctxflow), metrics (obsmetric) and float-equality
-# (floateq) invariants. See internal/analysis and DESIGN.md.
+# The repo's own analyzer suite, nine checkers over one shared
+# type-checked load: determinism (detrand, and detflow through the
+# call graph), cancellation (ctxflow, ctxleak), hot-path allocation
+# (hotalloc), deprecated-API migration (deprecated, with -fix),
+# metrics (obsmetric), map iteration (maporder) and float equality
+# (floateq). See internal/analysis and DESIGN.md §12.
 lint:
 	$(GO) run ./cmd/repolint ./...
+
+# Machine-readable lint report, as uploaded by CI.
+lint-json:
+	$(GO) run ./cmd/repolint -json ./... > repolint.json
 
 race:
 	$(GO) test -race ./...
@@ -34,9 +41,13 @@ bench:
 # Machine-readable baseline of the root benchmark harness: one
 # iteration of every exhibit (enough for a committed reference point;
 # -benchtime=1x keeps the expensive ablations bounded), converted to
-# JSON by cmd/benchjson.
+# JSON by cmd/benchjson. Override the PR number (make bench-json N=9)
+# or the whole filename (BENCH_OUT=baseline.json) instead of editing
+# this file each PR.
+N ?= 7
+BENCH_OUT ?= BENCH_$(N).json
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_7.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # Planet-scale smoke: build the 10k-AS / 100k-host suite end to end
 # under a hard memory ceiling and wall-clock timeout. The test itself

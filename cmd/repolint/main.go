@@ -1,19 +1,31 @@
 // Command repolint runs the repo's custom static-analysis suite — the
-// determinism, cancellation and metrics-invariant checkers under
-// internal/analysis — over a set of Go package patterns, in the manner
-// of an x/tools multichecker.
+// determinism, cancellation, allocation and metrics-invariant checkers
+// under internal/analysis — over a set of Go package patterns, in the
+// manner of an x/tools multichecker.
 //
 // Usage:
 //
-//	repolint [-only names] [-list] [packages...]
+//	repolint [-only names] [-list] [-fix] [-json] [packages...]
 //
-// With no packages, ./... is checked. Exit status is 1 if any analyzer
-// reported a finding, 2 on usage or load errors. Individual findings
-// are suppressed in source with //repolint:allow <analyzer> on the
-// offending line or the line above.
+// With no packages, ./... is checked. All requested packages are
+// loaded and type-checked once into a single shared program, so the
+// interprocedural analyzers (detflow, ctxleak, deprecated) see the
+// whole call graph and the per-analyzer cost is one AST walk, not one
+// load.
+//
+// -json emits a machine-readable report on stdout instead of the
+// line-oriented findings. -fix applies every suggested fix in place
+// (e.g. rewriting deprecated BestAlternates calls to the Query form)
+// and reports what it rewrote; findings without fixes still count
+// toward the exit status.
+//
+// Exit status is 1 if any analyzer reported a finding, 2 on usage or
+// load errors. Individual findings are suppressed in source with
+// //repolint:allow <analyzer> on the offending line or the line above.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +39,8 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source in place")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON report on stdout")
 	flag.Parse()
 
 	analyzers := repolint.All()
@@ -69,20 +83,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
 		os.Exit(2)
 	}
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.Run(pkg, analyzers)
+	prog := lint.NewProgram(pkgs)
+	diags, err := prog.Run(analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *fix {
+		fixedFiles, err := lint.WriteFixes(prog.Fset, diags)
 		if err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: applying fixes: %v\n", err)
+			os.Exit(2)
+		}
+		for _, name := range fixedFiles {
+			fmt.Printf("repolint: fixed %s\n", name)
+		}
+		// Findings whose fix was just applied are resolved; the rest
+		// still need a human.
+		var remaining []lint.Diagnostic
+		for _, d := range diags {
+			if len(d.SuggestedFixes) == 0 {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
+	if *jsonOut {
+		report := lint.NewReport(prog.Fset, diags)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
 			os.Exit(2)
 		}
+	} else {
 		for _, d := range diags {
-			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			findings++
+			fmt.Printf("%s: [%s] %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", findings)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,349 @@
+// Package ctxleak defines an analyzer for the two concurrency-shaped
+// ways the cancellation chain leaks rather than severs (ctxflow's
+// beat): a goroutine launched from a function that holds a ctx but
+// does not pass it on — the goroutine outlives every deadline and
+// client disconnect the caller promised to honor — and a
+// context.WithCancel/WithTimeout/WithDeadline whose cancel function
+// does not reach a call or defer on every path to return, which pins
+// the context's resources (and its parent's reference to it) for the
+// parent's lifetime.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pathsel/internal/analysis/lint"
+)
+
+// Analyzer flags ctx-less goroutines and lost cancel functions.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxleak",
+	Doc: "flag goroutines launched without the enclosing function's ctx, and " +
+		"context.WithCancel/WithTimeout/WithDeadline cancel funcs that are not called or deferred on every path",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGoroutines(pass, fn)
+			checkLostCancels(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasCtxParam reports whether the function declares a usable (named,
+// non-blank) context.Context parameter.
+func hasCtxParam(pass *lint.Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if !isContextType(pass.Info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkGoroutines flags `go` statements that reference no context
+// value anywhere in the spawned call, inside a function that holds a
+// ctx it could have passed. Mentioning any ctx — as an argument, in a
+// captured closure body, even a derived one — counts: the goroutine's
+// author visibly connected it to the cancellation tree.
+func checkGoroutines(pass *lint.Pass, fn *ast.FuncDecl) {
+	if !hasCtxParam(pass, fn) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !mentionsContext(pass, g.Call) {
+			pass.Reportf(g.Pos(), "goroutine launched without the enclosing ctx; pass ctx (or one derived from it) so cancellation reaches it")
+		}
+		return true
+	})
+}
+
+// mentionsContext reports whether any expression within n (the go
+// statement's call: fun, args, closure bodies) has type
+// context.Context.
+func mentionsContext(pass *lint.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := pass.Info.TypeOf(expr); t != nil && isContextType(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// cancelFuncs are the context constructors returning (Context,
+// CancelFunc) whose cancel must not be lost.
+var cancelFuncs = map[string]bool{
+	"WithCancel":        true,
+	"WithTimeout":       true,
+	"WithDeadline":      true,
+	"WithCancelCause":   true,
+	"WithTimeoutCause":  true,
+	"WithDeadlineCause": true,
+}
+
+// checkLostCancels finds `ctx, cancel := context.WithX(...)`
+// assignments and verifies cancel reaches a call or defer on every
+// path from the assignment to function exit. A blank cancel is always
+// a leak; a cancel that escapes (passed, stored, returned) is assumed
+// handled.
+func checkLostCancels(pass *lint.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			assign, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+				continue
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || !isCancelConstructor(pass, call) {
+				continue
+			}
+			id, ok := assign.Lhs[1].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if id.Name == "_" {
+				pass.Reportf(id.Pos(), "the cancel func from context.%s is discarded; the derived context leaks until its parent ends — call or defer it", constructorName(call))
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id] // `=` rather than `:=`
+			}
+			if obj == nil || escapes(fn.Body, pass, obj, call) {
+				continue
+			}
+			if coverState(block.List[i+1:], pass, obj) != covered {
+				pass.Reportf(id.Pos(), "the cancel func from context.%s is not called on every path to return; defer %s() right after the assignment", constructorName(call), id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isCancelConstructor reports whether call is context.WithX returning
+// a CancelFunc.
+func isCancelConstructor(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return cancelFuncs[fn.Name()]
+}
+
+func constructorName(call *ast.CallExpr) string {
+	return call.Fun.(*ast.SelectorExpr).Sel.Name
+}
+
+// escapes reports whether obj is used in any way other than a direct
+// call or defer — passed as an argument, assigned, returned, captured
+// into a composite — after which tracking it is out of scope.
+func escapes(body *ast.BlockStmt, pass *lint.Pass, obj types.Object, decl ast.Node) bool {
+	esc := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if esc {
+			return false
+		}
+		// A use is "safe" when it is the Fun of a call statement or
+		// defer; any other reference is an escape.
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if isCallOf(s.X, pass, obj) {
+				return false // don't descend: this use is accounted for
+			}
+		case *ast.AssignStmt:
+			// `_ = cancel` keeps the compiler quiet without handing the
+			// func anywhere; it neither escapes nor cancels.
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				lhs, lok := s.Lhs[0].(*ast.Ident)
+				rhs, rok := ast.Unparen(s.Rhs[0]).(*ast.Ident)
+				if lok && rok && lhs.Name == "_" && pass.Info.Uses[rhs] == obj {
+					return false
+				}
+			}
+		case *ast.DeferStmt:
+			if fun, ok := ast.Unparen(s.Call.Fun).(*ast.Ident); ok && pass.Info.Uses[fun] == obj {
+				return false
+			}
+		case *ast.Ident:
+			if pass.Info.Uses[s] == obj {
+				esc = true
+				return false
+			}
+		}
+		return true
+	})
+	return esc
+}
+
+// isCallOf reports whether e is a bare call of obj: `cancel()`.
+func isCallOf(e ast.Expr, pass *lint.Pass, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// coverage is the tri-state result of walking a statement list with
+// respect to one cancel func: every path through it calls the cancel
+// (covered), some path exits the function without calling it
+// (uncoveredExit — a definite leak), or execution can fall through the
+// end still uncovered (fallthru — the caller keeps scanning).
+type coverage int
+
+const (
+	fallthru coverage = iota
+	covered
+	uncoveredExit
+)
+
+// coverState walks stmts sequentially. Loops, switches without
+// defaults, selects, and gotos are treated conservatively: coverage
+// inside them does not count (they may execute zero times or jump),
+// but an uncovered return inside them is still a leak.
+func coverState(stmts []ast.Stmt, pass *lint.Pass, obj types.Object) coverage {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if isCallOf(s.X, pass, obj) {
+				return covered
+			}
+			if isPanicCall(s.X) {
+				return covered // panics unwind defers; the leak question is moot
+			}
+		case *ast.DeferStmt:
+			if fun, ok := ast.Unparen(s.Call.Fun).(*ast.Ident); ok && pass.Info.Uses[fun] == obj {
+				return covered
+			}
+		case *ast.ReturnStmt:
+			return uncoveredExit
+		case *ast.BlockStmt:
+			switch coverState(s.List, pass, obj) {
+			case covered:
+				return covered
+			case uncoveredExit:
+				return uncoveredExit
+			}
+		case *ast.IfStmt:
+			thenState := coverState(s.Body.List, pass, obj)
+			elseState := fallthru
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					elseState = coverState(e.List, pass, obj)
+				case *ast.IfStmt:
+					elseState = coverState([]ast.Stmt{e}, pass, obj)
+				}
+			}
+			if thenState == uncoveredExit || elseState == uncoveredExit {
+				return uncoveredExit
+			}
+			if thenState == covered && elseState == covered {
+				return covered
+			}
+		default:
+			// Conservative container scan: any uncovered return hiding
+			// in a loop/switch/select body is a leak; coverage inside
+			// does not propagate out.
+			if hasUncoveredReturn(stmt, pass, obj) {
+				return uncoveredExit
+			}
+		}
+	}
+	return fallthru
+}
+
+// hasUncoveredReturn reports whether stmt contains a return not
+// preceded (within the same simple scan) by a cancel call. It is a
+// coarse check for the conservative branches of coverState: any
+// return inside is treated as uncovered unless the container also
+// guarantees a cancel before it — which the simple scan approximates
+// by descending with coverState on nested blocks.
+func hasUncoveredReturn(stmt ast.Stmt, pass *lint.Pass, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // separate function: its returns are its own
+		case *ast.BlockStmt:
+			if coverState(s.List, pass, obj) == uncoveredExit {
+				found = true
+			}
+			return false
+		case *ast.CaseClause:
+			if coverState(s.Body, pass, obj) == uncoveredExit {
+				found = true
+			}
+			return false
+		case *ast.CommClause:
+			if coverState(s.Body, pass, obj) == uncoveredExit {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,12 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"pathsel/internal/analysis/ctxleak"
+	"pathsel/internal/analysis/linttest"
+)
+
+func TestCtxleak(t *testing.T) {
+	linttest.Run(t, ctxleak.Analyzer, "ctxleak")
+}

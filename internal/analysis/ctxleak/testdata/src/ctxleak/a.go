@@ -1,0 +1,106 @@
+// Package ctxleak is a fixture for the ctxleak analyzer: ctx-less
+// goroutines and lost cancel funcs are violations; threaded contexts,
+// deferred cancels, every-path cancels, escapes, and annotated
+// escapes are not.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+func work()                       {}
+func workCtx(ctx context.Context) {}
+
+// --- goroutine rule ---
+
+func leakyGo(ctx context.Context) {
+	go work() // want `goroutine launched without the enclosing ctx`
+}
+
+func goWithCtxArg(ctx context.Context) {
+	go workCtx(ctx) // ctx passed directly
+}
+
+func goWithCapturedCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done() // ctx captured by the closure
+	}()
+}
+
+func goWithDerivedCtx(ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go workCtx(sub) // a derived ctx still connects the tree
+}
+
+func noCtxToThread() {
+	go work() // enclosing function holds no ctx: nothing to pass
+}
+
+func allowedDetached(ctx context.Context) {
+	//repolint:allow ctxleak -- fixture: deliberate fire-and-forget
+	go work()
+}
+
+// --- lost-cancel rule ---
+
+func lostCancel(ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx) // want `cancel func from context.WithCancel is not called on every path`
+	_ = sub
+	_ = cancel
+}
+
+func discardedCancel(ctx context.Context) {
+	sub, _ := context.WithTimeout(ctx, time.Second) // want `cancel func from context.WithTimeout is discarded`
+	_ = sub
+}
+
+func earlyReturnLeak(ctx context.Context, fail bool) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second) // want `cancel func from context.WithTimeout is not called on every path`
+	if fail {
+		return context.Canceled // leaves without cancelling
+	}
+	workCtx(sub)
+	cancel()
+	return nil
+}
+
+func deferredCancel(ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workCtx(sub)
+}
+
+func bothBranchesCancel(ctx context.Context, fast bool) {
+	sub, cancel := context.WithCancel(ctx)
+	workCtx(sub)
+	if fast {
+		cancel()
+	} else {
+		workCtx(sub)
+		cancel()
+	}
+}
+
+func cancelEscapes(ctx context.Context) (context.Context, context.CancelFunc) {
+	sub, cancel := context.WithCancel(ctx)
+	return sub, cancel // handed to the caller: their responsibility now
+}
+
+func loopReturnLeak(ctx context.Context, n int) {
+	sub, cancel := context.WithCancel(ctx) // want `cancel func from context.WithCancel is not called on every path`
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			return // exits from inside the loop without cancelling
+		}
+		workCtx(sub)
+	}
+	cancel()
+}
+
+func allowedLeak(ctx context.Context) {
+	//repolint:allow ctxleak -- fixture: demonstrating the escape hatch
+	sub, _ := context.WithCancel(ctx)
+	_ = sub
+}

@@ -1,0 +1,294 @@
+// Package deprecated defines an analyzer that flags calls to in-repo
+// APIs whose doc comment carries a "Deprecated:" paragraph — the Go
+// convention the standard tooling shows but nothing here enforced.
+// The repo retires APIs by keeping them as thin adapters (PR 7 turned
+// BestAlternates/BestBandwidthAlternates into one-line wrappers over
+// Query), so every remaining caller is migration debt; this analyzer
+// surfaces it, and for the two legacy Analyzer entry points it carries
+// a machine-applicable suggested fix rewriting the call to the Query
+// form (`repolint -fix -only deprecated` applies it).
+package deprecated
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"pathsel/internal/analysis/lint"
+)
+
+// Analyzer flags calls to in-repo Deprecated: APIs.
+var Analyzer = &lint.Analyzer{
+	Name: "deprecated",
+	Doc: "flag calls to in-repo functions documented as Deprecated:, with a machine-applicable " +
+		"fix rewriting BestAlternates/BestBandwidthAlternates calls to the Query equivalent",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Prog == nil {
+		return nil
+	}
+	cg := pass.Prog.CallGraph()
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// A deprecated adapter chaining to another deprecated
+			// helper is the retirement mechanism, not migration debt.
+			if deprecationNote(fn.Doc) != "" {
+				continue
+			}
+			if err := checkFunc(pass, cg, f, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc reports every deprecated call in fn, attaching a suggested
+// fix where the call matches the rewritable assignment pattern.
+func checkFunc(pass *lint.Pass, cg *lint.CallGraph, file *ast.File, fn *ast.FuncDecl) error {
+	namer := newNamer(pass, fn)
+	var walkErr error
+	// Assignment statements get first crack so the fixable pattern is
+	// recognized with its statement context; the calls they claim are
+	// excluded from the generic sweep below.
+	claimed := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if walkErr != nil {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, note := deprecatedCallee(pass, cg, call)
+		if callee == nil {
+			return true
+		}
+		claimed[call] = true
+		d := lint.Diagnostic{
+			Pos:     call.Pos(),
+			Message: fmt.Sprintf("call to deprecated %s: %s", callee.Name(), note),
+		}
+		if fix, err := buildQueryFix(pass, file, assign, call, callee, namer); err != nil {
+			walkErr = err
+		} else if fix != nil {
+			d.SuggestedFixes = []lint.SuggestedFix{*fix}
+		}
+		pass.Report(d)
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || claimed[call] {
+			return true
+		}
+		callee, note := deprecatedCallee(pass, cg, call)
+		if callee == nil {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call to deprecated %s: %s", callee.Name(), note)
+		return true
+	})
+	return nil
+}
+
+// deprecatedCallee resolves call's static callee and, when the callee
+// is declared in the program with a Deprecated: doc paragraph, returns
+// it along with the deprecation note.
+func deprecatedCallee(pass *lint.Pass, cg *lint.CallGraph, call *ast.CallExpr) (*types.Func, string) {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			fn, _ = sel.Obj().(*types.Func)
+		} else {
+			fn, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+		}
+	}
+	if fn == nil {
+		return nil, ""
+	}
+	decl := cg.Decl(fn)
+	if decl == nil {
+		return nil, ""
+	}
+	note := deprecationNote(decl.Doc)
+	if note == "" {
+		return nil, ""
+	}
+	return fn, note
+}
+
+// deprecationNote extracts the Deprecated: paragraph from a doc
+// comment — the marker line and its continuation lines up to the next
+// blank line, joined — or "" if there is none.
+func deprecationNote(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	lines := strings.Split(doc.Text(), "\n")
+	for i, line := range lines {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:")
+		if !ok {
+			continue
+		}
+		note := []string{strings.TrimSpace(rest)}
+		for _, cont := range lines[i+1:] {
+			cont = strings.TrimSpace(cont)
+			if cont == "" {
+				break
+			}
+			note = append(note, cont)
+		}
+		return strings.Join(note, " ")
+	}
+	return ""
+}
+
+// rewrites maps the two legacy entry points to their Query spelling.
+var rewrites = map[string]struct {
+	spec    string // format: qualifier, arg0, arg1
+	flatten string // ResultSet converter restoring the legacy shape
+}{
+	"BestAlternates": {
+		spec:    "%[1]sQuerySpec{Metric: %[2]s, MaxVia: %[3]s}",
+		flatten: "PairResults",
+	},
+	"BestBandwidthAlternates": {
+		spec:    "%[1]sQuerySpec{Bandwidth: &%[1]sBandwidthQuery{Model: %[2]s, Mode: %[3]s}}",
+		flatten: "BandwidthResults",
+	},
+}
+
+// buildQueryFix constructs the mechanical rewrite for
+//
+//	res, err := recv.BestAlternates(metric, maxVia)
+//
+// into
+//
+//	rs, err := recv.Query(QuerySpec{Metric: metric, MaxVia: maxVia})
+//	res := rs.PairResults()
+//
+// (Query returns a value ResultSet whose converters are nil-safe on
+// the zero value, so hoisting the flatten above the caller's err check
+// preserves behavior.) Returns nil when the callee or statement shape
+// is not rewritable.
+func buildQueryFix(pass *lint.Pass, file *ast.File, assign *ast.AssignStmt, call *ast.CallExpr, callee *types.Func, namer *namer) (*lint.SuggestedFix, error) {
+	rw, ok := rewrites[callee.Name()]
+	if !ok || callee.Signature().Recv() == nil || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	resID, ok1 := assign.Lhs[0].(*ast.Ident)
+	errID, ok2 := assign.Lhs[1].(*ast.Ident)
+	if !ok1 || !ok2 {
+		return nil, nil
+	}
+	prog := pass.Prog
+	recv, err := prog.Source(sel.X.Pos(), sel.X.End())
+	if err != nil {
+		return nil, err
+	}
+	arg0, err := prog.Source(call.Args[0].Pos(), call.Args[0].End())
+	if err != nil {
+		return nil, err
+	}
+	arg1, err := prog.Source(call.Args[1].Pos(), call.Args[1].End())
+	if err != nil {
+		return nil, err
+	}
+	indent, err := prog.Indentation(assign.Pos())
+	if err != nil {
+		return nil, err
+	}
+	qual := packageQualifier(pass, file, callee.Pkg())
+	spec := fmt.Sprintf(rw.spec, qual, arg0, arg1)
+	var text string
+	if resID.Name == "_" {
+		// The results are discarded; no flatten line needed.
+		text = fmt.Sprintf("_, %s := %s.Query(%s)", errID.Name, recv, spec)
+	} else {
+		rs := namer.fresh("rs")
+		text = fmt.Sprintf("%s, %s := %s.Query(%s)\n%s%s := %s.%s()",
+			rs, errID.Name, recv, spec, indent, resID.Name, rs, rw.flatten)
+	}
+	return &lint.SuggestedFix{
+		Message: fmt.Sprintf("rewrite %s call to Query + %s", callee.Name(), rw.flatten),
+		Edits:   []lint.TextEdit{{Pos: assign.Pos(), End: assign.End(), NewText: text}},
+	}, nil
+}
+
+// packageQualifier resolves how pkg is referred to from the current
+// file: "" within the declaring package, otherwise the import's local
+// name (alias or package name) plus a dot.
+func packageQualifier(pass *lint.Pass, file *ast.File, pkg *types.Package) string {
+	if pkg == nil || pkg == pass.Pkg {
+		return ""
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != pkg.Path() {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name + "."
+		}
+		return pkg.Name() + "."
+	}
+	return pkg.Name() + "."
+}
+
+// A namer hands out identifier names that collide with nothing in the
+// enclosing function (nor with its own previous picks), so multi-fix
+// rewrites stay compilable.
+type namer struct {
+	used map[string]bool
+}
+
+func newNamer(pass *lint.Pass, fn *ast.FuncDecl) *namer {
+	n := &namer{used: map[string]bool{}}
+	ast.Inspect(fn, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok {
+			n.used[id.Name] = true
+		}
+		return true
+	})
+	return n
+}
+
+func (n *namer) fresh(base string) string {
+	if !n.used[base] {
+		n.used[base] = true
+		return base
+	}
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s%d", base, i)
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}

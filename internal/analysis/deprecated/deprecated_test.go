@@ -1,0 +1,12 @@
+package deprecated_test
+
+import (
+	"testing"
+
+	"pathsel/internal/analysis/deprecated"
+	"pathsel/internal/analysis/linttest"
+)
+
+func TestDeprecated(t *testing.T) {
+	linttest.Run(t, deprecated.Analyzer, "deprecated")
+}

@@ -1,0 +1,53 @@
+// Package deprecated exercises the deprecated analyzer: callers of the
+// aux package's Deprecated: APIs are flagged, and the two legacy query
+// entry points carry a mechanical fix to the Query form (asserted
+// against a.go.golden).
+package deprecated
+
+import (
+	"deprecatedaux"
+)
+
+func fixable(a *deprecatedaux.Analyzer) ([]deprecatedaux.PairResult, error) {
+	res, err := a.BestAlternates(deprecatedaux.MetricRTT, 2) // want `call to deprecated BestAlternates`
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func fixableBandwidth(a *deprecatedaux.Analyzer) ([]deprecatedaux.BandwidthResult, error) {
+	res, err := a.BestBandwidthAlternates(deprecatedaux.ModelReno, deprecatedaux.ModeBulk) // want `call to deprecated BestBandwidthAlternates`
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// collision proves the rewrite picks a fresh name when rs is taken.
+func collision(a *deprecatedaux.Analyzer) int {
+	rs := 7
+	res, err := a.BestAlternates(deprecatedaux.MetricLoss, rs) // want `call to deprecated BestAlternates`
+	if err != nil {
+		return 0
+	}
+	return len(res) + rs
+}
+
+// discarded keeps only the error: the fix needs no flatten line.
+func discarded(a *deprecatedaux.Analyzer) error {
+	_, err := a.BestAlternates(deprecatedaux.MetricRTT, 1) // want `call to deprecated BestAlternates`
+	return err
+}
+
+// notFixable is flagged but carries no fix: OldCost has no mechanical
+// Query spelling.
+func notFixable() int {
+	return deprecatedaux.OldCost(3) // want `call to deprecated OldCost`
+}
+
+// allowed shows the escape hatch for a deliberate legacy call.
+func allowed() int {
+	//repolint:allow deprecated -- benchmarking the legacy entry point on purpose
+	return deprecatedaux.OldCost(4)
+}

@@ -1,0 +1,73 @@
+// Package deprecatedaux mimics the core package's retired query
+// surface: a unified Query entry point plus Deprecated: adapters kept
+// as one-line wrappers over it, exactly the shape PR 7 left behind.
+package deprecatedaux
+
+type Metric int
+
+const (
+	MetricRTT Metric = iota
+	MetricLoss
+)
+
+type Model int
+
+const ModelReno Model = 0
+
+type BandwidthMode int
+
+const ModeBulk BandwidthMode = 0
+
+type PairResult struct{ Src, Dst int }
+
+type BandwidthResult struct{ Src, Dst int }
+
+type BandwidthQuery struct {
+	Model Model
+	Mode  BandwidthMode
+}
+
+type QuerySpec struct {
+	Metric    Metric
+	MaxVia    int
+	Bandwidth *BandwidthQuery
+}
+
+// ResultSet's converters are nil-safe on the zero value, which is what
+// makes hoisting them above the caller's error check sound.
+type ResultSet struct {
+	pairs []PairResult
+	bw    []BandwidthResult
+}
+
+func (rs ResultSet) PairResults() []PairResult           { return rs.pairs }
+func (rs ResultSet) BandwidthResults() []BandwidthResult { return rs.bw }
+
+type Analyzer struct{}
+
+func (a *Analyzer) Query(spec QuerySpec) (ResultSet, error) {
+	return ResultSet{}, nil
+}
+
+// BestAlternates returns the best alternate per pair.
+//
+// Deprecated: use Query with a QuerySpec; this adapter will be removed.
+func (a *Analyzer) BestAlternates(metric Metric, maxVia int) ([]PairResult, error) {
+	rs, err := a.Query(QuerySpec{Metric: metric, MaxVia: maxVia})
+	return rs.PairResults(), err
+}
+
+// BestBandwidthAlternates returns the best bandwidth alternate per pair.
+//
+// Deprecated: use Query with a Bandwidth spec.
+func (a *Analyzer) BestBandwidthAlternates(model Model, mode BandwidthMode) ([]BandwidthResult, error) {
+	rs, err := a.Query(QuerySpec{Bandwidth: &BandwidthQuery{Model: model, Mode: mode}})
+	return rs.BandwidthResults(), err
+}
+
+// OldCost is the legacy scalar cost with no mechanical rewrite.
+//
+// Deprecated: use Cost.
+func OldCost(v int) int { return Cost(v) }
+
+func Cost(v int) int { return v }

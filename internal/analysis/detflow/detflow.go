@@ -1,0 +1,134 @@
+// Package detflow defines the interprocedural generalization of
+// detrand: the determinism contract must hold across *compositions* of
+// helpers, not just line by line. detrand flags a direct time.Now()
+// inside a deterministic package; detflow flags a call from a
+// deterministic package to a helper — declared in any package of the
+// program — whose transitive call graph reaches the wall clock or the
+// global math/rand generator. Without it, hoisting a banned call into
+// a utility package silently launders the nondeterminism past the
+// per-package check.
+package detflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pathsel/internal/analysis/detrand"
+	"pathsel/internal/analysis/lint"
+)
+
+// Analyzer flags calls in deterministic packages whose callees
+// transitively reach a nondeterminism source.
+var Analyzer = &lint.Analyzer{
+	Name: "detflow",
+	Doc: "flag calls from deterministic packages to helpers (in any package) that transitively reach " +
+		"time.Now/Since/Until or the global math/rand state; the determinism contract must survive composition",
+	Run: run,
+}
+
+// isSource reports the nondeterminism roots, mirroring detrand's
+// per-line rules: wall-clock reads and the hidden global generator
+// (constructors of seeded generators are the sanctioned path).
+func isSource(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"
+	case "math/rand", "math/rand/v2":
+		return !strings.HasPrefix(fn.Name(), "New")
+	}
+	return false
+}
+
+// taintKey keys the shared whole-program taint fact.
+type taintKey struct{}
+
+func run(pass *lint.Pass) error {
+	if !detrand.Packages[pass.Path] || pass.Prog == nil {
+		return nil
+	}
+	g := pass.Prog.CallGraph()
+	taint := pass.Prog.Cached(taintKey{}, func() any { return g.Taint(isSource) }).(*lint.Taint)
+
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := g.Node(fn)
+			if node == nil {
+				continue
+			}
+			reportTaintedCalls(pass, taint, node)
+		}
+	}
+	return nil
+}
+
+// reportTaintedCalls walks one function's outgoing edges and reports
+// each call site whose callee is tainted. Sites are grouped so an
+// interface call expanded to several implementations yields one
+// diagnostic (for the alphabetically first tainted callee), and three
+// exclusions keep detflow complementary to detrand rather than an
+// echo of it:
+//   - callees that *are* sources (detrand already flags the line);
+//   - callees inside the deterministic set (their own bodies are
+//     where detrand/detflow report the real violation);
+//   - call sites in test files.
+func reportTaintedCalls(pass *lint.Pass, taint *lint.Taint, node *lint.CallNode) {
+	reported := map[*ast.CallExpr]bool{}
+	for _, e := range node.Out {
+		if reported[e.Site] || pass.InTestFile(e.Site.Pos()) {
+			continue
+		}
+		callee := e.Callee.Func
+		if isSource(callee) || !taint.Tainted(callee) {
+			continue
+		}
+		if callee.Pkg() != nil && detrand.Packages[callee.Pkg().Path()] {
+			continue
+		}
+		reported[e.Site] = true
+		pass.Reportf(e.Site.Pos(), "call to %s reaches a nondeterminism source (%s); deterministic packages must derive all state from the seed",
+			displayName(callee), chain(taint.Path(callee)))
+	}
+}
+
+// chain renders a witness path "helper → deeper → time.Now".
+func chain(path []*types.Func) string {
+	names := make([]string, len(path))
+	for i, fn := range path {
+		names[i] = displayName(fn)
+	}
+	return strings.Join(names, " → ")
+}
+
+// displayName renders pkg.Func or pkg.Type.Method without the module
+// prefix noise.
+func displayName(fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Signature().Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

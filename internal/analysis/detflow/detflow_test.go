@@ -1,0 +1,18 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"pathsel/internal/analysis/detflow"
+	"pathsel/internal/analysis/detrand"
+	"pathsel/internal/analysis/linttest"
+)
+
+func TestDetflow(t *testing.T) {
+	// The fixture's deterministic package is "detflow"; its helper
+	// package "detflowaux" deliberately is not, so taint must cross the
+	// package boundary to be seen.
+	detrand.Packages["detflow"] = true
+	defer delete(detrand.Packages, "detflow")
+	linttest.Run(t, detflow.Analyzer, "detflow")
+}

@@ -1,0 +1,49 @@
+// Package detflow is the deterministic fixture package: calls to
+// helpers that transitively reach a nondeterminism source are
+// violations, clean helpers and annotated escapes are not.
+package detflow
+
+import "detflowaux"
+
+func badDirectHelper() int64 {
+	return detflowaux.Stamp() // want `call to detflowaux.Stamp reaches a nondeterminism source \(detflowaux.Stamp → time.Now\)`
+}
+
+func badGlobalRandHelper(n int) int {
+	return detflowaux.Jitter(n) // want `call to detflowaux.Jitter reaches a nondeterminism source \(detflowaux.Jitter → rand.Intn\)`
+}
+
+func badTwoHops() int64 {
+	return detflowaux.Indirect() // want `detflowaux.Indirect → detflowaux.Stamp → time.Now`
+}
+
+func badInClosure() func() int64 {
+	return func() int64 {
+		return detflowaux.Stamp() // want `call to detflowaux.Stamp reaches a nondeterminism source`
+	}
+}
+
+func badViaInterface(t detflowaux.Ticker) int64 {
+	return t.Tick() // want `call to detflowaux.WallTicker.Tick reaches a nondeterminism source`
+}
+
+func goodHelpers(seed int64, n int) int {
+	return detflowaux.Pure(1, 2) + detflowaux.Seeded(seed, n)
+}
+
+func goodConcreteClean(f detflowaux.FixedTicker) int64 {
+	return f.Tick() // concrete receiver, clean implementation
+}
+
+func localHelper(x int) int { return x * 2 }
+
+func goodLocalCall(x int) int {
+	// Calls within the deterministic set are detrand/detflow's job at
+	// the callee's own body, not at this call site.
+	return localHelper(x)
+}
+
+func allowedEscape() int64 {
+	//repolint:allow detflow -- fixture: demonstrating the escape hatch
+	return detflowaux.Stamp()
+}

@@ -1,0 +1,41 @@
+// Package detflowaux is the helper package of the detflow fixture: it
+// is NOT in the deterministic set, so nothing here is flagged — but
+// several of its helpers reach nondeterminism sources, and calls to
+// them from the deterministic fixture package must be.
+package detflowaux
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: directly tainted.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter draws from the process-wide generator: directly tainted.
+func Jitter(n int) int { return rand.Intn(n) }
+
+// Indirect reaches the clock through another hop: transitively tainted.
+func Indirect() int64 { return Stamp() + 1 }
+
+// Pure is clean arithmetic.
+func Pure(a, b int) int { return a + b }
+
+// Seeded draws from an explicitly seeded generator: clean.
+func Seeded(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}
+
+// Ticker is implemented by one tainted and one clean type, so an
+// interface call resolves (via CHA) to both.
+type Ticker interface{ Tick() int64 }
+
+// WallTicker reads the clock.
+type WallTicker struct{}
+
+func (WallTicker) Tick() int64 { return Stamp() }
+
+// FixedTicker is deterministic.
+type FixedTicker struct{ V int64 }
+
+func (f FixedTicker) Tick() int64 { return f.V }

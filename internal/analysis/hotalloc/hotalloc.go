@@ -1,0 +1,189 @@
+// Package hotalloc defines an analyzer enforcing the scratch-arena
+// contract on the repo's hot kernels: functions annotated
+//
+//	//repolint:hotpath
+//
+// (the CSR search/relax loops, the Yen spur search, the landmark
+// Dijkstras) run per pair inside batched analyses, so a single
+// allocation in one of them multiplies by millions of pairs and
+// becomes the dominant cost PR 1 and PR 6 engineered away with pooled
+// scratches. The analyzer flags the constructs that introduce
+// allocations — make, new, append, slice/map composite literals,
+// &T{}, capturing closures, and concrete-to-interface boxing at call
+// sites — inside annotated functions. Deliberate allocations (e.g.
+// amortized growth of a pooled backing array) stay visible behind
+// //repolint:allow with a reason.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pathsel/internal/analysis/lint"
+)
+
+// Analyzer flags allocation-introducing constructs in functions
+// annotated //repolint:hotpath.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-introducing constructs (make/new/append, slice/map literals, capturing closures, " +
+		"interface boxing) inside functions annotated //repolint:hotpath; hot kernels must run on pooled scratch",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !lint.HasDirective(fn.Doc, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, e)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, e)
+		case *ast.UnaryExpr:
+			// &T{} heap-allocates; the composite-lit case below skips
+			// plain struct literals, so catch the addressed form here.
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "&composite literal allocates in a hot path; reuse a pooled object instead")
+				}
+			}
+		case *ast.FuncLit:
+			checkClosure(pass, fn, e)
+			return false // the literal's own body belongs to the closure
+		}
+		return true
+	})
+}
+
+// checkCall flags the allocating builtins and concrete-to-interface
+// boxing of arguments.
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in a hot path; write into preallocated scratch")
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in a hot path; hoist the buffer into the search scratch")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in a hot path; reuse a pooled object instead")
+			}
+			return
+		}
+	}
+	// Type conversions: flag conversions to interface types.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			pass.Reportf(call.Pos(), "conversion to interface boxes the value (allocates) in a hot path")
+		}
+		return
+	}
+	// Ordinary calls: a concrete argument passed to an interface
+	// parameter is boxed at the call boundary.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) {
+			continue
+		}
+		if isUntypedNil(pass, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it (allocates) in a hot path", types.TypeString(at, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// checkCompositeLit flags slice and map literals; plain struct
+// literals by value live on the stack and pass.
+func checkCompositeLit(pass *lint.Pass, lit *ast.CompositeLit) {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates in a hot path; hoist it to a package var or scratch field")
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates in a hot path; hoist it out or use a dense index")
+	}
+}
+
+// checkClosure flags function literals that capture variables from the
+// enclosing function — those closures heap-allocate their environment
+// per execution. Non-capturing literals compile to static functions
+// and pass.
+func checkClosure(pass *lint.Pass, enclosing *ast.FuncDecl, lit *ast.FuncLit) {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function (params,
+		// receiver, locals) but outside the literal itself.
+		if v.Pos() >= enclosing.Pos() && v.Pos() < enclosing.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured = id.Name
+		}
+		return true
+	})
+	if captured != "" {
+		pass.Reportf(lit.Pos(), "closure captures %s and allocates its environment in a hot path; pass state explicitly or hoist the func", captured)
+	}
+}
+
+// isUntypedNil reports whether e is the untyped nil literal.
+func isUntypedNil(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

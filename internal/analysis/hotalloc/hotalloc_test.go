@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"pathsel/internal/analysis/hotalloc"
+	"pathsel/internal/analysis/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "hotalloc")
+}

@@ -1,0 +1,68 @@
+// Package hotalloc is a fixture for the hotalloc analyzer: the
+// annotated function demonstrates every flagged construct; the
+// unannotated one allocates freely without a peep.
+package hotalloc
+
+func sink(v any)      {}
+func sinkInt(v int)   {}
+func sinkErr(e error) {}
+
+type boxed struct{ v int }
+
+func (b boxed) Error() string { return "boxed" }
+
+// relax is a stand-in for a CSR relaxation kernel.
+//
+//repolint:hotpath
+func relax(dist []float64, frontier []int32, n int) {
+	buf := make([]int32, n) // want `make allocates in a hot path`
+	_ = buf
+	frontier = append(frontier, 0) // want `append may grow its backing array`
+	seen := map[int32]bool{}       // want `map literal allocates in a hot path`
+	_ = seen
+	weights := []float64{1, 2} // want `slice literal allocates in a hot path`
+	_ = weights
+	p := new(boxed) // want `new allocates in a hot path`
+	_ = p
+	q := &boxed{v: 1} // want `&composite literal allocates`
+	_ = q
+	f := func() { dist[0] = 0 } // want `closure captures dist and allocates its environment`
+	f()
+	sink(n)                // want `passing int to interface parameter boxes it`
+	sinkErr(boxed{v: 2})   // want `passing boxed to interface parameter boxes it`
+	_ = error(boxed{v: 3}) // want `conversion to interface boxes the value`
+}
+
+// stackOnly shows the constructs that stay quiet: stack values,
+// non-capturing closures, nil interfaces, pre-sized writes.
+//
+//repolint:hotpath
+func stackOnly(dist []float64, scratch []int32) {
+	b := boxed{v: 1} // struct literal by value: stack
+	_ = b
+	g := func(i int) int { return i * 2 } // captures nothing: static func
+	sinkInt(g(1))
+	sinkErr(nil) // untyped nil boxes nothing
+	for i := range scratch {
+		scratch[i] = int32(i) // writing into preallocated scratch
+	}
+	dist[0] = 0
+}
+
+// amortized demonstrates the escape hatch for a deliberate allocation.
+//
+//repolint:hotpath
+func amortized(heap []int32, v int32) []int32 {
+	//repolint:allow hotalloc -- amortized growth reuses the pooled backing array across searches
+	heap = append(heap, v)
+	return heap
+}
+
+// coldPath is not annotated: allocation is free to happen.
+func coldPath(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

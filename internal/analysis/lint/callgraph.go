@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file gives the framework its interprocedural spine: a CHA-style
+// call graph over the loaded program and a forward taint engine on top
+// of it. Class-hierarchy analysis resolves an interface method call to
+// every loaded concrete type implementing the interface — sound for
+// code whose implementations are all in the load, deliberately
+// over-approximate (a call site may gain callees that can never run
+// there), and cheap enough to build once per repolint invocation.
+//
+// Known unsoundness, accepted and documented in DESIGN.md §12: calls
+// through function *values* (parameters, struct fields, map entries)
+// and reflection are not edges, and bodies of packages outside the
+// load (the stdlib) are opaque — their functions are graph leaves.
+// Closures are attributed to their enclosing declared function: a
+// FuncLit's calls become edges out of the declaration it lexically
+// sits in, which is exactly the granularity //repolint:allow and the
+// analyzers' reports work at.
+
+// A CallGraph is the program-wide static call graph.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+}
+
+// A CallNode is one function (declared in the program, or referenced
+// as a leaf — e.g. a stdlib function) with its in/out edges.
+type CallNode struct {
+	Func *types.Func
+	// Decl is the function's declaration when its package is in the
+	// program; nil for leaves.
+	Decl *ast.FuncDecl
+	// Pkg is the loaded package declaring the function, nil for leaves.
+	Pkg *Package
+	Out []*CallEdge
+	In  []*CallEdge
+}
+
+// A CallEdge connects a call site in Caller to one possible Callee.
+type CallEdge struct {
+	Caller, Callee *CallNode
+	// Site is the *ast.CallExpr (inside go and defer statements too).
+	Site *ast.CallExpr
+	// Dynamic marks edges resolved by class-hierarchy analysis of an
+	// interface method call: one edge per implementing type.
+	Dynamic bool
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (p *Program) CallGraph() *CallGraph {
+	p.cgOnce.Do(func() { p.cg = buildCallGraph(p) })
+	return p.cg
+}
+
+// Node returns the graph node for f (or its generic origin), nil if f
+// never appears in the program.
+func (g *CallGraph) Node(f *types.Func) *CallNode {
+	if f == nil {
+		return nil
+	}
+	return g.nodes[canonicalFunc(f)]
+}
+
+// Decl returns the program-local declaration of f, nil for leaves.
+func (g *CallGraph) Decl(f *types.Func) *ast.FuncDecl {
+	if n := g.Node(f); n != nil {
+		return n.Decl
+	}
+	return nil
+}
+
+// canonicalFunc maps instantiated generic functions back to their
+// declared origin so edges and facts agree on one object per function.
+func canonicalFunc(f *types.Func) *types.Func {
+	if o := f.Origin(); o != nil {
+		return o
+	}
+	return f
+}
+
+func (g *CallGraph) node(f *types.Func) *CallNode {
+	f = canonicalFunc(f)
+	n, ok := g.nodes[f]
+	if !ok {
+		n = &CallNode{Func: f}
+		g.nodes[f] = n
+	}
+	return n
+}
+
+func (g *CallGraph) edge(caller *CallNode, callee *types.Func, site *ast.CallExpr, dynamic bool) {
+	to := g.node(callee)
+	e := &CallEdge{Caller: caller, Callee: to, Site: site, Dynamic: dynamic}
+	caller.Out = append(caller.Out, e)
+	to.In = append(to.In, e)
+}
+
+func buildCallGraph(p *Program) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*CallNode{}}
+	// Pass 1: a node per declared function, so CHA method lookup and
+	// taint seeding see every candidate even before any edge exists.
+	for _, pkg := range p.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := g.node(fn)
+				n.Decl, n.Pkg = fd, pkg
+			}
+		}
+	}
+	concrete := collectConcreteTypes(p)
+	// Pass 2: edges out of every declared body. Closure bodies are
+	// attributed to the enclosing declaration (see package comment).
+	for _, pkg := range p.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				caller := g.node(fn)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						g.resolveCall(pkg, caller, call, concrete)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// resolveCall adds edges for one call expression: direct calls and
+// package-qualified calls resolve statically; interface method calls
+// expand to every loaded implementation (CHA). Calls through function
+// values, builtins, and type conversions add no edges.
+func (g *CallGraph) resolveCall(pkg *Package, caller *CallNode, call *ast.CallExpr, concrete []types.Type) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			g.edge(caller, fn, call, false)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return // field of function type: a dynamic call
+			}
+			if types.IsInterface(sel.Recv()) {
+				g.expandInterfaceCall(caller, sel.Recv(), fn, call, concrete)
+			} else {
+				g.edge(caller, fn, call, false)
+			}
+			return
+		}
+		// No selection: pkg-qualified call like time.Now().
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			g.edge(caller, fn, call, false)
+		}
+	}
+}
+
+// expandInterfaceCall adds one dynamic edge per concrete loaded type
+// that implements the receiver interface, targeting that type's own
+// method.
+func (g *CallGraph) expandInterfaceCall(caller *CallNode, recv types.Type, m *types.Func, call *ast.CallExpr, concrete []types.Type) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	for _, t := range concrete {
+		if !types.Implements(t, iface) && !types.Implements(types.NewPointer(t), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, m.Pkg(), m.Name())
+		if impl, ok := obj.(*types.Func); ok {
+			g.edge(caller, impl, call, true)
+		}
+	}
+}
+
+// collectConcreteTypes gathers every non-interface named type declared
+// in the program, in a deterministic order, as the class hierarchy CHA
+// dispatches over.
+func collectConcreteTypes(p *Program) []types.Type {
+	var out []types.Type
+	var names []string
+	for _, pkg := range p.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, obj := range pkg.Info.Defs {
+			tn, ok := obj.(*types.TypeName)
+			if !ok || tn.IsAlias() || tn.Pkg() == nil {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			out = append(out, named)
+			// Position breaks ties between same-named local types.
+			names = append(names, fmt.Sprintf("%s.%s.%d", tn.Pkg().Path(), tn.Name(), tn.Pos()))
+		}
+	}
+	sort.Sort(&typesByName{out, names})
+	return out
+}
+
+type typesByName struct {
+	ts    []types.Type
+	names []string
+}
+
+func (s *typesByName) Len() int           { return len(s.ts) }
+func (s *typesByName) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *typesByName) Swap(i, j int) {
+	s.ts[i], s.ts[j] = s.ts[j], s.ts[i]
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+}
+
+// sortedNodes returns the graph's nodes ordered by full name then
+// position, so every whole-program iteration is deterministic.
+func (g *CallGraph) sortedNodes() []*CallNode {
+	nodes := make([]*CallNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		ni, nj := nodes[i].Func.FullName(), nodes[j].Func.FullName()
+		if ni != nj {
+			return ni < nj
+		}
+		return nodes[i].Func.Pos() < nodes[j].Func.Pos()
+	})
+	return nodes
+}
+
+// A Taint is the result of one backward reachability propagation: the
+// set of functions from which some source function is reachable
+// through call edges, with a witness path per tainted function.
+type Taint struct {
+	// next maps each tainted function to its successor on a shortest
+	// witness path toward a source (nil successor = is a source).
+	next map[*types.Func]*types.Func
+}
+
+// Taint propagates "can reach a source" backward over the call graph:
+// a function is tainted if isSource reports it, or if any of its
+// callees is tainted. The BFS order is deterministic, so witness paths
+// are stable run to run.
+func (g *CallGraph) Taint(isSource func(*types.Func) bool) *Taint {
+	t := &Taint{next: map[*types.Func]*types.Func{}}
+	var queue []*CallNode
+	for _, n := range g.sortedNodes() {
+		if isSource(n.Func) {
+			t.next[n.Func] = nil
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.In {
+			caller := e.Caller
+			if _, seen := t.next[caller.Func]; seen {
+				continue
+			}
+			t.next[caller.Func] = n.Func
+			queue = append(queue, caller)
+		}
+	}
+	return t
+}
+
+// Tainted reports whether f can reach a source.
+func (t *Taint) Tainted(f *types.Func) bool {
+	_, ok := t.next[canonicalFunc(f)]
+	return ok
+}
+
+// Path returns a witness call chain from f to a source, inclusive:
+// [f, ..., source]. Nil if f is not tainted.
+func (t *Taint) Path(f *types.Func) []*types.Func {
+	f = canonicalFunc(f)
+	if _, ok := t.next[f]; !ok {
+		return nil
+	}
+	var path []*types.Func
+	for f != nil {
+		path = append(path, f)
+		f = t.next[f]
+	}
+	return path
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by diags and returns
+// the rewritten content of each touched file. Edits are validated
+// against the FileSet, sorted, and checked for overlap: two fixes
+// touching the same bytes are a conflict, reported as an error rather
+// than silently mangling source. read supplies original file contents
+// (os.ReadFile in the driver; a fixture snapshot in tests).
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, read func(string) ([]byte, error)) (map[string][]byte, error) {
+	type span struct {
+		start, end int
+		text       string
+	}
+	perFile := map[string][]span{}
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.Edits {
+				if !e.Pos.IsValid() || e.End < e.Pos {
+					return nil, fmt.Errorf("lint: invalid edit range in fix %q", fix.Message)
+				}
+				pos, end := fset.Position(e.Pos), fset.Position(e.End)
+				if end.Filename != pos.Filename {
+					return nil, fmt.Errorf("lint: edit in fix %q spans files %s and %s", fix.Message, pos.Filename, end.Filename)
+				}
+				perFile[pos.Filename] = append(perFile[pos.Filename], span{pos.Offset, end.Offset, e.NewText})
+			}
+		}
+	}
+	out := map[string][]byte{}
+	files := make([]string, 0, len(perFile))
+	for name := range perFile {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		spans := perFile[name]
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].end < spans[j].end
+		})
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end {
+				return nil, fmt.Errorf("lint: conflicting fixes in %s around offset %d", name, spans[i].start)
+			}
+		}
+		src, err := read(name)
+		if err != nil {
+			return nil, err
+		}
+		var buf []byte
+		last := 0
+		for _, s := range spans {
+			if s.end > len(src) {
+				return nil, fmt.Errorf("lint: edit past end of %s", name)
+			}
+			buf = append(buf, src[last:s.start]...)
+			buf = append(buf, s.text...)
+			last = s.end
+		}
+		buf = append(buf, src[last:]...)
+		out[name] = buf
+	}
+	return out, nil
+}
+
+// WriteFixes applies the fixes in diags to the files on disk in place,
+// returning the rewritten file names, sorted.
+func WriteFixes(fset *token.FileSet, diags []Diagnostic) ([]string, error) {
+	fixed, err := ApplyFixes(fset, diags, os.ReadFile)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(fixed))
+	for name := range fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(name, fixed[name], info.Mode().Perm()); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}

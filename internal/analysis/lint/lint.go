@@ -24,8 +24,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one named check over a type-checked package.
@@ -47,6 +49,24 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// SuggestedFixes are machine-applicable rewrites resolving the
+	// finding, applied by `repolint -fix` and asserted against golden
+	// files by linttest. Most diagnostics carry none.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained rewrite: applying all of its
+// edits together resolves the diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+// Pos == End inserts.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 // A Package is one loaded, parsed, type-checked package ready for
@@ -67,6 +87,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the whole loaded program when the pass runs under
+	// Program.Run (always, for the repolint driver and linttest); it
+	// carries the shared call graph and taint facts the
+	// interprocedural analyzers consume.
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -76,6 +101,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
 }
 
+// Report records a fully-formed finding (typically one carrying
+// suggested fixes). The Analyzer field is filled in from the pass.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
 // InTestFile reports whether pos lies in a _test.go file. Several
 // analyzers exempt tests: tests may legitimately consult wall clocks,
 // use throwaway contexts, or compare floats they just constructed.
@@ -83,31 +115,143 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
-// Run applies every analyzer to pkg, drops findings suppressed by
-// //repolint:allow directives, and returns the rest sorted by position.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	allow := collectAllows(pkg)
+// A Program is one shared load: every package the analyzers will
+// inspect, plus lazily-built whole-program facts (the call graph,
+// taint sets, source bytes) computed once and reused by every
+// analyzer. The repolint driver builds one Program per invocation —
+// that single type-checked load is what every analyzer shares.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	cgOnce sync.Once
+	cg     *CallGraph
+
+	mu    sync.Mutex
+	src   map[string][]byte
+	cache map[any]any
+}
+
+// NewProgram bundles the loaded packages into one analyzable program.
+// The packages must share one FileSet (one Loader guarantees this).
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{Pkgs: pkgs, src: map[string][]byte{}, cache: map[any]any{}}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	return p
+}
+
+// Package returns the loaded package with the given import path, or
+// nil. Only packages named in the load are present — not their
+// imports' imports.
+func (p *Program) Package(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Cached memoizes a whole-program fact under key: the first caller's
+// build result is returned to every later caller. Analyzers use it so
+// per-package Run invocations share one computation (e.g. one taint
+// propagation) across the program.
+func (p *Program) Cached(key any, build func() any) any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	v := build()
+	p.cache[key] = v
+	return v
+}
+
+// FileContent returns (and caches) the raw bytes of a source file the
+// program was parsed from. Fix builders read it to splice original
+// expression text into rewrites.
+func (p *Program) FileContent(name string) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.src[name]; ok {
+		return b, nil
+	}
+	b, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	p.src[name] = b
+	return b, nil
+}
+
+// Source returns the original source text in [pos, end).
+func (p *Program) Source(pos, end token.Pos) (string, error) {
+	start, stop := p.Fset.Position(pos), p.Fset.Position(end)
+	if start.Filename != stop.Filename {
+		return "", fmt.Errorf("lint: source range spans files %s and %s", start.Filename, stop.Filename)
+	}
+	b, err := p.FileContent(start.Filename)
+	if err != nil {
+		return "", err
+	}
+	if stop.Offset > len(b) || start.Offset > stop.Offset {
+		return "", fmt.Errorf("lint: source range [%d, %d) out of bounds for %s", start.Offset, stop.Offset, start.Filename)
+	}
+	return string(b[start.Offset:stop.Offset]), nil
+}
+
+// Indentation returns the leading whitespace of the line pos sits on,
+// so inserted statements can match the surrounding indentation.
+func (p *Program) Indentation(pos token.Pos) (string, error) {
+	at := p.Fset.Position(pos)
+	b, err := p.FileContent(at.Filename)
+	if err != nil {
+		return "", err
+	}
+	lineStart := at.Offset - (at.Column - 1)
+	if lineStart < 0 || at.Offset > len(b) {
+		return "", fmt.Errorf("lint: position out of bounds for %s", at.Filename)
+	}
+	indent := b[lineStart:at.Offset]
+	for _, c := range indent {
+		if c != ' ' && c != '\t' {
+			return "", nil // mid-line position: no usable indent
+		}
+	}
+	return string(indent), nil
+}
+
+// Run applies every analyzer to every package of the program, drops
+// findings suppressed by //repolint:allow directives, and returns the
+// rest sorted by position.
+func (p *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Path:     pkg.Path,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-		}
-		pass.report = func(d Diagnostic) {
-			if !allow.suppressed(pkg.Fset, d) {
-				diags = append(diags, d)
+	for _, pkg := range p.Pkgs {
+		allow := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Prog:     p,
 			}
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			pass.report = func(d Diagnostic) {
+				if !allow.suppressed(pkg.Fset, d) {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		pi, pj := p.Fset.Position(diags[i].Pos), p.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -120,6 +264,32 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
 	return diags, nil
+}
+
+// Run applies every analyzer to the single package pkg. It wraps a
+// one-package Program; analyzers needing cross-package facts see only
+// pkg. The multichecker and linttest use Program.Run directly.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return NewProgram([]*Package{pkg}).Run(analyzers)
+}
+
+// directivePrefix introduces every repolint source annotation
+// (//repolint:allow, //repolint:hotpath, ...).
+const directivePrefix = "//repolint:"
+
+// HasDirective reports whether the comment group contains the given
+// repolint directive (e.g. "hotpath"), ignoring any arguments after it.
+func HasDirective(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix+name)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
 }
 
 // allowKey locates one //repolint:allow directive: a (file, line,

@@ -16,21 +16,59 @@ import (
 	"strings"
 )
 
-// A Loader parses and type-checks packages for analysis. It wraps the
-// standard library's source importer, so it needs no network, no
-// module downloads, and no compiled export data: imports (both stdlib
-// and in-module) are resolved by type-checking their sources, and the
-// importer's cache makes loading every package of this module a
-// few-second, one-process operation.
+// A Loader parses and type-checks packages for analysis, sharing one
+// FileSet and one type-check cache across every package it touches. It
+// needs no network, no module downloads, and no compiled export data:
+// in-module imports are resolved by type-checking their sources through
+// the same cache the analyzers read (so a *types.Func seen at a call
+// site in one package is the identical object the defining package's
+// AST maps to — the property the call graph depends on), and stdlib
+// imports fall back to the standard source importer. Each package is
+// checked exactly once per Loader no matter how many importers and
+// analyzers ask for it.
 type Loader struct {
 	fset *token.FileSet
 	conf types.Config
+
+	// fallback resolves packages outside the module (the stdlib).
+	fallback types.Importer
+
+	// pkgs caches every package this loader has checked, by import
+	// path. Both Load/LoadDir results and import resolution share it.
+	pkgs map[string]*Package
+
+	// filesOf maps import paths go list reported to their non-test Go
+	// files; dirs resolved another way are scanned directly.
+	filesOf map[string][]string
+
+	// modPath/modDir locate the enclosing module so in-module import
+	// paths can be resolved to directories even when go list did not
+	// report them explicitly.
+	modPath, modDir string
+
+	// sourceRoot, when set, resolves otherwise-unknown import paths as
+	// subdirectories of this root — the fixture convention: a package
+	// "aux" imported by a testdata fixture lives at sourceRoot/aux.
+	sourceRoot string
 }
 
-// NewLoader returns a Loader with a fresh FileSet and import cache.
+// NewLoader returns a Loader with a fresh FileSet and empty cache.
 func NewLoader() *Loader {
-	l := &Loader{fset: token.NewFileSet()}
-	l.conf = types.Config{Importer: importer.ForCompiler(l.fset, "source", nil)}
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*Package{},
+		filesOf: map[string][]string{},
+	}
+	l.fallback = importer.ForCompiler(l.fset, "source", nil)
+	l.conf = types.Config{Importer: l}
+	return l
+}
+
+// WithSourceRoot makes the loader resolve unknown import paths as
+// subdirectories of root, the way analysistest treats testdata/src.
+// It returns the loader for chaining.
+func (l *Loader) WithSourceRoot(root string) *Loader {
+	l.sourceRoot = root
 	return l
 }
 
@@ -40,6 +78,7 @@ type listPackage struct {
 	ImportPath string
 	Name       string
 	GoFiles    []string
+	Module     *struct{ Path, Dir string }
 }
 
 // Load expands the go package patterns (e.g. "./...") with the go
@@ -54,12 +93,15 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
 	}
-	var pkgs []*Package
+	var paths []string
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for dec.More() {
 		var lp listPackage
 		if err := dec.Decode(&lp); err != nil {
 			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if lp.Module != nil && l.modPath == "" {
+			l.modPath, l.modDir = lp.Module.Path, lp.Module.Dir
 		}
 		if len(lp.GoFiles) == 0 {
 			continue // test-only or empty package
@@ -68,7 +110,12 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		for i, name := range lp.GoFiles {
 			files[i] = filepath.Join(lp.Dir, name)
 		}
-		pkg, err := l.check(lp.ImportPath, files)
+		l.filesOf[lp.ImportPath] = files
+		paths = append(paths, lp.ImportPath)
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := l.load(path)
 		if err != nil {
 			return nil, err
 		}
@@ -82,24 +129,83 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 // testdata fixtures, where the files live outside any go-list-visible
 // package tree.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	files, err := goFilesIn(dir, true)
 	if err != nil {
 		return nil, err
 	}
-	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
-		}
-	}
-	sort.Strings(files)
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no .go files in %s", dir)
 	}
 	return l.check(path, files)
 }
 
-// check parses the files and type-checks them as one package.
+// Import implements types.Importer: it resolves an import path to a
+// type-checked package, preferring the loader's own source cache (any
+// in-module or fixture package) and falling back to the stdlib source
+// importer. This is what makes the whole load one shared program.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	pkg, err := l.load(path)
+	if err == nil {
+		return pkg.Types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// load resolves path through the cache, go list's file map, the module
+// layout, and the fixture source root, in that order. It fails for
+// paths it has no source mapping for (the caller then falls back to the
+// stdlib importer).
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if files, ok := l.filesOf[path]; ok {
+		return l.check(path, files)
+	}
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		dir := filepath.Join(l.modDir, strings.TrimPrefix(path, l.modPath))
+		files, err := goFilesIn(dir, false)
+		if err == nil && len(files) > 0 {
+			return l.check(path, files)
+		}
+	}
+	if l.sourceRoot != "" {
+		dir := filepath.Join(l.sourceRoot, path)
+		if files, err := goFilesIn(dir, true); err == nil && len(files) > 0 {
+			return l.check(path, files)
+		}
+	}
+	return nil, fmt.Errorf("lint: no source for package %q", path)
+}
+
+// goFilesIn lists dir's .go files, sorted. Fixture dirs keep _test.go
+// files (they are part of the fixture); module dirs resolved without go
+// list drop them, matching go list's GoFiles.
+func goFilesIn(dir string, includeTests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// check parses the files and type-checks them as one package,
+// registering the result in the cache.
 func (l *Loader) check(path string, filenames []string) (*Package, error) {
 	var files []*ast.File
 	for _, name := range filenames {
@@ -119,5 +225,7 @@ func (l *Loader) check(path string, filenames []string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", path, err)
 	}
-	return &Package{Fset: l.fset, Path: path, Files: files, Types: tpkg, Info: info}, nil
+	pkg := &Package{Fset: l.fset, Path: path, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
 }

@@ -11,11 +11,21 @@
 // prove both that the analyzer catches seeded violations and that it
 // stays quiet on the clean code (and //repolint:allow escapes) around
 // them.
+//
+// Every directory under testdata/src is loaded as one package (its
+// base name is its import path), and fixtures may import each other —
+// how the interprocedural analyzers get a multi-package program to
+// chew on. When a fixture file has a sibling <name>.golden, the
+// analyzer's suggested fixes are applied to the fixture and the result
+// must match the golden byte for byte; a golden without fixes, or
+// fixes without a golden, fail the test.
 package linttest
 
 import (
+	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"testing"
 
 	"pathsel/internal/analysis/lint"
@@ -25,56 +35,83 @@ import (
 // backquoted or double-quoted string after "want".
 var wantRe = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
 
-// Run loads testdata/src/<pkg> relative to the calling test's
-// directory, applies the analyzer, and compares diagnostics against the
-// fixture's want comments.
+// Run loads every fixture package under testdata/src relative to the
+// calling test's directory, applies the analyzer to the whole program,
+// and compares diagnostics against the fixtures' want comments and
+// suggested fixes against their golden files. pkg names the primary
+// fixture (it must exist; sibling packages are loaded with it).
 func Run(t *testing.T, a *lint.Analyzer, pkg string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", pkg)
-	p, err := lint.NewLoader().LoadDir(dir, pkg)
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+	root := filepath.Join("testdata", "src")
+	if _, err := os.Stat(filepath.Join(root, pkg)); err != nil {
+		t.Fatalf("fixture package %s: %v", pkg, err)
 	}
-	diags, err := lint.Run(p, []*lint.Analyzer{a})
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading %s: %v", root, err)
+	}
+	loader := lint.NewLoader().WithSourceRoot(root)
+	var pkgs []*lint.Package
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		p, err := loader.LoadDir(filepath.Join(root, e.Name()), e.Name())
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", e.Name(), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	prog := lint.NewProgram(pkgs)
+	diags, err := prog.Run([]*lint.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkWants(t, prog, diags)
+	checkGoldens(t, prog, diags)
+}
 
+// checkWants matches every diagnostic against the fixture's want
+// comments, and every want against the diagnostics.
+func checkWants(t *testing.T, prog *lint.Program, diags []lint.Diagnostic) {
+	t.Helper()
 	type want struct {
 		re      *regexp.Regexp
 		matched bool
 	}
 	// wants[file][line] holds that line's expectations in order.
 	wants := map[string]map[int][]*want{}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := c.Text
-				i := indexWord(text, "want")
-				if i < 0 {
-					continue
-				}
-				pos := p.Fset.Position(c.Pos())
-				for _, m := range wantRe.FindAllStringSubmatch(text[i:], -1) {
-					pat := m[1]
-					if pat == "" {
-						pat = m[2]
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					i := indexWord(text, "want")
+					if i < 0 {
+						continue
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					pos := p.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(text[i:], -1) {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						if wants[pos.Filename] == nil {
+							wants[pos.Filename] = map[int][]*want{}
+						}
+						wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &want{re: re})
 					}
-					if wants[pos.Filename] == nil {
-						wants[pos.Filename] = map[int][]*want{}
-					}
-					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &want{re: re})
 				}
 			}
 		}
 	}
 
 	for _, d := range diags {
-		pos := p.Fset.Position(d.Pos)
+		pos := prog.Fset.Position(d.Pos)
 		matched := false
 		for _, w := range wants[pos.Filename][pos.Line] {
 			if !w.matched && w.re.MatchString(d.Message) {
@@ -94,6 +131,45 @@ func Run(t *testing.T, a *lint.Analyzer, pkg string) {
 					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.re)
 				}
 			}
+		}
+	}
+}
+
+// checkGoldens applies the diagnostics' suggested fixes and compares
+// each rewritten fixture file against its <name>.golden sibling.
+func checkGoldens(t *testing.T, prog *lint.Program, diags []lint.Diagnostic) {
+	t.Helper()
+	fixed, err := lint.ApplyFixes(prog.Fset, diags, os.ReadFile)
+	if err != nil {
+		t.Fatalf("applying suggested fixes: %v", err)
+	}
+	// Every fixed file needs a golden...
+	for name, content := range fixed {
+		golden := name + ".golden"
+		wantBytes, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("suggested fixes rewrite %s but no golden file exists: %v", name, err)
+			continue
+		}
+		if string(content) != string(wantBytes) {
+			t.Errorf("fixed %s differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+				name, golden, content, wantBytes)
+		}
+	}
+	// ...and every golden must be exercised by some fix.
+	var goldens []string
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			name := prog.Fset.Position(f.Pos()).Filename
+			if _, err := os.Stat(name + ".golden"); err == nil {
+				goldens = append(goldens, name)
+			}
+		}
+	}
+	sort.Strings(goldens)
+	for _, name := range goldens {
+		if _, ok := fixed[name]; !ok {
+			t.Errorf("%s.golden exists but the analyzer suggested no fixes for %s", name, name)
 		}
 	}
 }

@@ -191,6 +191,8 @@ func (g *graph) freeze() {
 // everywhere on entry (the searchScratch invariant); the first staged
 // edge wins on duplicates, matching csr.Find. Callers must restore the
 // invariant with clearInWeights.
+//
+//repolint:hotpath
 func (g *graph) fillInWeights(dst int, wTo []float64) {
 	lo, hi := g.rix.Row(int32(dst))
 	for slot := lo; slot < hi; slot++ {
@@ -202,6 +204,8 @@ func (g *graph) fillInWeights(dst int, wTo []float64) {
 }
 
 // clearInWeights resets the entries written by fillInWeights to +Inf.
+//
+//repolint:hotpath
 func (g *graph) clearInWeights(dst int, wTo []float64) {
 	lo, hi := g.rix.Row(int32(dst))
 	for slot := lo; slot < hi; slot++ {
@@ -361,7 +365,9 @@ func pqLess(a, b pqItem) bool {
 // nothing once the scratch is warm).
 type pq []pqItem
 
+//repolint:hotpath
 func (q *pq) push(it pqItem) {
+	//repolint:allow hotalloc -- amortized: the heap's pooled backing array grows to steady state once, then never again
 	*q = append(*q, it)
 	h := *q
 	i := len(h) - 1
@@ -375,6 +381,7 @@ func (q *pq) push(it pqItem) {
 	}
 }
 
+//repolint:hotpath
 func (q *pq) pop() pqItem {
 	h := *q
 	top := h[0]
@@ -497,6 +504,8 @@ func (g *graph) shortestAlternateInto(s *searchScratch, src, dst, maxVia int, ex
 // destination's in-weights are gathered once into the scratch's dense
 // array, so the scan over src's row costs O(1) per candidate instead of
 // a binary search each.
+//
+//repolint:hotpath
 func (g *graph) oneHopAlternate(src, dst int, excluded []bool, s *searchScratch) (path []int, ok bool) {
 	best := math.Inf(1)
 	bestVia := -1
@@ -518,6 +527,7 @@ func (g *graph) oneHopAlternate(src, dst int, excluded []bool, s *searchScratch)
 	if bestVia == -1 {
 		return nil, false
 	}
+	//repolint:allow hotalloc -- the found path escapes to the caller: one slice per successful query, not per relaxation
 	return []int{src, bestVia, dst}, true
 }
 
@@ -582,6 +592,8 @@ func pathFromPrev(prev []int32, src, dst int) (path []int, ok bool) {
 // direct edge wins (prev[dst]==src) does the caller need the per-pair
 // fallback. This amortizes one search per source across all its
 // destinations.
+//
+//repolint:hotpath
 func (g *graph) sourceTree(src int, excluded []bool, s *searchScratch) {
 	if !g.frozen {
 		g.freeze()
@@ -616,6 +628,8 @@ func (g *graph) sourceTree(src int, excluded []bool, s *searchScratch) {
 // Returns the alternate path per-pair Dijkstra would return, or
 // ok=false if none exists. Only valid when !s.parent[dst] and
 // s.prev[dst]==src.
+//
+//repolint:hotpath
 func (g *graph) replayLastHop(src, dst int, s *searchScratch) (path []int, ok bool) {
 	cur := math.MaxFloat64
 	best := -1
@@ -643,12 +657,15 @@ func (g *graph) replayLastHop(src, dst int, s *searchScratch) (path []int, ok bo
 	if !ok {
 		return nil, false
 	}
+	//repolint:allow hotalloc -- appends the final hop to the escaping result path: once per resolved pair
 	return append(path, dst), true
 }
 
 // dijkstraScan selects the next vertex by scanning the distance array:
 // strict less-than keeps the lowest vertex on ties, matching the heap's
 // (distance, vertex) pop order.
+//
+//repolint:hotpath
 func (g *graph) dijkstraScan(src, dst int, excluded []bool, s *searchScratch) {
 	n := len(g.hosts)
 	dist, prev, done := s.dist, s.prev, s.done
@@ -663,6 +680,7 @@ func (g *graph) dijkstraScan(src, dst int, excluded []bool, s *searchScratch) {
 			return
 		}
 		done[u] = true
+		//repolint:allow hotalloc -- amortized: order's pooled backing array reaches n capacity once, then never grows
 		s.order = append(s.order, int32(u))
 		lo, hi := g.ix.Row(int32(u))
 		tgt, wts := g.ix.Tgt[lo:hi], g.wt[lo:hi]
@@ -695,6 +713,8 @@ func (g *graph) dijkstraScan(src, dst int, excluded []bool, s *searchScratch) {
 // dist[v] + lb(v,dst) <= d(dst), so the pruned search finalizes and
 // relaxes the path's vertices exactly as the unpruned one does — paths
 // stay bit-identical (see DESIGN.md §10).
+//
+//repolint:hotpath
 func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch, lm *landmarks) {
 	dist, prev, done := s.dist, s.prev, s.done
 	q := s.q[:0]
@@ -709,6 +729,7 @@ func (g *graph) dijkstraHeap(src, dst int, excluded []bool, s *searchScratch, lm
 		if u == dst {
 			break
 		}
+		//repolint:allow hotalloc -- amortized: order's pooled backing array reaches n capacity once, then never grows
 		s.order = append(s.order, int32(u))
 		if lm != nil && it.dist+lm.lowerBound(u, dst) > dist[dst] {
 			continue // ALT prune: u cannot improve any path to dst

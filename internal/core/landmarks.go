@@ -35,6 +35,8 @@ type landmarks struct {
 
 // lowerBound returns the best landmark lower bound on d(u→dst),
 // never negative.
+//
+//repolint:hotpath
 func (lm *landmarks) lowerBound(u, dst int) float64 {
 	best := 0.0
 	for l := 0; l < lm.k; l++ {
@@ -138,6 +140,8 @@ func (g *graph) buildLandmarks() {
 
 // dijkstraFrom runs an unrestricted single-source shortest-path search
 // over raw CSR slabs, filling dist (math.MaxFloat64 = unreachable).
+//
+//repolint:hotpath
 func dijkstraFrom(off, tgt []int32, wt []float64, src int, dist []float64, q *pq) {
 	for i := range dist {
 		dist[i] = math.MaxFloat64

@@ -78,6 +78,8 @@ func samePath(a, b []int) bool {
 // unlimited). Unlike shortestAlternateInto it permits the direct
 // sp->dst edge unless banTo[dst] is set — a spur path that ends a
 // longer root is not the pair's direct path.
+//
+//repolint:hotpath
 func (g *graph) spurSearch(s *searchScratch, sp, dst, r int, excluded []bool) (path []int, ok bool) {
 	switch {
 	case r == 0:
@@ -87,6 +89,7 @@ func (g *graph) spurSearch(s *searchScratch, sp, dst, r int, excluded []bool) (p
 		if _, found := g.directEdge(sp, dst); !found {
 			return nil, false
 		}
+		//repolint:allow hotalloc -- the spur path escapes into the candidate set: one slice per accepted spur
 		return []int{sp, dst}, true
 	case r > 0:
 		return g.boundedAlternate(sp, dst, r, excluded, s)

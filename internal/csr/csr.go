@@ -36,9 +36,13 @@ func (ix *Index) NumVertices() int {
 func (ix *Index) NumEdges() int { return len(ix.Tgt) }
 
 // Row returns the slab bounds [lo, hi) of vertex u's targets.
+//
+//repolint:hotpath
 func (ix *Index) Row(u int32) (lo, hi int32) { return ix.Off[u], ix.Off[u+1] }
 
 // Find returns the slot of the first edge u -> v, or -1 if absent.
+//
+//repolint:hotpath
 func (ix *Index) Find(u, v int32) int32 {
 	lo, hi := ix.Off[u], ix.Off[u+1]
 	end := hi
@@ -116,6 +120,8 @@ func grow(s []int32, n int) []int32 {
 // sortRow stably sorts one row's targets ascending, carrying the
 // permutation entries along. Rows are usually short, so insertion sort
 // handles the common case without allocation.
+//
+//repolint:hotpath
 func sortRow(tgt, perm []int32) {
 	if len(tgt) <= 64 {
 		for i := 1; i < len(tgt); i++ {
@@ -129,6 +135,7 @@ func sortRow(tgt, perm []int32) {
 		}
 		return
 	}
+	//repolint:allow hotalloc -- rows >64 wide are rare; one boxed sorter per such row, not per edge
 	sort.Stable(&rowSorter{tgt, perm})
 }
 
