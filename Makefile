@@ -44,7 +44,7 @@ bench:
 # JSON by cmd/benchjson. Override the PR number (make bench-json N=9)
 # or the whole filename (BENCH_OUT=baseline.json) instead of editing
 # this file each PR.
-N ?= 7
+N ?= 8
 BENCH_OUT ?= BENCH_$(N).json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
@@ -56,11 +56,12 @@ bench-json:
 bench-scale:
 	PATHSEL_SCALE_SMOKE=1 GOMEMLIMIT=7GiB $(GO) test -run TestScaleSmoke -v -timeout 10m ./internal/experiments/
 
-# Short fuzz runs of the parsers that face external input; CI runs the
-# same budgets.
+# Short fuzz runs of the parsers that face external input, plus the
+# packet data plane's invariant fuzzer; CI runs the same budgets.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=15s -run '^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzParsePreset -fuzztime=15s -run '^$$' ./internal/experiments
+	$(GO) test -fuzz=FuzzDataPlane -fuzztime=15s -run '^$$' ./internal/packetnet
 
 staticcheck:
 	$(GO) run $(STATICCHECK) ./...

@@ -15,8 +15,10 @@ import (
 	"pathsel/internal/core"
 	"pathsel/internal/dataset"
 	"pathsel/internal/experiments"
+	"pathsel/internal/forward"
 	"pathsel/internal/measure"
 	"pathsel/internal/netsim"
+	"pathsel/internal/packetnet"
 	"pathsel/internal/stats"
 	"pathsel/internal/tcpmodel"
 	"pathsel/internal/topology"
@@ -151,6 +153,47 @@ func BenchmarkMultipathExhibit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Multipath(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Pairs == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+// BenchmarkPacketTransfer times one 30-second bulk TCP transfer on the
+// packet-level data plane: event loop, link scheduler, and Reno
+// endpoints included.
+func BenchmarkPacketTransfer(b *testing.B) {
+	s := benchSuite(b)
+	fwd, ns := s.D2Forwarding()
+	src := s.TopoD2.Hosts[0].ID
+	dst := s.TopoD2.Hosts[1].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := packetnet.New(s.TopoD2, ns, forward.NewCache(fwd), packetnet.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := n.Transfer(src, dst, 0, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Delivered == 0 {
+			b.Fatal("no bytes delivered")
+		}
+	}
+}
+
+// BenchmarkPacketValidationExhibit times the full packet-level
+// validation: a packet network, a rounds simulation, and a Mathis
+// evaluation per sampled N2 pair.
+func BenchmarkPacketValidationExhibit(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ValidatePacketLevel(s)
 		if err != nil {
 			b.Fatal(err)
 		}

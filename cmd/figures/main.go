@@ -357,6 +357,31 @@ func run(cfg experiments.Config, outDir string) error {
 	fmt.Printf("  %d N2 paths: rank correlation %.3f, median sim/model ratio %.2f, %.0f%% within 2x\n",
 		tcpv.Pairs, tcpv.RankCorrelation, tcpv.MedianRatio, 100*tcpv.WithinFactor2)
 
+	pv, err := experiments.ValidatePacketLevel(s)
+	if err != nil {
+		return fmt.Errorf("packet-level validation: %w", err)
+	}
+	fmt.Printf("\n== Extension: packet-level TCP vs Mathis vs rounds model (%d of %d N2 pairs, %gs transfers) ==\n",
+		pv.Pairs, pv.TotalPairs, pv.DurationSec)
+	fmt.Printf("  packet/mathis: median ratio %.2f, %.0f%% within 2x, rank correlation %.3f\n",
+		pv.MedianRatioMathis, 100*pv.WithinFactor2Mathis, pv.RankCorrMathis)
+	fmt.Printf("  packet/tcpsim: median ratio %.2f, %.0f%% within 2x, rank correlation %.3f\n",
+		pv.MedianRatioSim, 100*pv.WithinFactor2Sim, pv.RankCorrSim)
+	prows := [][]string{{"Regime", "Pairs", "Median packet/mathis", "Median |rel err|"}}
+	for _, reg := range pv.Regimes {
+		prows = append(prows, []string{
+			reg.Name, fmt.Sprint(reg.Pairs),
+			fmt.Sprintf("%.2f", reg.MedianRatio),
+			fmt.Sprintf("%.2f", reg.MedianAbsRelErr),
+		})
+	}
+	if err := report.Table(os.Stdout, prows); err != nil {
+		return err
+	}
+	if err := dumpPacketLevel(overlayDir(outDir), pv); err != nil {
+		return err
+	}
+
 	fmt.Println("\n== Extension: path inflation vs the policy-free optimum ==")
 	fmt.Printf("  median inflation %.2fx, p90 %.2fx; %.0f%% of pairs inflated >=20%%;\n",
 		infl.MedianInflation, infl.P90Inflation, 100*infl.InflatedFraction)
@@ -535,6 +560,30 @@ func dumpMultipath(dir string, mp experiments.MultipathResult) error {
 		return err
 	}
 	return dumpCDFFile(dir, "multipath-disjointness.dat", mp.Disjointness)
+}
+
+// dumpPacketLevel writes the packet-level validation's data files: the
+// per-pair three-way comparison and the regime divergence summary.
+func dumpPacketLevel(dir string, pv experiments.PacketValidation) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("# pair\trtt_ms\tloss\tpacket_kbs\tmathis_kbs\ttcpsim_kbs\tretransmits\ttimeouts\tfast_retx\tout_of_order\n")
+	for _, r := range pv.Results {
+		fmt.Fprintf(&b, "%s\t%.4f\t%.6f\t%.4f\t%.4f\t%.4f\t%d\t%d\t%d\t%d\n",
+			r.Pair, r.RTTMs, r.Loss, r.PacketKBs, r.MathisKBs, r.SimKBs,
+			r.Retransmits, r.Timeouts, r.FastRetx, r.OutOfOrder)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "packetlevel-pairs.dat"), []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	b.Reset()
+	b.WriteString("# regime\tpairs\tmedian_packet_mathis_ratio\tmedian_abs_rel_err\n")
+	for _, reg := range pv.Regimes {
+		fmt.Fprintf(&b, "%s\t%d\t%.4f\t%.4f\n", reg.Name, reg.Pairs, reg.MedianRatio, reg.MedianAbsRelErr)
+	}
+	return os.WriteFile(filepath.Join(dir, "packetlevel-regimes.dat"), []byte(b.String()), 0o644)
 }
 
 func dumpCDFFile(dir, name string, values []float64) error {

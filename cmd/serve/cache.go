@@ -54,6 +54,10 @@ type suiteEntry struct {
 	// mpMu guards multipath, the memoized path-set exhibit.
 	mpMu      sync.Mutex
 	multipath *multipathFuture
+
+	// pvMu guards packet, the memoized packet-level validation.
+	pvMu   sync.Mutex
+	packet *packetFuture
 }
 
 // figFuture memoizes one figure computation on a suite.
@@ -74,6 +78,13 @@ type overlayFuture struct {
 type multipathFuture struct {
 	done chan struct{}
 	res  experiments.MultipathResult
+	err  error
+}
+
+// packetFuture memoizes the packet-level validation on a suite.
+type packetFuture struct {
+	done chan struct{}
+	res  experiments.PacketValidation
 	err  error
 }
 

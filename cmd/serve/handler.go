@@ -39,6 +39,7 @@ func newHandler(cache *suiteCache, defaults experiments.Config, reg *obs.Registr
 	h.mux.HandleFunc("GET /api/cdf/{fig}/{series}", h.cdf)
 	h.mux.HandleFunc("GET /api/overlay", h.overlay)
 	h.mux.HandleFunc("GET /api/multipath", h.multipath)
+	h.mux.HandleFunc("GET /api/packetlevel", h.packetlevel)
 	h.mux.HandleFunc("GET /api/suites", h.suites)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.Handle("GET /metrics", reg.Handler())
@@ -505,6 +506,54 @@ func (h *handler) multipathFor(ctx context.Context, e *suiteEntry) (experiments.
 	}
 }
 
+// packetFor returns the (memoized) packet-level validation for a
+// cached suite, with the same cancel-retry semantics as seriesFor,
+// overlayFor and multipathFor.
+func (h *handler) packetFor(ctx context.Context, e *suiteEntry) (experiments.PacketValidation, error) {
+	for {
+		e.pvMu.Lock()
+		f := e.packet
+		if f == nil {
+			f = &packetFuture{done: make(chan struct{})}
+			e.packet = f
+			e.pvMu.Unlock()
+			f.res, f.err = experiments.ValidatePacketLevel(e.suite.WithContext(ctx))
+			if f.err != nil && errors.Is(f.err, context.Canceled) {
+				e.pvMu.Lock()
+				e.packet = nil
+				e.pvMu.Unlock()
+			}
+			close(f.done)
+			return f.res, f.err
+		}
+		e.pvMu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil && errors.Is(f.err, context.Canceled) && ctx.Err() == nil {
+				continue // the computing request disconnected; retry as owner
+			}
+			return f.res, f.err
+		case <-ctx.Done():
+			return experiments.PacketValidation{}, ctx.Err()
+		}
+	}
+}
+
+func (h *handler) packetlevel(w http.ResponseWriter, r *http.Request) {
+	e, ok := h.entryFor(w, r)
+	if !ok {
+		return
+	}
+	res, err := h.packetFor(r.Context(), e)
+	if err != nil {
+		if r.Context().Err() == nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	writeJSON(w, res)
+}
+
 func (h *handler) multipath(w http.ResponseWriter, r *http.Request) {
 	e, ok := h.entryFor(w, r)
 	if !ok {
@@ -543,6 +592,7 @@ the requested suite on demand (cached, LRU-bounded).</p>
 {{range .Figures}}<li><a href="/api/figure/{{.}}">Figure {{.}}</a></li>
 {{end}}<li><a href="/api/overlay">Overlay exhibit: online path selection vs default vs offline optimum</a></li>
 <li><a href="/api/multipath">Multipath exhibit: k-alternate path sets and AS disjointness</a></li>
+<li><a href="/api/packetlevel">Packet-level exhibit: TCP over simulated links vs Mathis vs rounds model</a></li>
 </ul>
 <p>Operations: <a href="/api/suites">cached suites</a> ·
 <a href="/metrics">metrics</a> · <a href="/healthz">health</a> ·

@@ -26,6 +26,7 @@ func init() {
 		"topology", "igp", "bgp", "netsim", "measure", "core",
 		"experiments", "stats", "tcpmodel", "tcpsim", "dynamics",
 		"geo", "probe", "optimal", "overlay", "csr", "pathset",
+		"packetnet",
 	} {
 		Packages["pathsel/internal/"+name] = true
 	}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func runPacketValidation(t *testing.T, conc int) PacketValidation {
+	t.Helper()
+	base := *testSuite(t)
+	cfg := base.Config
+	cfg.Concurrency = conc
+	base.Config = cfg
+	res, err := ValidatePacketLevel(&base)
+	if err != nil {
+		t.Fatalf("ValidatePacketLevel(conc=%d): %v", conc, err)
+	}
+	return res
+}
+
+func TestPacketValidation(t *testing.T) {
+	res := runPacketValidation(t, 0)
+	if res.TotalPairs == 0 || res.Pairs == 0 {
+		t.Fatalf("no pairs ran: %+v", res)
+	}
+	if res.Pairs > res.TotalPairs {
+		t.Fatalf("sampled %d of %d pairs", res.Pairs, res.TotalPairs)
+	}
+	if len(res.Results) != res.Pairs {
+		t.Fatalf("%d results for %d pairs", len(res.Results), res.Pairs)
+	}
+	for _, r := range res.Results {
+		if r.PacketKBs <= 0 {
+			t.Errorf("%s: packet flow made no progress (%.2f KB/s)", r.Pair, r.PacketKBs)
+		}
+		if r.MathisKBs <= 0 || r.SimKBs <= 0 {
+			t.Errorf("%s: degenerate model prediction mathis=%.2f sim=%.2f", r.Pair, r.MathisKBs, r.SimKBs)
+		}
+		if r.RTTMs <= 0 || r.Loss < 0 || r.Loss >= 1 {
+			t.Errorf("%s: implausible path state rtt=%.1fms loss=%.4f", r.Pair, r.RTTMs, r.Loss)
+		}
+	}
+	// The three estimators describe the same paths: ranks must agree
+	// strongly, and the bulk of pairs should be within a factor of two
+	// of the rounds model (the closest sibling).
+	if res.RankCorrMathis < 0.5 || res.RankCorrSim < 0.5 {
+		t.Errorf("weak rank agreement: mathis=%.2f sim=%.2f", res.RankCorrMathis, res.RankCorrSim)
+	}
+	if res.WithinFactor2Sim < 0.5 {
+		t.Errorf("only %.0f%% of pairs within 2x of tcpsim", 100*res.WithinFactor2Sim)
+	}
+	if res.MedianRatioMathis <= 0 || res.MedianRatioSim <= 0 {
+		t.Errorf("degenerate median ratios: %+v", res)
+	}
+	if len(res.Regimes) != 6 {
+		t.Fatalf("got %d regimes, want 6", len(res.Regimes))
+	}
+	covered := 0
+	for _, reg := range res.Regimes {
+		covered += reg.Pairs
+	}
+	if covered == 0 {
+		t.Fatal("no pair fell into any regime bucket")
+	}
+	t.Logf("pairs %d/%d: packet/mathis median %.2f (%.0f%% within 2x, rank %.2f); packet/sim median %.2f (%.0f%% within 2x, rank %.2f)",
+		res.Pairs, res.TotalPairs,
+		res.MedianRatioMathis, 100*res.WithinFactor2Mathis, res.RankCorrMathis,
+		res.MedianRatioSim, 100*res.WithinFactor2Sim, res.RankCorrSim)
+	for _, reg := range res.Regimes {
+		t.Logf("  %-14s pairs=%-3d median ratio %.2f, median |rel err| %.2f", reg.Name, reg.Pairs, reg.MedianRatio, reg.MedianAbsRelErr)
+	}
+}
+
+// TestPacketValidationDeterministic is the acceptance property: the
+// exhibit is byte-identical at Concurrency 1, 4, and auto.
+func TestPacketValidationDeterministic(t *testing.T) {
+	var want []byte
+	for _, conc := range []int{1, 4, 0} {
+		res := runPacketValidation(t, conc)
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("conc=%d: exhibit bytes diverge from sequential run", conc)
+		}
+	}
+}

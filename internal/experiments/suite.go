@@ -86,6 +86,7 @@ type Suite struct {
 	TopoUW, TopoD2 *topology.Topology
 
 	uwPlane *plane
+	d2Plane *plane
 
 	// ctx bounds the analyses run through the suite's drivers; set with
 	// WithContext, nil means never cancelled.
@@ -138,6 +139,13 @@ func (s *Suite) UWPlane() (*topology.Topology, *probe.Prober) {
 // could not observe.
 func (s *Suite) UWForwarding() (*forward.Forwarder, *netsim.Network) {
 	return s.uwPlane.fwd, s.uwPlane.net
+}
+
+// D2Forwarding exposes the Paxson plane's forwarder and congestion
+// model — the substrate the N2 transfer campaigns ran over — for the
+// packet-level validation exhibit.
+func (s *Suite) D2Forwarding() (*forward.Forwarder, *netsim.Network) {
+	return s.d2Plane.fwd, s.d2Plane.net
 }
 
 // Datasets returns the traceroute datasets in the order the paper's
@@ -408,6 +416,7 @@ func buildD2Part(ctx context.Context, s *Suite, cfg Config, sc campaignScale) er
 		return fmt.Errorf("experiments: D2 plane: %w", err)
 	}
 	s.TopoD2 = d2Plane.top
+	s.d2Plane = d2Plane
 	allD2 := hostIDs(d2Plane.top)
 
 	n2Hosts := allD2[:min(sc.n2Hosts, len(allD2))]

@@ -393,6 +393,19 @@ func (n *Network) EvalHostPath(src, dst topology.HostID, links []topology.LinkID
 	return st, nil
 }
 
+// HostAccessState exposes the access-link model by host ID, for the
+// packet-level data plane: the instantaneous one-way access delay
+// (fixed plus expected queuing, in ms) and loss probability. ok is
+// false when the host is unknown.
+func (n *Network) HostAccessState(id topology.HostID, t Time) (delayMs, loss float64, ok bool) {
+	h := n.top.Host(id)
+	if h == nil {
+		return 0, 0, false
+	}
+	d, l := n.accessState(h, t)
+	return d, l, true
+}
+
 // SampleDelay draws one concrete one-way delay sample: the fixed
 // propagation component, plus an exponentially distributed queuing draw
 // whose mean is the expected queuing delay (the M/M/1 waiting time is

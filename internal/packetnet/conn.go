@@ -1,0 +1,303 @@
+// net.Conn / net.Listener adapters. The simulated clock only moves
+// inside the event loop, so a blocked operation (Read with no data,
+// Accept with no connection, Write with a full buffer) takes on driver
+// duty: it steps the event queue under the network mutex until its wake
+// condition holds. With every blocking call a potential driver, any
+// program structured around goroutines blocking on sockets — an echo
+// server, a request/response client — runs unmodified, and simulated
+// time advances exactly as far as the communication pattern demands.
+
+package packetnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"pathsel/internal/netsim"
+	"pathsel/internal/topology"
+)
+
+// timeoutError satisfies net.Error for deadline expiry.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "packetnet: deadline exceeded" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+var errTimeout net.Error = timeoutError{}
+
+// errDetached marks endpoints whose simulation window ended.
+var errDetached = errors.New("packetnet: endpoint detached")
+
+// dialMaxBackoff bounds SYN retries before Dial gives up (RTO doubles
+// each time, so this is on the order of a minute of simulated time).
+const dialMaxBackoff = 6
+
+// ephemeralBase is the first ephemeral port Dial allocates.
+const ephemeralBase = 49152
+
+// simDeadline converts a wall-clock deadline to simulated time via
+// Epoch; the zero time disables the deadline.
+func simDeadline(t time.Time) netsim.Time {
+	if t.IsZero() {
+		return noDeadline
+	}
+	return netsim.Time(t.Sub(Epoch).Seconds())
+}
+
+// Conn is a TCP connection over the simulated data plane, implementing
+// net.Conn on the simulated clock.
+type Conn struct {
+	ep *endpoint
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read copies delivered bytes, blocking (and driving the simulation)
+// until data, EOF, a deadline, or Close.
+func (c *Conn) Read(b []byte) (int, error) {
+	ep := c.ep
+	nw := ep.n
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	for {
+		if ep.err != nil {
+			return 0, ep.err
+		}
+		if ep.closed {
+			return 0, net.ErrClosed
+		}
+		if len(ep.rcvBuf) > 0 {
+			wasShut := ep.advertiseWindow() < nw.cfg.MSSBytes
+			k := copy(b, ep.rcvBuf)
+			ep.rcvBuf = ep.rcvBuf[k:]
+			if wasShut && ep.advertiseWindow() >= nw.cfg.MSSBytes && ep.established {
+				// Reopening window: tell a possibly stalled sender.
+				ep.emit(segment{seq: ep.nxt, end: ep.nxt})
+			}
+			return k, nil
+		}
+		if ep.peerFin {
+			return 0, io.EOF
+		}
+		if err := nw.driveLocked(ep.readDeadline); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Write queues bytes into the send buffer, blocking for space; the
+// transport delivers them reliably in the background of whichever
+// operation drives the simulation next.
+func (c *Conn) Write(b []byte) (int, error) {
+	ep := c.ep
+	nw := ep.n
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	total := 0
+	for len(b) > 0 {
+		if ep.err != nil {
+			return total, ep.err
+		}
+		if ep.closed || ep.closing {
+			return total, net.ErrClosed
+		}
+		if space := nw.cfg.SendBufBytes - len(ep.sndBuf); space > 0 {
+			k := space
+			if k > len(b) {
+				k = len(b)
+			}
+			ep.sndBuf = append(ep.sndBuf, b[:k]...)
+			ep.dataEnd += uint64(k)
+			b = b[k:]
+			total += k
+			ep.pump()
+			continue
+		}
+		if err := nw.driveLocked(ep.writeDeadline); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Close sends a FIN for any buffered data and releases the connection.
+// Delivery of the tail happens while any other operation drives the
+// simulation; Close itself does not block.
+func (c *Conn) Close() error {
+	ep := c.ep
+	nw := ep.n
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if ep.closed {
+		return nil
+	}
+	ep.closed = true
+	ep.sendFIN()
+	nw.cond.Broadcast() // wake readers blocked on this conn
+	return nil
+}
+
+// LocalAddr returns the local (host, port) address.
+func (c *Conn) LocalAddr() net.Addr { return c.ep.local }
+
+// RemoteAddr returns the peer's (host, port) address.
+func (c *Conn) RemoteAddr() net.Addr { return c.ep.remote }
+
+// SetDeadline sets both read and write deadlines, interpreted on the
+// simulated clock via Epoch.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.ep.n.mu.Lock()
+	defer c.ep.n.mu.Unlock()
+	d := simDeadline(t)
+	c.ep.readDeadline = d
+	c.ep.writeDeadline = d
+	return nil
+}
+
+// SetReadDeadline sets the read deadline (simulated clock).
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.ep.n.mu.Lock()
+	defer c.ep.n.mu.Unlock()
+	c.ep.readDeadline = simDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline sets the write deadline (simulated clock).
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.ep.n.mu.Lock()
+	defer c.ep.n.mu.Unlock()
+	c.ep.writeDeadline = simDeadline(t)
+	return nil
+}
+
+// Stats returns a snapshot of the connection's transport counters.
+func (c *Conn) Stats() EndpointStats {
+	c.ep.n.mu.Lock()
+	defer c.ep.n.mu.Unlock()
+	return c.ep.stats
+}
+
+// Listener accepts simulated TCP connections on a (host, port),
+// implementing net.Listener.
+type Listener struct {
+	n       *Network
+	addr    Addr
+	pending []*endpoint
+	seen    map[*endpoint]*endpoint // client endpoint -> server endpoint
+	closed  bool
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Listen binds a listener to the given host and port.
+func (n *Network) Listen(host topology.HostID, port int) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.top.Host(host) == nil {
+		return nil, fmt.Errorf("packetnet: unknown host %d", host)
+	}
+	if port <= 0 {
+		return nil, fmt.Errorf("packetnet: invalid port %d", port)
+	}
+	a := Addr{Host: host, Port: port}
+	if n.listeners[a] != nil {
+		return nil, fmt.Errorf("packetnet: %s already in use", a)
+	}
+	l := &Listener{n: n, addr: a, seen: map[*endpoint]*endpoint{}}
+	n.listeners[a] = l
+	return l, nil
+}
+
+// handleSYN creates (or finds) the server endpoint for a connection
+// attempt and answers with a SYN|ACK. Callers must hold n.mu.
+func (l *Listener) handleSYN(seg segment) {
+	if ep := l.seen[seg.src]; ep != nil {
+		ep.receive(seg)
+		return
+	}
+	ep := l.n.newEndpoint(l.addr, seg.srcAddr)
+	ep.listener = l
+	ep.peer = seg.src
+	l.seen[seg.src] = ep
+	ep.peerWnd = seg.wnd
+	ep.absorb(seg) // consume the SYN byte before replying
+	ep.pump()      // sends our SYN carrying ack=1: the SYN|ACK
+}
+
+// Accept blocks (driving the simulation) until a connection completes
+// the handshake.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.n.mu.Lock()
+	defer l.n.mu.Unlock()
+	for {
+		if l.closed {
+			return nil, net.ErrClosed
+		}
+		if len(l.pending) > 0 {
+			ep := l.pending[0]
+			l.pending = l.pending[1:]
+			return &Conn{ep: ep}, nil
+		}
+		if err := l.n.driveLocked(noDeadline); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close unbinds the listener; pending un-accepted connections are
+// dropped.
+func (l *Listener) Close() error {
+	l.n.mu.Lock()
+	defer l.n.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	delete(l.n.listeners, l.addr)
+	l.n.cond.Broadcast()
+	return nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// Dial opens a connection from a host to a listening (host, port),
+// blocking (and driving the simulation) through the handshake. It fails
+// fast when no listener is bound — the simulation is a single image, so
+// "would a SYN be answered" is known immediately — and gives up after
+// repeated SYN timeouts under heavy loss.
+func (n *Network) Dial(src, dst topology.HostID, port int) (net.Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.top.Host(src) == nil || n.top.Host(dst) == nil {
+		return nil, fmt.Errorf("packetnet: unknown host %d or %d", src, dst)
+	}
+	ra := Addr{Host: dst, Port: port}
+	if l := n.listeners[ra]; l == nil || l.closed {
+		return nil, fmt.Errorf("packetnet: connection refused: no listener on %s", ra)
+	}
+	if _, err := n.paths.PathAt(src, dst, n.now); err != nil {
+		return nil, fmt.Errorf("packetnet: no route from host %d to %d: %w", src, dst, err)
+	}
+	n.portSeq++
+	ep := n.newEndpoint(Addr{Host: src, Port: ephemeralBase + n.portSeq}, ra)
+	ep.pump() // sends the SYN
+	for !ep.established {
+		if ep.err != nil {
+			return nil, ep.err
+		}
+		if ep.backoff > dialMaxBackoff {
+			ep.err = fmt.Errorf("packetnet: connection to %s timed out", ra)
+			ep.cancelTimer()
+			return nil, ep.err
+		}
+		if err := n.driveLocked(noDeadline); err != nil {
+			return nil, err
+		}
+	}
+	return &Conn{ep: ep}, nil
+}

@@ -1,0 +1,70 @@
+package packetnet
+
+import (
+	"testing"
+
+	"pathsel/internal/forward"
+	"pathsel/internal/netsim"
+)
+
+// FuzzDataPlane drives the event loop and link scheduler with fuzzed
+// impairment configurations and transfer windows. The engine's own
+// invariant checks do the heavy lifting — schedule panics on negative
+// or NaN timestamps, traverse panics when a link's FIFO completion
+// order or queue bound is violated — and the target adds end-to-end
+// accounting checks on top. Runs in the CI fuzz-smoke job.
+func FuzzDataPlane(f *testing.F) {
+	f.Add(int64(1), uint16(0), uint16(0), uint8(30), uint8(4), uint8(0), uint8(1))
+	f.Add(int64(7), uint16(50), uint16(120), uint8(200), uint8(2), uint8(2), uint8(5))
+	f.Add(int64(-3), uint16(999), uint16(1999), uint8(99), uint8(0), uint8(9), uint8(9))
+	f.Add(int64(42), uint16(200), uint16(700), uint8(119), uint8(7), uint8(31), uint8(4))
+
+	f.Fuzz(func(t *testing.T, seed int64, lossMilli, delayMs uint16, utilCode, durCode, srcIdx, dstIdx uint8) {
+		fx := sharedFixture(t)
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.ExtraLossProb = float64(lossMilli%1000) / 1000
+		cfg.ExtraDelayMs = float64(delayMs % 2000)
+		// utilCode folds to either a fixed utilization in [0,1) or the
+		// netsim-sampled background (negative sentinel).
+		if u := utilCode % 120; u < 100 {
+			cfg.FixedUtilization = float64(u) / 100
+		} else {
+			cfg.FixedUtilization = -1
+		}
+		// Tiny queues stress the drop-tail bound.
+		cfg.QueuePackets = 1 + int(utilCode%7)
+		dur := 0.5 + float64(durCode%8)
+
+		hosts := fx.top.Hosts
+		src := hosts[int(srcIdx)%len(hosts)].ID
+		dst := hosts[int(dstIdx)%len(hosts)].ID
+		if src == dst {
+			return
+		}
+		n, err := New(fx.top, fx.ns, forward.NewCache(fx.fwd), cfg)
+		if err != nil {
+			t.Fatalf("New rejected a folded config: %v", err)
+		}
+		st, err := n.Transfer(src, dst, 0, dur)
+		if err != nil {
+			t.Fatalf("Transfer: %v", err)
+		}
+		if st.Delivered < 0 {
+			t.Fatalf("negative delivery: %+v", st)
+		}
+		ns := st.Net
+		if ns.QueueDrops < 0 || ns.RandomLosses < 0 || ns.Unroutable < 0 || ns.PacketsSent < 0 {
+			t.Fatalf("negative data-plane counter: %+v", ns)
+		}
+		// Each packet is dropped at most once.
+		if ns.QueueDrops+ns.RandomLosses+ns.Unroutable > ns.PacketsSent {
+			t.Fatalf("more drops than packets: %+v", ns)
+		}
+		// The clock landed exactly on the end of the window and never
+		// ran backwards.
+		if got, want := n.Now(), netsim.Time(dur); got < want {
+			t.Fatalf("clock stopped at %v, want at least %v", got, want)
+		}
+	})
+}

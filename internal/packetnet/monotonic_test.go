@@ -1,0 +1,79 @@
+package packetnet
+
+import "testing"
+
+// The netem validation targets (SNIPPETS.md, bassosimone/netem
+// PERFORMANCE.md): a link emulator is credible when adding loss
+// strictly reduces TCP goodput and adding round-trip latency strictly
+// reduces TCP goodput. Both sweeps run the full packet-level stack over
+// a real topology path with the background model pinned
+// (FixedUtilization) so the impairment knob is the only thing changing.
+
+// lossSweep and delaySweep each hold well-separated operating points —
+// more than the three the acceptance criteria require.
+var (
+	lossSweep  = []float64{0, 0.01, 0.03, 0.08, 0.15}
+	delaySweep = []float64{0, 40, 100, 250, 600}
+)
+
+// sweepGoodput runs one transfer per operating point, mutating the
+// config through set.
+func sweepGoodput(t *testing.T, points []float64, set func(*Config, float64)) []float64 {
+	t.Helper()
+	src, dst := pairHosts(t, 0, 1)
+	out := make([]float64, len(points))
+	for i, p := range points {
+		cfg := DefaultConfig()
+		cfg.FixedUtilization = 0.3
+		set(&cfg, p)
+		n := newNet(t, cfg)
+		st, err := n.Transfer(src, dst, 0, 30)
+		if err != nil {
+			t.Fatalf("Transfer at point %v: %v", p, err)
+		}
+		out[i] = st.GoodputKBs
+	}
+	return out
+}
+
+func TestGoodputStrictlyDecreasesWithLoss(t *testing.T) {
+	g := sweepGoodput(t, lossSweep, func(c *Config, p float64) { c.ExtraLossProb = p })
+	t.Logf("loss %v -> goodput KB/s %v", lossSweep, g)
+	for i := 1; i < len(g); i++ {
+		if !(g[i] < g[i-1]) {
+			t.Fatalf("goodput not strictly decreasing in loss: %.2f KB/s at p=%v vs %.2f KB/s at p=%v",
+				g[i], lossSweep[i], g[i-1], lossSweep[i-1])
+		}
+	}
+	if g[len(g)-1] <= 0 {
+		t.Fatal("flow made no progress at the highest loss point")
+	}
+}
+
+func TestGoodputStrictlyDecreasesWithRTT(t *testing.T) {
+	g := sweepGoodput(t, delaySweep, func(c *Config, p float64) { c.ExtraDelayMs = p })
+	t.Logf("extra one-way delay %v ms -> goodput KB/s %v", delaySweep, g)
+	for i := 1; i < len(g); i++ {
+		if !(g[i] < g[i-1]) {
+			t.Fatalf("goodput not strictly decreasing in RTT: %.2f KB/s at +%vms vs %.2f KB/s at +%vms",
+				g[i], delaySweep[i], g[i-1], delaySweep[i-1])
+		}
+	}
+	if g[len(g)-1] <= 0 {
+		t.Fatal("flow made no progress at the highest delay point")
+	}
+}
+
+// TestGoodputTracksBottleneckUtilization checks the third knob: a
+// busier bottleneck (less residual capacity) cannot raise goodput.
+func TestGoodputTracksBottleneckUtilization(t *testing.T) {
+	utils := []float64{0.1, 0.5, 0.9}
+	g := sweepGoodput(t, utils, func(c *Config, p float64) { c.FixedUtilization = p })
+	t.Logf("utilization %v -> goodput KB/s %v", utils, g)
+	for i := 1; i < len(g); i++ {
+		if g[i] > g[i-1] {
+			t.Fatalf("goodput increased with utilization: %.2f KB/s at u=%v vs %.2f KB/s at u=%v",
+				g[i], utils[i], g[i-1], utils[i-1])
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package packetnet is a deterministic, event-driven packet-level data
+// plane over the synthetic Internet: where netsim answers "what is the
+// expected state of this path right now", packetnet pushes individual
+// packets through the same topology — per-link transmission time,
+// propagation delay, bounded drop-tail FIFO queues, background load
+// sampled from the netsim congestion model, and out-of-order delivery
+// across path changes — in the style of netem-like userspace link
+// emulators.
+//
+// On top of the raw data plane the package implements a TCP Reno
+// endpoint (slow start, fast retransmit, RTO backoff — the same
+// semantics as internal/tcpsim's rounds model, but running as real
+// segments) and exposes it two ways:
+//
+//   - Network.Dial / Network.Listen return net.Conn / net.Listener
+//     implementations on the simulated clock, so unmodified protocol
+//     code written against the standard library runs over the simulated
+//     topology (see examples/packetlevel).
+//   - Network.Transfer runs a bulk flow entirely inside the event loop
+//     and reports goodput — the entry point the PacketValidation
+//     exhibit uses to compare packet-level throughput against the
+//     closed-form Mathis model.
+//
+// Determinism: every random draw (per-packet loss, background state) is
+// a pure function of (Config.Seed, packet ID, hop), the event queue
+// breaks time ties by a monotone sequence number, and the simulated
+// clock only advances inside the event loop, so a given seed produces
+// bit-identical results at any host concurrency. The package is held to
+// the repository determinism contract (detrand/detflow).
+package packetnet
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"pathsel/internal/forward"
+	"pathsel/internal/netsim"
+	"pathsel/internal/topology"
+)
+
+// Config tunes the data plane and the TCP endpoints.
+type Config struct {
+	// Seed drives every per-packet random draw.
+	Seed int64
+
+	// MSSBytes is the TCP payload per full segment; HeaderBytes is the
+	// per-segment wire overhead (also the wire size of a pure ACK).
+	MSSBytes    int
+	HeaderBytes int
+
+	// QueuePackets bounds each link's FIFO queue, in full-size packets:
+	// a packet arriving at a link whose backlog exceeds this many
+	// transmission times is dropped (drop-tail).
+	QueuePackets int
+
+	// InitialSSThresh and MaxWindow mirror tcpsim.Config: the initial
+	// slow-start threshold and the receiver-window cap, in segments.
+	InitialSSThresh float64
+	MaxWindow       float64
+
+	// RTOMinMs / RTOMaxMs clamp the retransmission timeout.
+	RTOMinMs float64
+	RTOMaxMs float64
+
+	// SendBufBytes caps a connection's send buffer (Write blocks when
+	// full); RecvWindowBytes is the flow-control window a receiver
+	// advertises.
+	SendBufBytes    int
+	RecvWindowBytes int
+
+	// SamplePeriodSec is the grid on which per-link background state
+	// (utilization, loss, wandering propagation delay) is re-sampled
+	// from netsim. Values are evaluated at grid boundaries, so sampled
+	// state is independent of packet arrival order.
+	SamplePeriodSec float64
+
+	// ExtraDelayMs is added to every packet's one-way delivery and
+	// ExtraLossProb drops every packet independently with the given
+	// probability — the netem-style impairment knobs the monotonicity
+	// tests sweep.
+	ExtraDelayMs  float64
+	ExtraLossProb float64
+
+	// FixedUtilization, when non-negative, replaces the netsim
+	// background model on every link: utilization is the given constant
+	// everywhere, background loss is zero, and propagation delay is the
+	// topology's static value. Negative (the default) samples netsim.
+	FixedUtilization float64
+}
+
+// DefaultConfig mirrors the late-90s stack tcpsim models: 1460-byte
+// segments, 64 KB windows (~45 segments), 200 ms minimum RTO.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             1,
+		MSSBytes:         1460,
+		HeaderBytes:      40,
+		QueuePackets:     128,
+		InitialSSThresh:  32,
+		MaxWindow:        45,
+		RTOMinMs:         200,
+		RTOMaxMs:         60000,
+		SendBufBytes:     256 << 10,
+		RecvWindowBytes:  64 << 10,
+		SamplePeriodSec:  5,
+		FixedUtilization: -1,
+	}
+}
+
+// Validate reports problems with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.MSSBytes <= 0:
+		return errors.New("packetnet: MSSBytes must be positive")
+	case c.HeaderBytes < 0:
+		return errors.New("packetnet: HeaderBytes must be non-negative")
+	case c.QueuePackets < 1:
+		return errors.New("packetnet: QueuePackets must be at least 1")
+	case c.InitialSSThresh < 1:
+		return errors.New("packetnet: InitialSSThresh must be at least 1")
+	case c.MaxWindow < 2:
+		return errors.New("packetnet: MaxWindow must be at least 2")
+	case c.RTOMinMs <= 0 || c.RTOMaxMs < c.RTOMinMs:
+		return errors.New("packetnet: need 0 < RTOMinMs <= RTOMaxMs")
+	case c.SendBufBytes < c.MSSBytes:
+		return errors.New("packetnet: SendBufBytes must hold at least one segment")
+	case c.RecvWindowBytes < c.MSSBytes:
+		return errors.New("packetnet: RecvWindowBytes must hold at least one segment")
+	case c.SamplePeriodSec <= 0:
+		return errors.New("packetnet: SamplePeriodSec must be positive")
+	case c.ExtraLossProb < 0 || c.ExtraLossProb > 1:
+		return errors.New("packetnet: ExtraLossProb outside [0,1]")
+	case c.ExtraDelayMs < 0:
+		return errors.New("packetnet: ExtraDelayMs must be non-negative")
+	case c.FixedUtilization >= 1:
+		return errors.New("packetnet: FixedUtilization must be below 1")
+	}
+	return nil
+}
+
+// PathProvider resolves the forwarding path between two hosts at a
+// simulated time. forward.Cache satisfies it for a converged network and
+// dynamics.DelayedTimeline for a failing, reconverging one — swapping
+// providers mid-flight is how path changes (and the resulting reordering)
+// reach the data plane.
+type PathProvider interface {
+	PathAt(src, dst topology.HostID, t netsim.Time) (forward.Path, error)
+}
+
+// Epoch is the wall-clock instant corresponding to simulated time zero
+// (midnight PST on a Monday, matching netsim.Time's bucketing).
+// net.Conn deadlines are interpreted against this mapping: a deadline of
+// Epoch.Add(90*time.Second) fires at simulated time 90.
+var Epoch = time.Date(1999, time.March, 1, 0, 0, 0, 0, time.FixedZone("PST", -8*3600))
+
+// NetStats counts data-plane events since the network was created.
+type NetStats struct {
+	// PacketsSent counts packets injected into the data plane.
+	PacketsSent int
+	// QueueDrops counts drop-tail losses at full link queues.
+	QueueDrops int
+	// RandomLosses counts background (netsim) and ExtraLossProb drops.
+	RandomLosses int
+	// Unroutable counts packets dropped because no path existed.
+	Unroutable int
+}
+
+// Network is one simulated data plane: an event loop, per-link queue
+// state, and the registered listeners and connections. All methods are
+// safe for concurrent use; the simulated clock advances only while some
+// goroutine is blocked inside the event loop (Dial, Accept, Read, Write,
+// Transfer), never behind the caller's back.
+type Network struct {
+	top   *topology.Topology
+	ns    *netsim.Network
+	paths PathProvider
+	cfg   Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	q   eventHeap
+	now netsim.Time
+
+	eventSeq uint64 // event-queue tiebreaker
+	pktSeq   uint64 // per-packet ID driving loss draws
+	portSeq  int    // ephemeral port allocator
+
+	links     map[topology.LinkID]*linkState
+	accessUp  map[topology.HostID]*linkState
+	accessDn  map[topology.HostID]*linkState
+	listeners map[Addr]*Listener
+
+	stats NetStats
+}
+
+// New creates a data plane over the given topology. ns supplies the
+// background congestion state (may not be nil); paths resolves
+// forwarding paths (use forward.NewCache(fwd) for a converged network).
+func New(top *topology.Topology, ns *netsim.Network, paths PathProvider, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if top == nil || ns == nil || paths == nil {
+		return nil, errors.New("packetnet: nil topology, netsim or path provider")
+	}
+	n := &Network{
+		top:       top,
+		ns:        ns,
+		paths:     paths,
+		cfg:       cfg,
+		links:     map[topology.LinkID]*linkState{},
+		accessUp:  map[topology.HostID]*linkState{},
+		accessDn:  map[topology.HostID]*linkState{},
+		listeners: map[Addr]*Listener{},
+	}
+	n.cond = sync.NewCond(&n.mu)
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current simulated time.
+func (n *Network) Now() netsim.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// WallClock maps the current simulated time onto the wall-clock epoch,
+// for computing net.Conn deadlines without reading the real clock.
+func (n *Network) WallClock() time.Time {
+	return Epoch.Add(time.Duration(float64(n.Now()) * float64(time.Second)))
+}
+
+// Stats returns a snapshot of the data-plane counters.
+func (n *Network) Stats() NetStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// --- event queue ---
+
+// event is one scheduled callback. Ordering is (at, seq): seq is the
+// scheduling order, so simultaneous events run in the deterministic
+// order they were created.
+type event struct {
+	at  netsim.Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap of events ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*h).less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	nn := len(old) - 1
+	old[0] = old[nn]
+	old[nn] = event{} // release the closure
+	*h = old[:nn]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < nn && (*h).less(l, small) {
+			small = l
+		}
+		if r < nn && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// schedule enqueues fn at the given simulated time (clamped to now:
+// events are never scheduled in the past, so timestamps are monotone and
+// non-negative). Callers must hold n.mu.
+func (n *Network) schedule(at netsim.Time, fn func()) {
+	if math.IsNaN(float64(at)) {
+		panic("packetnet: NaN event time")
+	}
+	if at < n.now {
+		at = n.now
+	}
+	if at < 0 {
+		panic("packetnet: negative event time")
+	}
+	n.eventSeq++
+	n.q.push(event{at: at, seq: n.eventSeq, fn: fn})
+	// A blocked driver may be waiting for new work.
+	n.cond.Broadcast()
+}
+
+// stepLocked pops and runs the next event, advancing the clock. Callers
+// must hold n.mu and have checked the queue is non-empty.
+func (n *Network) stepLocked() {
+	ev := n.q.pop()
+	if ev.at > n.now {
+		n.now = ev.at
+	}
+	ev.fn()
+	n.cond.Broadcast()
+}
+
+// noDeadline disables deadline checking in driveLocked.
+const noDeadline = netsim.Time(-1)
+
+// driveLocked advances the simulation by (at most) one step on behalf of
+// a blocked operation: it runs the next event if one exists, waits for
+// another goroutine to inject work if the queue is empty, and enforces
+// the operation's deadline on the simulated clock. The caller re-checks
+// its wake condition after every return. Callers must hold n.mu.
+func (n *Network) driveLocked(deadline netsim.Time) error {
+	if deadline >= 0 && n.now >= deadline {
+		return errTimeout
+	}
+	if len(n.q) == 0 {
+		if deadline >= 0 {
+			// No scheduled work exists, so simulated time can only
+			// reach the deadline by jumping there.
+			n.now = deadline
+			return errTimeout
+		}
+		n.cond.Wait()
+		return nil
+	}
+	if deadline >= 0 && n.q[0].at >= deadline {
+		n.now = deadline
+		return errTimeout
+	}
+	n.stepLocked()
+	// Rotate driver duty: hand the lock to any other blocked operation
+	// whose wake condition the event just satisfied, so one driver
+	// stepping a long event chain cannot starve the rest. Event order
+	// is fixed by the heap either way, so rotation does not affect the
+	// simulation outcome.
+	n.mu.Unlock()
+	runtime.Gosched()
+	n.mu.Lock()
+	return nil
+}
+
+// runUntil drains every event scheduled at or before end and advances
+// the clock to end. It is the synchronous entry point Transfer uses.
+func (n *Network) runUntil(end netsim.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(n.q) > 0 && n.q[0].at <= end {
+		n.stepLocked()
+	}
+	if n.now < end {
+		n.now = end
+	}
+}
+
+// --- deterministic hashing (splitmix64-style, as in netsim) ---
+
+// mix64 mixes three 64-bit values into one.
+func mix64(a, b, c uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 ^ b*0xC2B2AE3D27D4EB4F ^ c*0x165667B19E3779F9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// unit converts a hash to a float64 in [0,1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
