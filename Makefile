@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test vet lint lint-json race bench bench-json bench-scale fuzz-smoke staticcheck vuln check check-all
+.PHONY: build test vet lint lint-json race bench bench-json bench-scale serve-load fuzz-smoke staticcheck vuln check check-all
 
 build:
 	$(GO) build ./...
@@ -44,7 +44,7 @@ bench:
 # JSON by cmd/benchjson. Override the PR number (make bench-json N=9)
 # or the whole filename (BENCH_OUT=baseline.json) instead of editing
 # this file each PR.
-N ?= 8
+N ?= 10
 BENCH_OUT ?= BENCH_$(N).json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -timeout 30m . | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
@@ -56,12 +56,21 @@ bench-json:
 bench-scale:
 	PATHSEL_SCALE_SMOKE=1 GOMEMLIMIT=7GiB $(GO) test -run TestScaleSmoke -v -timeout 10m ./internal/experiments/
 
+# Serving-stack load test: assemble the shard router and two workers
+# in-process, replay the committed request mix over real HTTP, and
+# assert the p99 latency and error budgets. Writes the committed
+# baseline (make serve-load LOAD_OUT=LOAD_10.json regenerates it).
+LOAD_OUT ?= LOAD_$(N).json
+serve-load:
+	$(GO) run ./cmd/loadtest -out $(LOAD_OUT)
+
 # Short fuzz runs of the parsers that face external input, plus the
 # packet data plane's invariant fuzzer; CI runs the same budgets.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=15s -run '^$$' ./internal/trace
 	$(GO) test -fuzz=FuzzParsePreset -fuzztime=15s -run '^$$' ./internal/experiments
 	$(GO) test -fuzz=FuzzDataPlane -fuzztime=15s -run '^$$' ./internal/packetnet
+	$(GO) test -fuzz=FuzzDecode -fuzztime=15s -run '^$$' ./internal/snapshot
 
 staticcheck:
 	$(GO) run $(STATICCHECK) ./...

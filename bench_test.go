@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"pathsel/internal/measure"
 	"pathsel/internal/netsim"
 	"pathsel/internal/packetnet"
+	"pathsel/internal/snapshot"
 	"pathsel/internal/stats"
 	"pathsel/internal/tcpmodel"
 	"pathsel/internal/topology"
@@ -677,5 +679,78 @@ func BenchmarkOverlayExhibit(b *testing.B) {
 		if len(res.Budgets) != 3 {
 			b.Fatal("bad budget count")
 		}
+	}
+}
+
+// --- Snapshot codec and serve warm start ---
+
+// BenchmarkSnapshotEncode times serializing a built suite's campaign
+// datasets to the canonical snapshot format, reporting the payload
+// size.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	for _, preset := range []experiments.Preset{experiments.Quick, experiments.Full} {
+		b.Run(preset.String(), func(b *testing.B) {
+			s := benchSuitePreset(b, preset)
+			b.ResetTimer()
+			var size int
+			for i := 0; i < b.N; i++ {
+				buf, err := snapshot.Encode(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(buf)
+			}
+			b.ReportMetric(float64(size), "bytes")
+		})
+	}
+}
+
+// BenchmarkSnapshotDecode times the codec half of a warm start:
+// checksum verification and dataset reconstruction, without the
+// substrate regeneration that Restore adds on top.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	for _, preset := range []experiments.Preset{experiments.Quick, experiments.Full} {
+		b.Run(preset.String(), func(b *testing.B) {
+			data, err := snapshot.Encode(benchSuitePreset(b, preset))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, ds, err := snapshot.Decode(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds) != len(experiments.PrimaryDatasetNames()) {
+					b.Fatal("missing datasets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeWarmStart times the complete snapshot warm path a serve
+// worker takes on a cache miss with a snapshot present: decode the
+// campaign datasets and regenerate the measurement substrate. Compare
+// against BenchmarkSuiteBuildPreset at the same preset — the cold
+// rebuild this path replaces — for the warm/cold ratio.
+func BenchmarkServeWarmStart(b *testing.B) {
+	for _, preset := range []experiments.Preset{experiments.Quick, experiments.Full} {
+		b.Run(preset.String(), func(b *testing.B) {
+			data, err := snapshot.Encode(benchSuitePreset(b, preset))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := snapshot.Restore(context.Background(), data, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(s.UW3.Paths) == 0 {
+					b.Fatal("empty UW3")
+				}
+			}
+		})
 	}
 }

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	figures [-preset quick|full|scale] [-seed N] [-workers N] [-out DIR]
+//	        [-snapshot-dir DIR]
+//
+// With -snapshot-dir the built suite is also persisted as a binary
+// snapshot (internal/snapshot), so a serve fleet started with the same
+// -snapshot-dir warm-starts from this run's datasets instead of
+// rebuilding them.
 //
 // The scale preset targets the substrate rather than the full exhibit
 // catalogue: it prints the topology census, Table 1, the headline CDF
@@ -24,6 +30,7 @@ import (
 	"pathsel/internal/core"
 	"pathsel/internal/experiments"
 	"pathsel/internal/report"
+	"pathsel/internal/snapshot"
 	"pathsel/internal/stats"
 )
 
@@ -32,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed for topology, network and campaigns")
 	workers := flag.Int("workers", 0, "analysis worker goroutines (0 = one per CPU, 1 = sequential)")
 	out := flag.String("out", "", "directory for per-figure CDF data files (optional)")
+	snapDir := flag.String("snapshot-dir", "", "also persist the built suite as a snapshot for serve warm starts")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Concurrency: *workers}
@@ -40,7 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
 	}
-	if err := run(cfg, *out); err != nil {
+	if err := run(cfg, *out, *snapDir); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
@@ -161,11 +169,21 @@ func runScale(s *experiments.Suite, outDir string) error {
 	return printVerdictTables(s)
 }
 
-func run(cfg experiments.Config, outDir string) error {
+func run(cfg experiments.Config, outDir, snapDir string) error {
 	fmt.Printf("building %s suite (seed %d)...\n", cfg.Preset, cfg.Seed)
 	s, err := experiments.Build(cfg)
 	if err != nil {
 		return err
+	}
+	if snapDir != "" {
+		if err := os.MkdirAll(snapDir, 0o755); err != nil {
+			return err
+		}
+		path, err := snapshot.Write(snapDir, s)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		fmt.Printf("suite snapshot written to %s\n", path)
 	}
 	if cfg.Preset == experiments.Scale {
 		return runScale(s, outDir)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pathsel/internal/experiments"
+	"pathsel/internal/snapshot"
 )
 
 func TestRunQuickWritesAllFigureData(t *testing.T) {
@@ -14,8 +15,14 @@ func TestRunQuickWritesAllFigureData(t *testing.T) {
 		t.Skip("builds the full quick suite and runs every analysis")
 	}
 	dir := t.TempDir()
-	if err := run(experiments.Config{Seed: 1, Preset: experiments.Quick}, dir); err != nil {
+	snapDir := t.TempDir()
+	cfg := experiments.Config{Seed: 1, Preset: experiments.Quick}
+	if err := run(cfg, dir, snapDir); err != nil {
 		t.Fatal(err)
+	}
+	// -snapshot-dir leaves a decodable warm-start snapshot behind.
+	if _, err := os.Stat(filepath.Join(snapDir, snapshot.FileName(cfg))); err != nil {
+		t.Errorf("snapshot not written: %v", err)
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {

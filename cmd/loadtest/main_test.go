@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pathsel/internal/loadgen"
+)
+
+// TestInProcessStackServes spins the real router + worker fleet and
+// replays a tiny mix through it, end to end over HTTP.
+func TestInProcessStackServes(t *testing.T) {
+	base, cleanup := inProcessStack(2)
+	defer cleanup()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("router healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router healthz status %d", resp.StatusCode)
+	}
+
+	mix := loadgen.Mix{Seeds: []int64{1}, Presets: []string{"quick"},
+		Endpoints: []string{"/api/table1", "/api/figure/2"}}
+	reqs, err := mix.Requests(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &loadgen.Runner{BaseURL: base, Concurrency: 2}
+	results := runner.Run(context.Background(), reqs)
+	rep := loadgen.Summarize(results)
+	if rep.Errors != 0 {
+		t.Fatalf("replay had %d errors: %+v", rep.Errors, rep.StatusCount)
+	}
+	if err := rep.Check(0, 0); err != nil {
+		t.Errorf("zero error budget violated: %v", err)
+	}
+}
+
+func TestTargetLabel(t *testing.T) {
+	if got := targetLabel("http://x", 2); got != "http://x" {
+		t.Errorf("explicit URL label %q", got)
+	}
+	if got := targetLabel("", 3); !strings.Contains(got, "3 workers") {
+		t.Errorf("in-process label %q", got)
+	}
+}

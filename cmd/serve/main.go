@@ -7,10 +7,26 @@
 // /debug/pprof. Useful for plugging the reproduction into plotting
 // notebooks or dashboards without touching Go.
 //
+// The process runs in one of three modes:
+//
+//   - standalone (default): serve every request from this process.
+//   - worker: identical serving path; the name documents its place
+//     behind a router.
+//   - router: serve nothing locally — consistent-hash the (seed,
+//     preset) keyspace over the -backends workers, forward with
+//     bounded retries, and health-check the fleet.
+//
+// With -snapshot-dir, cold starts warm from persisted suite snapshots
+// (see internal/snapshot): a cache miss first tries to decode the
+// suite from disk (milliseconds) and only then falls back to a full
+// rebuild, persisting the result for the next process.
+//
 // Usage:
 //
 //	serve [-addr :8410] [-preset quick|full|scale] [-seed N] [-workers N]
 //	      [-cache N] [-max-builds N] [-timeout D] [-warm]
+//	      [-snapshot-dir DIR] [-mode standalone|worker|router]
+//	      [-backends URL,URL] [-retries N] [-health-interval D]
 //
 // Endpoints (all /api endpoints accept ?seed=N&preset=quick|full|scale):
 //
@@ -20,6 +36,7 @@
 //	GET /api/figure/{1..16} figure series (JSON)
 //	GET /api/cdf/{fig}/{series}  one curve as x<TAB>fraction lines
 //	GET /api/suites         cached suite configurations (JSON)
+//	GET /api/workers        fleet liveness (router mode)
 //	GET /metrics            Prometheus text metrics
 //	GET /healthz            liveness probe
 //	GET /debug/pprof/       runtime profiles
@@ -31,13 +48,17 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"pathsel/internal/experiments"
 	"pathsel/internal/obs"
+	"pathsel/internal/server"
 )
 
 // withRequestTimeout bounds every request context, so an analysis that
@@ -53,6 +74,32 @@ func withRequestTimeout(d time.Duration, next http.Handler) http.Handler {
 	})
 }
 
+// signalContext returns a context cancelled on the signals that mean
+// "stop serving": os.Interrupt for terminals and SIGTERM for container
+// runtimes and process supervisors, both of which must take the
+// graceful-drain path rather than killing in-flight analyses.
+func signalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// serveUntilDone serves on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately (no new connections) and
+// in-flight requests get up to grace to complete before the process
+// gives up on them. A listener failure is returned as-is.
+func serveUntilDone(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	errCh := make(chan error, 1)
+	//repolint:allow ctxleak -- cancellation reaches this goroutine through srv.Shutdown below, which makes Serve return
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8410", "listen address")
 	preset := flag.String("preset", "quick", "default campaign scale: quick, full or scale")
@@ -62,6 +109,12 @@ func main() {
 	maxBuilds := flag.Int("max-builds", 2, "max concurrent suite builds before requests get 429")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = none), e.g. 2m")
 	warm := flag.Bool("warm", false, "build the default suite before accepting traffic")
+	snapshotDir := flag.String("snapshot-dir", "", "directory of suite snapshots for warm starts (empty = always rebuild)")
+	mode := flag.String("mode", "standalone", "process role: standalone, worker or router")
+	backends := flag.String("backends", "", "comma-separated worker base URLs (router mode), e.g. http://10.0.0.1:8410,http://10.0.0.2:8410")
+	retries := flag.Int("retries", 2, "max ring successors tried after the owner fails (router mode)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "worker health-check period (router mode)")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown drain budget for in-flight requests")
 	flag.Parse()
 
 	defaults := experiments.Config{Seed: *seed, Concurrency: *workers}
@@ -76,40 +129,65 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	cache := newSuiteCache(*cacheSize, *maxBuilds, *workers, experiments.BuildContext, newServerMetrics(reg))
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
-	if *warm {
-		log.Printf("warming %s suite (seed %d)...", defaults.Preset, defaults.Seed)
-		start := time.Now()
-		if _, err := cache.get(context.Background(), defaults); err != nil {
-			log.Fatalf("serve: warm build: %v", err)
+	ctx, stop := signalContext(context.Background())
+	defer stop()
+
+	var root http.Handler
+	switch *mode {
+	case "router":
+		var bases []string
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				bases = append(bases, strings.TrimRight(b, "/"))
+			}
 		}
-		log.Printf("suite ready in %v", time.Since(start).Round(time.Millisecond))
+		if len(bases) == 0 {
+			fmt.Fprintln(os.Stderr, "serve: -mode=router requires -backends")
+			os.Exit(2)
+		}
+		rt := server.NewRouter(bases, defaults, *retries, reg)
+		rt.CheckAll(ctx)
+		go rt.HealthLoop(ctx, *healthInterval)
+		root = rt
+		log.Printf("routing over %d workers: %s", len(bases), strings.Join(bases, ", "))
+	case "standalone", "worker":
+		if *snapshotDir != "" {
+			if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(2)
+			}
+		}
+		metrics := server.NewMetrics(reg)
+		source := server.NewSnapshotSource(*snapshotDir, experiments.BuildContext, metrics, logger)
+		cache := server.NewSuiteCache(*cacheSize, *maxBuilds, *workers, source, metrics)
+		if *warm {
+			log.Printf("warming %s suite (seed %d)...", defaults.Preset, defaults.Seed)
+			start := time.Now()
+			if _, err := cache.Get(ctx, defaults); err != nil {
+				log.Fatalf("serve: warm build: %v", err)
+			}
+			log.Printf("suite ready in %v", time.Since(start).Round(time.Millisecond))
+		}
+		root = server.NewHandler(cache, defaults, reg)
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown -mode %q (want standalone, worker or router)\n", *mode)
+		os.Exit(2)
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           withRequestTimeout(*timeout, obs.Instrument(reg, logger, newHandler(cache, defaults, reg))),
+		Handler:           withRequestTimeout(*timeout, obs.Instrument(reg, logger, root)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-
-	// Graceful shutdown on interrupt.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (default %s suite, seed %d; cache %d, max builds %d)",
-		*addr, defaults.Preset, defaults.Seed, *cacheSize, *maxBuilds)
-	select {
-	case err := <-errCh:
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatalf("serve: %v", err)
-	case <-ctx.Done():
-		log.Print("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("serve: shutdown: %v", err)
-		}
 	}
+	log.Printf("serving on %s (%s mode, default %s suite, seed %d)",
+		ln.Addr(), *mode, defaults.Preset, defaults.Seed)
+	if err := serveUntilDone(ctx, srv, ln, *grace); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Print("drained; bye")
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeUntilDoneDrainsInFlight verifies the graceful-drain path: a
+// request already being served when shutdown starts must run to
+// completion and reach the client intact.
+func TestServeUntilDoneDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained-ok")
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntilDone(ctx, srv, ln, 5*time.Second) }()
+
+	respCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- string(b)
+	}()
+
+	// Once the handler is running, trigger shutdown while the request
+	// is still in flight, then let the handler finish.
+	<-entered
+	cancel()
+	time.Sleep(20 * time.Millisecond) // let Shutdown begin closing the listener
+	close(release)
+
+	select {
+	case body := <-respCh:
+		if body != "drained-ok" {
+			t.Fatalf("in-flight response = %q, want drained-ok", body)
+		}
+	case err := <-errCh:
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request did not complete")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveUntilDone: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntilDone did not return after drain")
+	}
+
+	// New connections must be refused after shutdown.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/"); err == nil {
+		t.Fatal("server accepted a connection after shutdown")
+	}
+}
+
+// TestSignalContextTrapsSIGTERM verifies that SIGTERM — what container
+// runtimes send — cancels the serve context, so it takes the
+// graceful-drain path instead of killing the process.
+func TestSignalContextTrapsSIGTERM(t *testing.T) {
+	ctx, stop := signalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the signal context")
+	}
+}

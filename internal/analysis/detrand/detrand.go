@@ -16,8 +16,10 @@ import (
 )
 
 // Packages is the set of import paths held to the determinism
-// contract. Serving-layer packages (cmd/serve, internal/obs) are
-// exempt: wall-clock timestamps and jitter are part of their job.
+// contract. Serving-layer packages (cmd/serve, internal/server,
+// internal/obs) are exempt: wall-clock timestamps and jitter are part
+// of their job. internal/loadgen generates its request mix from a
+// seed, but it measures wall-clock latencies, so it stays exempt too.
 // Tests may extend this set to cover fixture packages.
 var Packages = map[string]bool{}
 
@@ -26,7 +28,7 @@ func init() {
 		"topology", "igp", "bgp", "netsim", "measure", "core",
 		"experiments", "stats", "tcpmodel", "tcpsim", "dynamics",
 		"geo", "probe", "optimal", "overlay", "csr", "pathset",
-		"packetnet",
+		"packetnet", "snapshot",
 	} {
 		Packages["pathsel/internal/"+name] = true
 	}

@@ -298,10 +298,11 @@ func BuildContext(ctx context.Context, cfg Config) (*Suite, error) {
 	return s, nil
 }
 
-// buildUWPart generates the 1998-99 North American plane and runs the
-// four UW campaigns.
-func buildUWPart(ctx context.Context, s *Suite, cfg Config, sc campaignScale) error {
-	// --- UW plane: 1998-99, North America ---
+// uwTopologyConfig derives the 1998-99 North American topology
+// configuration for cfg. Both the cold build and the snapshot restore
+// path (Reassemble) route through this one helper, so a restored
+// substrate is exactly the one the campaigns measured.
+func uwTopologyConfig(cfg Config, sc campaignScale) topology.Config {
 	uwTopCfg := topology.DefaultConfig(topology.Era1999)
 	uwTopCfg.Seed = cfg.Seed
 	uwTopCfg.Region = geo.NorthAmerica
@@ -323,7 +324,29 @@ func buildUWPart(ctx context.Context, s *Suite, cfg Config, sc campaignScale) er
 		uwTopCfg.NumHosts = 100000
 		uwTopCfg.HostsPerStub = 10
 	}
-	uwPlane, err := buildPlane(uwTopCfg, cfg.Seed+101, cfg.Seed+201)
+	return uwTopCfg
+}
+
+// d2TopologyConfig derives the 1995 world topology configuration for
+// cfg; shared by the cold build and Reassemble like uwTopologyConfig.
+func d2TopologyConfig(cfg Config, sc campaignScale) topology.Config {
+	d2TopCfg := topology.DefaultConfig(topology.Era1995)
+	d2TopCfg.Seed = cfg.Seed + 1
+	d2TopCfg.Region = geo.World
+	d2TopCfg.NumHosts = sc.d2Hosts
+	if cfg.Preset == Quick {
+		d2TopCfg.NumTier1 = 4
+		d2TopCfg.NumTransit = 10
+		d2TopCfg.NumStub = 50
+	}
+	return d2TopCfg
+}
+
+// buildUWPart generates the 1998-99 North American plane and runs the
+// four UW campaigns.
+func buildUWPart(ctx context.Context, s *Suite, cfg Config, sc campaignScale) error {
+	// --- UW plane: 1998-99, North America ---
+	uwPlane, err := buildPlane(uwTopologyConfig(cfg, sc), cfg.Seed+101, cfg.Seed+201)
 	if err != nil {
 		return fmt.Errorf("experiments: UW plane: %w", err)
 	}
@@ -402,16 +425,7 @@ func buildUWPart(ctx context.Context, s *Suite, cfg Config, sc campaignScale) er
 // campaigns.
 func buildD2Part(ctx context.Context, s *Suite, cfg Config, sc campaignScale) error {
 	// --- Paxson plane: 1995, world ---
-	d2TopCfg := topology.DefaultConfig(topology.Era1995)
-	d2TopCfg.Seed = cfg.Seed + 1
-	d2TopCfg.Region = geo.World
-	d2TopCfg.NumHosts = sc.d2Hosts
-	if cfg.Preset == Quick {
-		d2TopCfg.NumTier1 = 4
-		d2TopCfg.NumTransit = 10
-		d2TopCfg.NumStub = 50
-	}
-	d2Plane, err := buildPlane(d2TopCfg, cfg.Seed+102, cfg.Seed+202)
+	d2Plane, err := buildPlane(d2TopologyConfig(cfg, sc), cfg.Seed+102, cfg.Seed+202)
 	if err != nil {
 		return fmt.Errorf("experiments: D2 plane: %w", err)
 	}

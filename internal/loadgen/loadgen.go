@@ -1,0 +1,275 @@
+// Package loadgen generates and replays a deterministic request mix
+// against the suite-serving HTTP API, and reduces the observed
+// latencies to a report with exact quantiles and threshold checks.
+//
+// The mix is a seeded random sequence: suite seeds, presets and
+// endpoints are drawn zipf-style (a few hot configurations dominate,
+// with a long tail), because that is the traffic shape the serving
+// stack's caches are designed for — and the shape that punishes cache
+// misconfiguration hardest. The same generator seed always yields the
+// same request sequence, so a load-test run is reproducible and its
+// committed thresholds are meaningful across machines and CI runs.
+//
+// Replay itself (Runner) measures wall-clock latency, so this package
+// is deliberately NOT part of the determinism-linted set: its outputs
+// are measurements, not results.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request is one generated API request, relative to the server base
+// URL.
+type Request struct {
+	Path string `json:"path"`
+}
+
+// Mix describes the request population. Slices are rank-ordered
+// hottest first: index 0 is drawn most often under the zipf draw.
+type Mix struct {
+	// Seeds are the suite seeds in play. A serving fleet's cache
+	// capacity is spent per (seed, preset), so the seed count controls
+	// how much suite churn the test applies.
+	Seeds []int64
+	// Presets are the campaign scales requested, hottest first.
+	Presets []string
+	// Endpoints are API path templates, hottest first.
+	Endpoints []string
+	// ZipfS is the zipf skew parameter (must be > 1; larger = more
+	// skew). Zero means DefaultZipfS.
+	ZipfS float64
+}
+
+// DefaultZipfS keeps roughly 60% of draws on rank 0 for small
+// populations — hot-dominated but with a real tail.
+const DefaultZipfS = 1.6
+
+// DefaultMix is the committed load-test population: three suite seeds
+// on the quick preset (CI-affordable builds) over the table and figure
+// endpoints the paper's readers actually hit.
+func DefaultMix() Mix {
+	eps := []string{"/api/table1", "/api/figure/2", "/api/figure/3", "/api/table/2",
+		"/api/figure/9", "/api/figure/15", "/api/table/3", "/api/figure/6",
+		"/api/figure/11", "/api/figure/16"}
+	return Mix{
+		Seeds:     []int64{1, 2, 3},
+		Presets:   []string{"quick"},
+		Endpoints: eps,
+	}
+}
+
+// Requests expands the mix into a deterministic sequence of n requests
+// drawn with the given generator seed.
+func (m Mix) Requests(seed int64, n int) ([]Request, error) {
+	if len(m.Seeds) == 0 || len(m.Presets) == 0 || len(m.Endpoints) == 0 {
+		return nil, fmt.Errorf("loadgen: mix needs seeds, presets and endpoints")
+	}
+	s := m.ZipfS
+	if s == 0 {
+		s = DefaultZipfS
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("loadgen: zipf s=%v must exceed 1", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seedZ := rand.NewZipf(rng, s, 1, uint64(len(m.Seeds)-1))
+	presetZ := rand.NewZipf(rng, s, 1, uint64(len(m.Presets)-1))
+	epZ := rand.NewZipf(rng, s, 1, uint64(len(m.Endpoints)-1))
+	out := make([]Request, n)
+	for i := range out {
+		ep := m.Endpoints[epZ.Uint64()]
+		sep := "?"
+		if strings.Contains(ep, "?") {
+			sep = "&"
+		}
+		out[i] = Request{Path: fmt.Sprintf("%s%sseed=%d&preset=%s",
+			ep, sep, m.Seeds[seedZ.Uint64()], m.Presets[presetZ.Uint64()])}
+	}
+	return out, nil
+}
+
+// SuiteConfigs returns every (seed, preset) query string the mix can
+// produce, for prewarming worker caches before the measured pass.
+func (m Mix) SuiteConfigs() []string {
+	out := make([]string, 0, len(m.Seeds)*len(m.Presets))
+	for _, s := range m.Seeds {
+		for _, p := range m.Presets {
+			out = append(out, fmt.Sprintf("seed=%d&preset=%s", s, p))
+		}
+	}
+	return out
+}
+
+// Result is one replayed request's outcome.
+type Result struct {
+	Path    string
+	Status  int // 0 on transport error
+	Latency time.Duration
+	Err     error
+}
+
+// Runner replays a request sequence against a base URL with bounded
+// concurrency.
+type Runner struct {
+	BaseURL     string
+	Concurrency int          // worker goroutines; <=0 means 1
+	Client      *http.Client // nil means http.DefaultClient
+}
+
+// Run replays reqs and returns one result per request, index-aligned
+// with the input so the output is independent of goroutine scheduling.
+func (r *Runner) Run(ctx context.Context, reqs []Request) []Result {
+	client := r.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	workers := r.Concurrency
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	results := make([]Result, len(reqs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = replayOne(ctx, client, r.BaseURL, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			for ; i < len(reqs); i++ {
+				results[i] = Result{Path: reqs[i].Path, Err: ctx.Err()}
+			}
+			close(idx)
+			wg.Wait()
+			return results
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func replayOne(ctx context.Context, client *http.Client, base string, r Request) Result {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+r.Path, nil)
+	if err != nil {
+		return Result{Path: r.Path, Err: err}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Result{Path: r.Path, Latency: time.Since(start), Err: err}
+	}
+	// Drain so latency covers the full payload and the connection is
+	// reusable.
+	_, err = io.Copy(io.Discard, resp.Body)
+	res := Result{Path: r.Path, Status: resp.StatusCode, Latency: time.Since(start), Err: err}
+	resp.Body.Close()
+	return res
+}
+
+// Report summarizes a replay: request counts, exact latency quantiles
+// (computed by sorting, not approximated), and the error rate.
+type Report struct {
+	Requests    int            `json:"requests"`
+	Errors      int            `json:"errors"` // transport errors + 5xx
+	ErrorRate   float64        `json:"errorRate"`
+	StatusCount map[string]int `json:"statusCounts"`
+
+	P50Ms  float64 `json:"p50Ms"`
+	P90Ms  float64 `json:"p90Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	MaxMs  float64 `json:"maxMs"`
+	MeanMs float64 `json:"meanMs"`
+}
+
+// Summarize reduces replay results to a Report. A request counts as an
+// error when the transport failed or the server answered 5xx; 4xx is a
+// caller bug the thresholds should surface via status counts, not the
+// error budget.
+func Summarize(results []Result) Report {
+	rep := Report{Requests: len(results), StatusCount: map[string]int{}}
+	lat := make([]float64, 0, len(results))
+	var sum float64
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			rep.Errors++
+			rep.StatusCount["error"]++
+		default:
+			rep.StatusCount[fmt.Sprint(r.Status)]++
+			if r.Status >= 500 {
+				rep.Errors++
+			}
+		}
+		ms := r.Latency.Seconds() * 1e3
+		lat = append(lat, ms)
+		sum += ms
+	}
+	if len(results) == 0 {
+		return rep
+	}
+	rep.ErrorRate = float64(rep.Errors) / float64(len(results))
+	sort.Float64s(lat)
+	rep.P50Ms = quantile(lat, 0.50)
+	rep.P90Ms = quantile(lat, 0.90)
+	rep.P99Ms = quantile(lat, 0.99)
+	rep.MaxMs = lat[len(lat)-1]
+	rep.MeanMs = sum / float64(len(lat))
+	return rep
+}
+
+// quantile returns the exact q-quantile of sorted values using the
+// nearest-rank method, so p99 of 100 samples is the 99th largest — a
+// real observation, not an interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Check asserts the report against a latency and error budget.
+// p99Budget <= 0 or errorBudget < 0 disables that check. The returned
+// error names every violated threshold.
+func (r Report) Check(p99Budget time.Duration, errorBudget float64) error {
+	var fails []string
+	if p99Budget > 0 {
+		if budget := p99Budget.Seconds() * 1e3; r.P99Ms > budget {
+			fails = append(fails, fmt.Sprintf("p99 %.1fms exceeds budget %.1fms", r.P99Ms, budget))
+		}
+	}
+	if errorBudget >= 0 && r.ErrorRate > errorBudget {
+		fails = append(fails, fmt.Sprintf("error rate %.4f exceeds budget %.4f (%d/%d failed)",
+			r.ErrorRate, errorBudget, r.Errors, r.Requests))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("loadgen: %s", strings.Join(fails, "; "))
+	}
+	return nil
+}

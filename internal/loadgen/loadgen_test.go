@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRequestsDeterministic(t *testing.T) {
+	m := DefaultMix()
+	a, err := m.Requests(7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Requests(7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c, _ := m.Requests(8, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different generator seeds produced identical sequences")
+	}
+}
+
+func TestRequestsZipfShape(t *testing.T) {
+	m := DefaultMix()
+	reqs, err := m.Requests(1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySeed := map[string]int{}
+	for _, r := range reqs {
+		for _, s := range m.Seeds {
+			if strings.Contains(r.Path, fmt.Sprintf("seed=%d&", s)) {
+				bySeed[fmt.Sprint(s)]++
+			}
+		}
+	}
+	// Rank 0 must dominate but not monopolize, and the tail must exist.
+	hot := bySeed["1"]
+	if hot < len(reqs)/3 || hot == len(reqs) {
+		t.Fatalf("hot seed drew %d/%d requests; want dominant with a tail: %v", hot, len(reqs), bySeed)
+	}
+	if bySeed["2"] == 0 || bySeed["3"] == 0 {
+		t.Fatalf("tail seeds never drawn: %v", bySeed)
+	}
+	if bySeed["2"] < bySeed["3"] {
+		t.Logf("note: rank 2 drawn more than rank 1 (%v); acceptable for small samples", bySeed)
+	}
+}
+
+func TestRequestsValidation(t *testing.T) {
+	if _, err := (Mix{}).Requests(1, 10); err == nil {
+		t.Error("empty mix accepted")
+	}
+	bad := DefaultMix()
+	bad.ZipfS = 0.5
+	if _, err := bad.Requests(1, 10); err == nil {
+		t.Error("zipf s <= 1 accepted")
+	}
+}
+
+func TestSuiteConfigs(t *testing.T) {
+	m := Mix{Seeds: []int64{1, 2}, Presets: []string{"quick", "full"}, Endpoints: []string{"/x"}}
+	got := m.SuiteConfigs()
+	if len(got) != 4 {
+		t.Fatalf("got %d configs, want 4: %v", len(got), got)
+	}
+	if got[0] != "seed=1&preset=quick" {
+		t.Errorf("first config %q", got[0])
+	}
+}
+
+func TestRunnerReplaysAll(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if strings.Contains(r.URL.Path, "boom") {
+			http.Error(w, "kaput", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	reqs := []Request{{Path: "/a"}, {Path: "/boom"}, {Path: "/b"}, {Path: "/c"}}
+	runner := &Runner{BaseURL: srv.URL, Concurrency: 3}
+	results := runner.Run(context.Background(), reqs)
+	if got := hits.Load(); got != int64(len(reqs)) {
+		t.Fatalf("server saw %d requests, want %d", got, len(reqs))
+	}
+	// Index-aligned with input regardless of scheduling.
+	for i, r := range results {
+		if r.Path != reqs[i].Path {
+			t.Fatalf("result %d is for %q, want %q", i, r.Path, reqs[i].Path)
+		}
+		if r.Latency <= 0 {
+			t.Errorf("result %d has no latency", i)
+		}
+	}
+	if results[1].Status != http.StatusInternalServerError {
+		t.Errorf("boom status %d", results[1].Status)
+	}
+
+	rep := Summarize(results)
+	if rep.Requests != 4 || rep.Errors != 1 {
+		t.Fatalf("report %+v, want 4 requests 1 error", rep)
+	}
+	if rep.StatusCount["200"] != 3 || rep.StatusCount["500"] != 1 {
+		t.Errorf("status counts %v", rep.StatusCount)
+	}
+	if rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
+		t.Errorf("quantiles not ordered: %+v", rep)
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		reqs[i] = Request{Path: fmt.Sprintf("/r%d", i)}
+	}
+	done := make(chan []Result, 1)
+	go func() { done <- (&Runner{BaseURL: srv.URL, Concurrency: 2}).Run(ctx, reqs) }()
+	select {
+	case results := <-done:
+		if len(results) != len(reqs) {
+			t.Fatalf("got %d results, want %d", len(results), len(reqs))
+		}
+		errs := 0
+		for _, r := range results {
+			if r.Err != nil {
+				errs++
+			}
+		}
+		if errs == 0 {
+			t.Error("cancellation produced no errors")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+func TestSummarizeQuantilesExact(t *testing.T) {
+	results := make([]Result, 100)
+	for i := range results {
+		results[i] = Result{Status: 200, Latency: time.Duration(i+1) * time.Millisecond}
+	}
+	rep := Summarize(results)
+	if rep.P50Ms != 50 {
+		t.Errorf("p50 = %v, want 50 (nearest rank)", rep.P50Ms)
+	}
+	if rep.P99Ms != 99 {
+		t.Errorf("p99 = %v, want 99", rep.P99Ms)
+	}
+	if rep.MaxMs != 100 {
+		t.Errorf("max = %v, want 100", rep.MaxMs)
+	}
+	if rep.MeanMs != 50.5 {
+		t.Errorf("mean = %v, want 50.5", rep.MeanMs)
+	}
+	if rep.ErrorRate != 0 {
+		t.Errorf("error rate %v", rep.ErrorRate)
+	}
+}
+
+func TestCheckThresholds(t *testing.T) {
+	rep := Report{P99Ms: 120, ErrorRate: 0.02, Errors: 2, Requests: 100}
+	if err := rep.Check(200*time.Millisecond, 0.05); err != nil {
+		t.Errorf("within budget but failed: %v", err)
+	}
+	err := rep.Check(100*time.Millisecond, 0.01)
+	if err == nil {
+		t.Fatal("both thresholds violated but Check passed")
+	}
+	for _, want := range []string{"p99", "error rate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name the %s violation", err, want)
+		}
+	}
+	// Disabled checks never fail.
+	if err := rep.Check(0, -1); err != nil {
+		t.Errorf("disabled checks failed: %v", err)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	rep := Summarize(nil)
+	if rep.Requests != 0 || rep.ErrorRate != 0 || rep.P99Ms != 0 {
+		t.Errorf("empty summary %+v", rep)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"context"
@@ -88,19 +88,19 @@ type packetFuture struct {
 	err  error
 }
 
-// buildFunc builds a suite; production wires experiments.BuildContext,
+// BuildFunc builds a suite; production wires experiments.BuildContext,
 // tests substitute fakes.
-type buildFunc func(context.Context, experiments.Config) (*experiments.Suite, error)
+type BuildFunc func(context.Context, experiments.Config) (*experiments.Suite, error)
 
-// suiteCache is a size-bounded LRU of built suites with singleflight
+// SuiteCache is a size-bounded LRU of built suites with singleflight
 // deduplication and admission control. Concurrent requests for the
 // same configuration share one build; requests for distinct
 // configurations build concurrently up to maxBuilds, beyond which new
 // configurations are rejected with errBusy. Completed suites are
 // evicted least-recently-used once more than max are resident, so
 // memory stays bounded no matter how many seeds are explored.
-type suiteCache struct {
-	build       buildFunc
+type SuiteCache struct {
+	build       BuildFunc
 	concurrency int // analysis workers stamped into every config
 
 	mu       sync.Mutex
@@ -110,19 +110,19 @@ type suiteCache struct {
 	entries  map[suiteKey]*suiteEntry
 	order    []suiteKey // least-recently-used first
 
-	metrics *serverMetrics
+	metrics *Metrics
 }
 
-// newSuiteCache builds a cache holding up to max completed suites and
+// NewSuiteCache builds a cache holding up to max completed suites and
 // running up to maxBuild concurrent builds.
-func newSuiteCache(max, maxBuild, concurrency int, build buildFunc, m *serverMetrics) *suiteCache {
+func NewSuiteCache(max, maxBuild, concurrency int, build BuildFunc, m *Metrics) *SuiteCache {
 	if max < 1 {
 		max = 1
 	}
 	if maxBuild < 1 {
 		maxBuild = 1
 	}
-	return &suiteCache{
+	return &SuiteCache{
 		build:       build,
 		concurrency: concurrency,
 		max:         max,
@@ -136,7 +136,7 @@ func newSuiteCache(max, maxBuild, concurrency int, build buildFunc, m *serverMet
 // entry's build has completed successfully (entry.suite is usable).
 // Cancelling ctx abandons the wait; if that makes the waiter count
 // reach zero the in-flight build itself is cancelled.
-func (c *suiteCache) get(ctx context.Context, cfg experiments.Config) (*suiteEntry, error) {
+func (c *SuiteCache) Get(ctx context.Context, cfg experiments.Config) (*suiteEntry, error) {
 	cfg.Concurrency = c.concurrency
 	key := suiteKey{seed: cfg.Seed, preset: cfg.Preset}
 	for {
@@ -169,6 +169,10 @@ func (c *suiteCache) get(ctx context.Context, cfg experiments.Config) (*suiteEnt
 			c.mu.Unlock()
 			return nil, errBusy
 		}
+		// A build is shared by every waiter, so it must outlive any single
+		// requester's context; the waiter refcount cancels it when the
+		// last client disconnects.
+		//repolint:allow ctxflow -- deliberate detach, cancellation handled by waiter refcounting
 		bctx, cancel := context.WithCancel(context.Background())
 		e := &suiteEntry{
 			cfg:     cfg,
@@ -191,7 +195,7 @@ func (c *suiteCache) get(ctx context.Context, cfg experiments.Config) (*suiteEnt
 
 // run executes the build on its own goroutine (detached from any one
 // request) and publishes the result.
-func (c *suiteCache) run(ctx context.Context, key suiteKey, e *suiteEntry) {
+func (c *SuiteCache) run(ctx context.Context, key suiteKey, e *suiteEntry) {
 	start := time.Now()
 	suite, err := c.build(ctx, e.cfg)
 	e.suite, e.err = suite, err
@@ -218,7 +222,7 @@ func (c *suiteCache) run(ctx context.Context, key suiteKey, e *suiteEntry) {
 
 // wait blocks until the entry is ready or ctx is cancelled, keeping the
 // waiter refcount accurate either way.
-func (c *suiteCache) wait(ctx context.Context, e *suiteEntry) (*suiteEntry, error) {
+func (c *SuiteCache) wait(ctx context.Context, e *suiteEntry) (*suiteEntry, error) {
 	select {
 	case <-e.ready:
 		c.mu.Lock()
@@ -244,7 +248,7 @@ func (c *suiteCache) wait(ctx context.Context, e *suiteEntry) (*suiteEntry, erro
 }
 
 // touchLocked marks a key most-recently-used.
-func (c *suiteCache) touchLocked(key suiteKey) {
+func (c *SuiteCache) touchLocked(key suiteKey) {
 	for i, k := range c.order {
 		if k == key {
 			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
@@ -254,7 +258,7 @@ func (c *suiteCache) touchLocked(key suiteKey) {
 }
 
 // removeLocked drops a key from the map and LRU order.
-func (c *suiteCache) removeLocked(key suiteKey) {
+func (c *SuiteCache) removeLocked(key suiteKey) {
 	delete(c.entries, key)
 	for i, k := range c.order {
 		if k == key {
@@ -266,7 +270,7 @@ func (c *suiteCache) removeLocked(key suiteKey) {
 
 // evictLocked enforces the size bound over completed entries, oldest
 // first. In-flight builds are never evicted (their waiters hold them).
-func (c *suiteCache) evictLocked() {
+func (c *SuiteCache) evictLocked() {
 	ready := 0
 	for _, e := range c.entries {
 		select {
@@ -292,7 +296,7 @@ func (c *suiteCache) evictLocked() {
 
 // snapshot lists the cached configurations (for the index page),
 // most-recently-used last, marking in-flight builds.
-func (c *suiteCache) snapshot() []suiteStatus {
+func (c *SuiteCache) snapshot() []suiteStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]suiteStatus, 0, len(c.order))

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"context"
@@ -14,10 +14,10 @@ import (
 	"pathsel/internal/obs"
 )
 
-func testCache(t *testing.T, max, maxBuild int, build buildFunc) (*suiteCache, *serverMetrics) {
+func testCache(t *testing.T, max, maxBuild int, build BuildFunc) (*SuiteCache, *Metrics) {
 	t.Helper()
-	m := newServerMetrics(obs.NewRegistry())
-	return newSuiteCache(max, maxBuild, 1, build, m), m
+	m := NewMetrics(obs.NewRegistry())
+	return NewSuiteCache(max, maxBuild, 1, build, m), m
 }
 
 func quickCfg(seed int64) experiments.Config {
@@ -44,7 +44,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			entries[i], errs[i] = c.get(context.Background(), quickCfg(1))
+			entries[i], errs[i] = c.Get(context.Background(), quickCfg(1))
 		}(i)
 	}
 	// Wait until the single build has started and the other waiters have
@@ -88,18 +88,18 @@ func TestCacheHitAndLRUEviction(t *testing.T) {
 	ctx := context.Background()
 
 	for _, seed := range []int64{1, 2} {
-		if _, err := c.get(ctx, quickCfg(seed)); err != nil {
+		if _, err := c.Get(ctx, quickCfg(seed)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.get(ctx, quickCfg(1)); err != nil { // hit; 1 is now MRU
+	if _, err := c.Get(ctx, quickCfg(1)); err != nil { // hit; 1 is now MRU
 		t.Fatal(err)
 	}
 	if m.cacheHits.Value() != 1 {
 		t.Fatalf("hits %d, want 1", m.cacheHits.Value())
 	}
 
-	if _, err := c.get(ctx, quickCfg(3)); err != nil { // evicts seed 2 (LRU)
+	if _, err := c.Get(ctx, quickCfg(3)); err != nil { // evicts seed 2 (LRU)
 		t.Fatal(err)
 	}
 	if m.cacheEvictions.Value() != 1 {
@@ -110,13 +110,13 @@ func TestCacheHitAndLRUEviction(t *testing.T) {
 	}
 
 	// Seed 1 survived (it was touched), seed 2 did not.
-	if _, err := c.get(ctx, quickCfg(1)); err != nil {
+	if _, err := c.Get(ctx, quickCfg(1)); err != nil {
 		t.Fatal(err)
 	}
 	if builds.Load() != 3 {
 		t.Fatalf("builds %d, want 3 (seed 1 should still be cached)", builds.Load())
 	}
-	if _, err := c.get(ctx, quickCfg(2)); err != nil {
+	if _, err := c.Get(ctx, quickCfg(2)); err != nil {
 		t.Fatal(err)
 	}
 	if builds.Load() != 4 {
@@ -140,7 +140,7 @@ func TestCacheCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := c.get(ctx, quickCfg(1))
+		_, err := c.Get(ctx, quickCfg(1))
 		errCh <- err
 	}()
 
@@ -179,7 +179,7 @@ func TestCacheSurvivingWaiterKeepsBuild(t *testing.T) {
 
 	first := make(chan error, 1)
 	go func() {
-		_, err := c.get(context.Background(), quickCfg(1))
+		_, err := c.Get(context.Background(), quickCfg(1))
 		first <- err
 	}()
 	<-buildStarted
@@ -187,7 +187,7 @@ func TestCacheSurvivingWaiterKeepsBuild(t *testing.T) {
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	second := make(chan error, 1)
 	go func() {
-		_, err := c.get(ctx2, quickCfg(1))
+		_, err := c.Get(ctx2, quickCfg(1))
 		second <- err
 	}()
 	waitFor(t, func() bool { return m.cacheDedup.Value() == 1 })
@@ -221,12 +221,12 @@ func TestCacheAdmissionControl(t *testing.T) {
 
 	started := make(chan error, 1)
 	go func() {
-		_, err := c.get(context.Background(), quickCfg(1))
+		_, err := c.Get(context.Background(), quickCfg(1))
 		started <- err
 	}()
 	waitFor(t, func() bool { return m.buildsInflight.Value() == 1 })
 
-	if _, err := c.get(context.Background(), quickCfg(2)); !errors.Is(err, errBusy) {
+	if _, err := c.Get(context.Background(), quickCfg(2)); !errors.Is(err, errBusy) {
 		t.Fatalf("second build got %v, want errBusy", err)
 	}
 	if m.buildsRejected.Value() != 1 {
@@ -235,7 +235,7 @@ func TestCacheAdmissionControl(t *testing.T) {
 	// Joining the existing build is still allowed while saturated.
 	joined := make(chan error, 1)
 	go func() {
-		_, err := c.get(context.Background(), quickCfg(1))
+		_, err := c.Get(context.Background(), quickCfg(1))
 		joined <- err
 	}()
 	waitFor(t, func() bool { return m.cacheDedup.Value() == 1 })
@@ -248,7 +248,7 @@ func TestCacheAdmissionControl(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Capacity freed: new configurations build again.
-	if _, err := c.get(context.Background(), quickCfg(2)); err != nil {
+	if _, err := c.Get(context.Background(), quickCfg(2)); err != nil {
 		t.Fatalf("after release: %v", err)
 	}
 }
@@ -275,7 +275,7 @@ func TestCacheRetryAfterAbandonedBuild(t *testing.T) {
 	ctx1, cancel1 := context.WithCancel(context.Background())
 	first := make(chan error, 1)
 	go func() {
-		_, err := c.get(ctx1, quickCfg(1))
+		_, err := c.Get(ctx1, quickCfg(1))
 		first <- err
 	}()
 	<-firstStarted
@@ -288,7 +288,7 @@ func TestCacheRetryAfterAbandonedBuild(t *testing.T) {
 	// it, then sees it fail with Canceled while its own context is live.
 	second := make(chan error, 1)
 	go func() {
-		_, err := c.get(context.Background(), quickCfg(1))
+		_, err := c.Get(context.Background(), quickCfg(1))
 		second <- err
 	}()
 	waitFor(t, func() bool { return m.cacheDedup.Value() == 1 })
@@ -315,8 +315,8 @@ func TestClientDisconnectCancelsBuildHTTP(t *testing.T) {
 		return nil, ctx.Err()
 	}
 	reg := obs.NewRegistry()
-	cache := newSuiteCache(4, 4, 1, build, newServerMetrics(reg))
-	h := newHandler(cache, quickCfg(1), reg)
+	cache := NewSuiteCache(4, 4, 1, build, NewMetrics(reg))
+	h := NewHandler(cache, quickCfg(1), reg)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	req := httptestRequestWithContext(ctx, "/api/table1?seed=7")

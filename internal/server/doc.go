@@ -1,0 +1,17 @@
+// Package server is the serving core behind cmd/serve and
+// cmd/loadtest: the suite-analysis HTTP handler, the LRU suite cache
+// with singleflight builds, the snapshot warm path, and the
+// consistent-hash shard router. cmd/serve wires these to flags and
+// signals; cmd/loadtest assembles the same router + worker stack
+// in-process so load tests exercise the real serving path without
+// spawning processes.
+//
+// A process serves one of two roles. A worker (or standalone server)
+// holds a SuiteCache keyed by (seed, preset) and answers every
+// analysis endpoint from fully built suites; NewSnapshotSource gives
+// its cache a warm path that decodes persisted snapshots instead of
+// rebuilding. A Router owns no suites at all: it consistent-hashes the
+// same (seed, preset) keyspace over worker base URLs (internal/shard)
+// and forwards with bounded retries, so each suite is built and cached
+// on exactly one worker and fleet cache capacity scales with size.
+package server

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"context"
@@ -22,15 +22,15 @@ import (
 // cache, so the same process answers any configuration without a
 // restart.
 type handler struct {
-	cache    *suiteCache
+	cache    *SuiteCache
 	defaults experiments.Config
 	reg      *obs.Registry
 	mux      *http.ServeMux
 }
 
-// newHandler wires the routes. defaults supplies the seed and preset
+// NewHandler wires the routes. defaults supplies the seed and preset
 // used when a request does not specify them.
-func newHandler(cache *suiteCache, defaults experiments.Config, reg *obs.Registry) *handler {
+func NewHandler(cache *SuiteCache, defaults experiments.Config, reg *obs.Registry) http.Handler {
 	h := &handler{cache: cache, defaults: defaults, reg: reg, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /{$}", h.index)
 	h.mux.HandleFunc("GET /api/table1", h.table1)
@@ -56,7 +56,15 @@ func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 // configFrom resolves the request's suite configuration from the seed
 // and preset query parameters, defaulting to the server configuration.
 func (h *handler) configFrom(r *http.Request) (experiments.Config, error) {
-	cfg := h.defaults
+	return suiteConfigFrom(h.defaults, r)
+}
+
+// suiteConfigFrom parses the ?seed and ?preset query parameters on top
+// of the given defaults. The worker handler and the shard router share
+// this one parser, so a request hashes to the same configuration the
+// worker will resolve it to.
+func suiteConfigFrom(defaults experiments.Config, r *http.Request) (experiments.Config, error) {
+	cfg := defaults
 	q := r.URL.Query()
 	if v := q.Get("seed"); v != "" {
 		seed, err := strconv.ParseInt(v, 10, 64)
@@ -85,7 +93,7 @@ func (h *handler) entryFor(w http.ResponseWriter, r *http.Request) (*suiteEntry,
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return nil, false
 	}
-	e, err := h.cache.get(r.Context(), cfg)
+	e, err := h.cache.Get(r.Context(), cfg)
 	switch {
 	case err == nil:
 		return e, true

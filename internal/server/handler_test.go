@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"context"
@@ -15,7 +15,7 @@ import (
 
 var (
 	serveOnce sync.Once
-	served    *handler
+	served    http.Handler
 	servedErr error
 )
 
@@ -25,12 +25,12 @@ func testHandler(t *testing.T) http.Handler {
 	t.Helper()
 	serveOnce.Do(func() {
 		reg := obs.NewRegistry()
-		cache := newSuiteCache(4, 2, 0, experiments.BuildContext, newServerMetrics(reg))
+		cache := NewSuiteCache(4, 2, 0, experiments.BuildContext, NewMetrics(reg))
 		defaults := experiments.Config{Seed: 1, Preset: experiments.Quick}
-		if _, servedErr = cache.get(context.Background(), defaults); servedErr != nil {
+		if _, servedErr = cache.Get(context.Background(), defaults); servedErr != nil {
 			return
 		}
-		served = newHandler(cache, defaults, reg)
+		served = NewHandler(cache, defaults, reg)
 	})
 	if servedErr != nil {
 		t.Fatalf("Build: %v", servedErr)
@@ -262,8 +262,8 @@ func TestQueryParamsReachBuild(t *testing.T) {
 		return nil, context.DeadlineExceeded // don't cache; config capture is the point
 	}
 	reg := obs.NewRegistry()
-	cache := newSuiteCache(4, 4, 1, build, newServerMetrics(reg))
-	h := newHandler(cache, experiments.Config{Seed: 1, Preset: experiments.Quick}, reg)
+	cache := NewSuiteCache(4, 4, 1, build, NewMetrics(reg))
+	h := NewHandler(cache, experiments.Config{Seed: 1, Preset: experiments.Quick}, reg)
 
 	get(t, h, "/api/table1?seed=42&preset=full")
 	get(t, h, "/api/table1") // defaults
@@ -336,8 +336,8 @@ func TestDeterministicAcrossCacheState(t *testing.T) {
 	}
 
 	reg := obs.NewRegistry()
-	cache := newSuiteCache(1, 1, 0, experiments.BuildContext, newServerMetrics(reg))
-	fresh := newHandler(cache, experiments.Config{Seed: 1, Preset: experiments.Quick}, reg)
+	cache := NewSuiteCache(1, 1, 0, experiments.BuildContext, NewMetrics(reg))
+	fresh := NewHandler(cache, experiments.Config{Seed: 1, Preset: experiments.Quick}, reg)
 	cold := get(t, fresh, "/api/figure/2")
 	if cold.Code != http.StatusOK {
 		t.Fatalf("fresh build: status %d: %s", cold.Code, cold.Body.String())

@@ -1,10 +1,10 @@
-package main
+package server
 
 import "pathsel/internal/obs"
 
-// serverMetrics bundles the analysis service's own metrics; HTTP-level
+// Metrics bundles the analysis service's own metrics; HTTP-level
 // request counters and latencies are added per route by obs.Instrument.
-type serverMetrics struct {
+type Metrics struct {
 	reg *obs.Registry
 
 	cacheHits       *obs.Counter
@@ -18,10 +18,20 @@ type serverMetrics struct {
 	cacheEntries   *obs.Gauge
 
 	buildDuration *obs.Histogram
+
+	// Snapshot warm-path metrics: how often cold-start work was avoided
+	// by decoding a persisted suite, and what each path costs. The
+	// decode histogram next to buildDuration is the build-vs-decode
+	// latency comparison on /metrics.
+	snapshotLoads         *obs.Counter
+	snapshotLoadErrors    *obs.Counter
+	snapshotPersists      *obs.Counter
+	snapshotPersistErrors *obs.Counter
+	decodeDuration        *obs.Histogram
 }
 
-func newServerMetrics(reg *obs.Registry) *serverMetrics {
-	return &serverMetrics{
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
 		reg: reg,
 		cacheHits: reg.Counter("suite_cache_hits_total",
 			"Requests served from a completed cached suite."),
@@ -41,5 +51,15 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Suites resident in the cache (including in-flight builds)."),
 		buildDuration: reg.Histogram("suite_build_duration_seconds",
 			"Wall-clock duration of successful suite builds."),
+		snapshotLoads: reg.Counter("suite_snapshot_loads_total",
+			"Suites restored from a persisted snapshot instead of a cold rebuild."),
+		snapshotLoadErrors: reg.Counter("suite_snapshot_load_errors_total",
+			"Snapshot restore attempts that fell back to a cold rebuild (missing files excluded)."),
+		snapshotPersists: reg.Counter("suite_snapshot_persists_total",
+			"Built suites persisted to the snapshot directory."),
+		snapshotPersistErrors: reg.Counter("suite_snapshot_persist_errors_total",
+			"Snapshot persist attempts that failed."),
+		decodeDuration: reg.Histogram("suite_decode_duration_seconds",
+			"Wall-clock duration of successful snapshot restores (decode plus substrate regeneration)."),
 	}
 }

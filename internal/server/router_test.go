@@ -1,0 +1,255 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pathsel/internal/experiments"
+	"pathsel/internal/obs"
+	"pathsel/internal/shard"
+)
+
+// stubWorker is a fake backend that identifies itself in every
+// response, so tests can see where the router sent a request.
+func stubWorker(name string, status int) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			fmt.Fprintln(w, "ok")
+		case "/api/suites":
+			writeJSON(w, []suiteStatus{{Seed: 1, Preset: "quick", State: "ready"}})
+		default:
+			w.WriteHeader(status)
+			fmt.Fprint(w, name)
+		}
+	}))
+}
+
+func testRouter(t *testing.T, backends ...string) *Router {
+	t.Helper()
+	defaults := experiments.Config{Seed: 1, Preset: experiments.Quick}
+	return NewRouter(backends, defaults, 2, obs.NewRegistry())
+}
+
+// ownerOf replicates the router's placement so tests can construct
+// requests that land on a specific worker.
+func ownerOf(seed int64, backends []string) string {
+	r := shard.New(0)
+	for _, b := range backends {
+		r.Add(b)
+	}
+	return r.Lookup(shard.Key(seed, "quick"), 1)[0]
+}
+
+func TestRouterForwardsConsistently(t *testing.T) {
+	w1 := stubWorker("w1", http.StatusOK)
+	defer w1.Close()
+	w2 := stubWorker("w2", http.StatusOK)
+	defer w2.Close()
+	rt := testRouter(t, w1.URL, w2.URL)
+
+	hit := map[string]bool{}
+	for seed := 0; seed < 40; seed++ {
+		path := fmt.Sprintf("/api/table1?seed=%d", seed)
+		first := get(t, rt, path)
+		if first.Code != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, first.Code, first.Body.String())
+		}
+		again := get(t, rt, path)
+		if first.Body.String() != again.Body.String() {
+			t.Fatalf("seed %d routed to %s then %s", seed, first.Body.String(), again.Body.String())
+		}
+		if got, want := first.Body.String(), first.Header().Get("X-Pathsel-Worker"); (got == "w1") != (want == w1.URL) {
+			t.Errorf("seed %d: body %s but X-Pathsel-Worker %s", seed, got, want)
+		}
+		hit[first.Body.String()] = true
+	}
+	if !hit["w1"] || !hit["w2"] {
+		t.Errorf("40 seeds all routed to one worker: %v", hit)
+	}
+}
+
+func TestRouterRetriesOntoSuccessor(t *testing.T) {
+	sick := stubWorker("sick", http.StatusServiceUnavailable)
+	defer sick.Close()
+	well := stubWorker("well", http.StatusOK)
+	defer well.Close()
+	rt := testRouter(t, sick.URL, well.URL)
+
+	// Every request must end on the healthy worker, whichever owner the
+	// ring picked; keys owned by the sick worker arrive via retry.
+	retriedSome := false
+	for seed := 0; seed < 20; seed++ {
+		rec := get(t, rt, fmt.Sprintf("/api/figure/1?seed=%d", seed))
+		if rec.Code != http.StatusOK || rec.Body.String() != "well" {
+			t.Fatalf("seed %d: status %d body %q", seed, rec.Code, rec.Body.String())
+		}
+		if ownerOf(int64(seed), []string{sick.URL, well.URL}) == sick.URL {
+			retriedSome = true
+		}
+	}
+	if !retriedSome {
+		t.Skip("ring gave every test key to the healthy worker; widen the seed range")
+	}
+	metrics := get(t, rt, "/metrics").Body.String()
+	if !strings.Contains(metrics, "router_retries_total") {
+		t.Errorf("metrics missing retry counter:\n%s", metrics)
+	}
+}
+
+func TestRouterRetriesDeadTransport(t *testing.T) {
+	dead := stubWorker("dead", http.StatusOK)
+	dead.Close() // connection refused from the start
+	well := stubWorker("well", http.StatusOK)
+	defer well.Close()
+	rt := testRouter(t, dead.URL, well.URL)
+
+	for seed := 0; seed < 20; seed++ {
+		rec := get(t, rt, fmt.Sprintf("/api/table1?seed=%d", seed))
+		if rec.Code != http.StatusOK || rec.Body.String() != "well" {
+			t.Fatalf("seed %d: status %d body %q", seed, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestRouterPassesThrough500 checks that a deterministic compute error
+// is NOT retried: every worker would fail identically, so the first
+// worker's 500 goes straight to the client.
+func TestRouterPassesThrough500(t *testing.T) {
+	buggy := stubWorker("buggy", http.StatusInternalServerError)
+	defer buggy.Close()
+	fine := stubWorker("fine", http.StatusOK)
+	defer fine.Close()
+	rt := testRouter(t, buggy.URL, fine.URL)
+
+	// Find a seed owned by the buggy worker.
+	for seed := 0; seed < 100; seed++ {
+		if ownerOf(int64(seed), []string{buggy.URL, fine.URL}) != buggy.URL {
+			continue
+		}
+		rec := get(t, rt, fmt.Sprintf("/api/table1?seed=%d", seed))
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("seed %d: status %d, want 500 passed through", seed, rec.Code)
+		}
+		if rec.Body.String() != "buggy" {
+			t.Fatalf("500 was retried onto %q", rec.Body.String())
+		}
+		return
+	}
+	t.Fatal("no seed in 0..99 owned by buggy worker")
+}
+
+func TestRouterAllWorkersFailing(t *testing.T) {
+	a := stubWorker("a", http.StatusServiceUnavailable)
+	defer a.Close()
+	b := stubWorker("b", http.StatusServiceUnavailable)
+	defer b.Close()
+	rt := testRouter(t, a.URL, b.URL)
+	rec := get(t, rt, "/api/table1")
+	if rec.Code != http.StatusServiceUnavailable && rec.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502/503 when the whole fleet is failing", rec.Code)
+	}
+}
+
+func TestRouterHealthCheck(t *testing.T) {
+	live := stubWorker("live", http.StatusOK)
+	defer live.Close()
+	gone := stubWorker("gone", http.StatusOK)
+	gone.Close()
+	rt := testRouter(t, live.URL, gone.URL)
+
+	rt.CheckAll(context.Background())
+	rec := get(t, rt, "/api/workers")
+	var rows []workerRow
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d worker rows", len(rows))
+	}
+	for _, row := range rows {
+		want := row.Worker == live.URL
+		if row.Up != want {
+			t.Errorf("worker %s up=%v, want %v", row.Worker, row.Up, want)
+		}
+	}
+	// Liveness also shows on the index and in metrics.
+	if body := get(t, rt, "/").Body.String(); !strings.Contains(body, "down") {
+		t.Errorf("index does not show the dead worker:\n%s", body)
+	}
+	if body := get(t, rt, "/metrics").Body.String(); !strings.Contains(body, "router_worker_up") {
+		t.Errorf("metrics missing router_worker_up:\n%s", body)
+	}
+}
+
+func TestRouterSuitesFanOut(t *testing.T) {
+	w1 := stubWorker("w1", http.StatusOK)
+	defer w1.Close()
+	w2 := stubWorker("w2", http.StatusOK)
+	defer w2.Close()
+	rt := testRouter(t, w1.URL, w2.URL)
+
+	rec := get(t, rt, "/api/suites")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var rows []routedSuiteStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d merged rows, want one per worker", len(rows))
+	}
+	workers := map[string]bool{}
+	for _, row := range rows {
+		if row.Seed != 1 || row.State != "ready" {
+			t.Errorf("unexpected row %+v", row)
+		}
+		workers[row.Worker] = true
+	}
+	if !workers[w1.URL] || !workers[w2.URL] {
+		t.Errorf("rows not annotated with both workers: %+v", rows)
+	}
+}
+
+func TestRouterBadQueryNotForwarded(t *testing.T) {
+	w1 := stubWorker("w1", http.StatusOK)
+	defer w1.Close()
+	rt := testRouter(t, w1.URL)
+	rec := get(t, rt, "/api/table1?preset=bogus")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 before any forward", rec.Code)
+	}
+}
+
+// TestRouterEndToEndByteIdentical drives a real worker (the shared
+// quick-suite handler) through the router and checks the proxied
+// figure response is byte-identical to a direct request.
+func TestRouterEndToEndByteIdentical(t *testing.T) {
+	h := testHandler(t)
+	w1 := httptest.NewServer(h)
+	defer w1.Close()
+	w2 := httptest.NewServer(h)
+	defer w2.Close()
+	rt := testRouter(t, w1.URL, w2.URL)
+
+	direct := get(t, h, "/api/figure/3?seed=1&preset=quick")
+	routed := get(t, rt, "/api/figure/3?seed=1&preset=quick")
+	if routed.Code != http.StatusOK {
+		t.Fatalf("routed status %d: %s", routed.Code, routed.Body.String())
+	}
+	if routed.Body.String() != direct.Body.String() {
+		t.Error("routed figure response differs from direct response")
+	}
+	if ct := routed.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type %q not relayed", ct)
+	}
+	if routed.Header().Get("X-Pathsel-Worker") == "" {
+		t.Error("router did not tag the serving worker")
+	}
+}

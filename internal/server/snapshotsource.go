@@ -1,0 +1,59 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"os"
+	"time"
+
+	"pathsel/internal/experiments"
+	"pathsel/internal/snapshot"
+)
+
+// NewSnapshotSource wraps a BuildFunc with a snapshot warm path: a
+// requested suite is first looked up in dir (decode + substrate
+// regeneration, milliseconds), and only on a miss — no file, version
+// skew, or corruption — does the cold build run, after which the result
+// is persisted so the next process start is warm. An empty dir disables
+// the warm path entirely. Persist failures are logged and counted but
+// never fail the request: the built suite is usable either way.
+func NewSnapshotSource(dir string, build BuildFunc, m *Metrics, logger *slog.Logger) BuildFunc {
+	if dir == "" {
+		return build
+	}
+	return func(ctx context.Context, cfg experiments.Config) (*experiments.Suite, error) {
+		start := time.Now()
+		s, err := snapshot.Load(ctx, dir, cfg)
+		if err == nil {
+			m.snapshotLoads.Inc()
+			m.decodeDuration.Observe(time.Since(start).Seconds())
+			return s, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !os.IsNotExist(err) {
+			// A present-but-unusable snapshot (stale version, bad
+			// checksum, torn write) falls back to a rebuild that will
+			// overwrite it with a current one.
+			m.snapshotLoadErrors.Inc()
+			logger.Warn("snapshot restore failed; rebuilding",
+				"dir", dir, "seed", cfg.Seed, "preset", cfg.Preset.String(), "err", err)
+			if errors.Is(err, snapshot.ErrVersion) {
+				logger.Info("snapshot version skew; a fresh snapshot will replace it")
+			}
+		}
+		s, err = build(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, perr := snapshot.Write(dir, s); perr != nil {
+			m.snapshotPersistErrors.Inc()
+			logger.Warn("snapshot persist failed", "dir", dir, "err", perr)
+		} else {
+			m.snapshotPersists.Inc()
+		}
+		return s, nil
+	}
+}

@@ -1,0 +1,145 @@
+// Package shard provides the consistent-hash ring the serve router
+// uses to spread the (seed, preset) suite keyspace over worker
+// processes. Each worker owns a contiguous arc of the hash circle via
+// a fixed number of virtual points, so adding or removing one worker
+// remaps only the keys on its arcs (≈1/N of the keyspace) instead of
+// reshuffling everything — exactly the property a suite cache wants,
+// since a remapped key costs a multi-second rebuild on its new owner.
+// The ring is deterministic: the same node set always produces the
+// same placement, so independent routers agree without coordination.
+//
+// The ring itself is not synchronized; callers that mutate it
+// concurrently with lookups must hold their own lock.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-point count per node. 128 keeps the
+// keyspace imbalance between workers within a few percent for small
+// fleets while the ring stays tiny (N×128 points).
+const DefaultReplicas = 128
+
+// point is one virtual node position on the hash circle.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over named nodes.
+type Ring struct {
+	replicas int
+	points   []point // sorted by hash
+	nodes    map[string]bool
+}
+
+// New returns an empty ring with the given virtual-point count per
+// node (0 means DefaultReplicas).
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: map[string]bool{}}
+}
+
+// hashString is FNV-1a 64 followed by a murmur-style finalizer; stable
+// across processes and Go versions, which is what makes independent
+// routers agree. The finalizer matters: raw FNV-1a of short strings
+// ("w1#7") leaves the high bits badly biased, bunching every virtual
+// point on one arc of the circle and defeating the balance the ring
+// exists to provide.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a node's virtual points. Adding a present node is a
+// no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: hashString(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break lexically so placement
+		// stays deterministic regardless of insertion order.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Remove drops a node and its virtual points. Removing an absent node
+// is a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the member names in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Lookup returns up to n distinct nodes for key: the owner first, then
+// the successors met walking the circle clockwise — the retry order a
+// router should use when the owner is down. Returns nil on an empty
+// ring.
+func (r *Ring) Lookup(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Key renders the canonical ring key for a suite configuration. Every
+// component that shards the suite keyspace routes through it, so the
+// placement function is identical everywhere.
+func Key(seed int64, preset string) string {
+	return fmt.Sprintf("%d/%s", seed, preset)
+}

@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLookupDeterministicAndConsistent(t *testing.T) {
+	a := New(0)
+	b := New(0)
+	// Insertion order must not matter.
+	for _, n := range []string{"w1", "w2", "w3"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"w3", "w1", "w2"} {
+		b.Add(n)
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		k := Key(seed, "quick")
+		ga, gb := a.Lookup(k, 3), b.Lookup(k, 3)
+		if len(ga) != 3 || len(gb) != 3 {
+			t.Fatalf("key %s: lookup lengths %d/%d", k, len(ga), len(gb))
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("key %s: rings disagree: %v vs %v", k, ga, gb)
+			}
+		}
+		seen := map[string]bool{}
+		for _, n := range ga {
+			if seen[n] {
+				t.Fatalf("key %s: duplicate node in %v", k, ga)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRemoveRemapsOnlyOwnedKeys(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	before := map[string]string{}
+	for seed := int64(0); seed < 500; seed++ {
+		k := Key(seed, "full")
+		before[k] = r.Lookup(k, 1)[0]
+	}
+	r.Remove("w2")
+	moved := 0
+	for k, owner := range before {
+		now := r.Lookup(k, 1)[0]
+		if now == "w2" {
+			t.Fatalf("key %s still maps to removed node", k)
+		}
+		if owner != "w2" && now != owner {
+			t.Errorf("key %s moved %s -> %s though its owner survived", k, owner, now)
+		}
+		if owner == "w2" {
+			moved++
+		}
+	}
+	// w2 owned roughly a quarter of the keyspace.
+	if moved < 50 || moved > 250 {
+		t.Errorf("removed node owned %d/500 keys; want roughly 125", moved)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := New(0)
+	workers := []string{"a", "b", "c"}
+	for _, w := range workers {
+		r.Add(w)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for seed := int64(0); seed < keys; seed++ {
+		for _, preset := range []string{"quick", "full"} {
+			counts[r.Lookup(Key(seed, preset), 1)[0]]++
+		}
+	}
+	for _, w := range workers {
+		frac := float64(counts[w]) / (2 * keys)
+		if frac < 0.20 || frac > 0.47 {
+			t.Errorf("worker %s owns %.1f%% of keys; want near 33%%", w, 100*frac)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	r := New(4)
+	if got := r.Lookup("x", 2); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	r.Add("only")
+	if got := r.Lookup("x", 5); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-node lookup returned %v", got)
+	}
+	r.Add("only") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("double add grew ring to %d", r.Len())
+	}
+	r.Remove("absent") // no-op
+	r.Remove("only")
+	if r.Len() != 0 || r.Lookup("x", 1) != nil {
+		t.Fatal("ring not empty after removal")
+	}
+}

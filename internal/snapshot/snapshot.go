@@ -1,0 +1,494 @@
+// Package snapshot persists built experiment suites as versioned,
+// deterministic flat binary files, so a serving process can warm-start
+// by decoding campaign data instead of re-running the campaigns. The
+// codec stores the six primary datasets (the expensive, seconds-to-
+// minutes part of a build) in fixed-width little-endian sections behind
+// a checksummed header; the measurement substrate — topologies, IGP
+// tables, BGP routes, the congestion model — is a pure function of the
+// suite configuration and is regenerated in milliseconds on load via
+// experiments.Reassemble. Encoding is canonical: the same suite always
+// produces the same bytes (paths and episode entries are written in
+// sorted pair order, floats as IEEE-754 bit patterns), so snapshots can
+// be compared, cached and content-addressed.
+//
+// File layout (all integers little-endian):
+//
+//	[0..8)    magic "PSELSNAP"
+//	[8..12)   format version (uint32)
+//	[12..16)  preset (int32)
+//	[16..24)  seed (int64)
+//	[24..28)  section count (uint32)
+//	[28..32)  reserved
+//	[32..40)  payload length (uint64)
+//	[40..48)  CRC-64/ECMA of the payload (uint64)
+//	[48..64)  reserved
+//	[64..)    payload: section table, then 8-byte-aligned sections
+//
+// The section table holds one 32-byte entry per dataset (16-byte name,
+// offset and length relative to the payload start), so a reader can
+// locate any dataset without scanning the file — the layout is
+// mmap-friendly: every numeric slab is fixed-width and 8-byte aligned.
+// Version skew, a bad magic and a checksum mismatch are distinguished
+// sentinel errors so callers can fall back to a cold rebuild.
+package snapshot
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"sort"
+
+	"pathsel/internal/dataset"
+	"pathsel/internal/experiments"
+	"pathsel/internal/netsim"
+	"pathsel/internal/topology"
+)
+
+// Version is the snapshot format version. It must be bumped whenever
+// the byte layout changes or when the substrate generation code
+// changes incompatibly (a snapshot only stores campaign data; the
+// substrate is regenerated from the configuration, so a generation
+// change would silently desynchronize old snapshots from fresh builds).
+const Version = 1
+
+// magic identifies a snapshot file.
+var magic = [8]byte{'P', 'S', 'E', 'L', 'S', 'N', 'A', 'P'}
+
+// headerSize is the fixed byte length of the file header.
+const headerSize = 64
+
+// crcTable is the CRC-64/ECMA table used for the payload checksum.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Sentinel errors callers use to distinguish "not a snapshot" and
+// "stale snapshot" (both of which warrant a cold rebuild) from I/O
+// failures.
+var (
+	ErrMagic    = errors.New("snapshot: not a suite snapshot")
+	ErrVersion  = errors.New("snapshot: format version mismatch")
+	ErrChecksum = errors.New("snapshot: payload checksum mismatch")
+)
+
+// FileName returns the canonical snapshot file name for a suite
+// configuration; every component that persists or looks up snapshots
+// routes through it so the on-disk keyspace is consistent.
+func FileName(cfg experiments.Config) string {
+	return fmt.Sprintf("suite-%s-seed%d.snap", cfg.Preset, cfg.Seed)
+}
+
+// --- encoding ---
+
+// enc is an append-only little-endian buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)    { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+// pad8 aligns the buffer to an 8-byte boundary with zero bytes.
+func (e *enc) pad8() {
+	for len(e.b)%8 != 0 {
+		e.b = append(e.b, 0)
+	}
+}
+
+// sortedPairs returns m's keys in (Src, Dst) order; canonical encoding
+// requires a deterministic walk over every map.
+func sortedPairs(m map[dataset.PairKey]float64) []dataset.PairKey {
+	keys := make([]dataset.PairKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	return keys
+}
+
+// encodeDataset appends one dataset section (without its table entry).
+func encodeDataset(e *enc, d *dataset.Dataset) {
+	keys := d.PairKeys()
+	e.u32(uint32(len(d.Hosts)))
+	e.u32(uint32(len(keys)))
+	e.u32(uint32(len(d.Episodes)))
+	e.u32(0) // reserved
+	for _, h := range d.Hosts {
+		e.i64(int64(h))
+	}
+	for _, k := range keys {
+		p := d.Paths[k]
+		e.i64(int64(k.Src))
+		e.i64(int64(k.Dst))
+		e.i64(int64(p.Measurements))
+		e.u32(uint32(len(p.RTT)))
+		e.u32(uint32(len(p.Loss)))
+		e.u32(uint32(len(p.Transfers)))
+		e.u32(uint32(len(p.ASPath)))
+		for _, s := range p.RTT {
+			e.f64(float64(s.At))
+			e.f64(s.RTTMs)
+		}
+		for _, s := range p.Loss {
+			e.f64(float64(s.At))
+			if s.Lost {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+		}
+		e.pad8()
+		for _, s := range p.Transfers {
+			e.f64(float64(s.At))
+			e.f64(s.MeanRTTMs)
+			e.f64(s.LossRate)
+			e.i64(int64(s.Packets))
+		}
+		for _, asn := range p.ASPath {
+			e.i64(int64(asn))
+		}
+	}
+	for _, ep := range d.Episodes {
+		e.f64(float64(ep.At))
+		e.u32(uint32(len(ep.RTTMs)))
+		e.u32(0) // reserved
+		for _, k := range sortedPairs(ep.RTTMs) {
+			e.i64(int64(k.Src))
+			e.i64(int64(k.Dst))
+			e.f64(ep.RTTMs[k])
+		}
+	}
+}
+
+// Encode serializes the suite's campaign data to the snapshot format.
+// The output is canonical: encoding the same suite (or a decoded copy
+// of it) always yields identical bytes.
+func Encode(s *experiments.Suite) ([]byte, error) {
+	names := experiments.PrimaryDatasetNames()
+
+	// Sections first, each encoded into the shared buffer at an aligned
+	// offset, with table entries recorded as we go.
+	type entry struct {
+		name     string
+		off, len uint64
+	}
+	table := make([]entry, 0, len(names))
+	var body enc
+	for _, name := range names {
+		d, ok := s.Dataset(name)
+		if !ok || d == nil {
+			return nil, fmt.Errorf("snapshot: suite has no dataset %q", name)
+		}
+		if len(name) > 16 {
+			return nil, fmt.Errorf("snapshot: dataset name %q exceeds 16 bytes", name)
+		}
+		body.pad8()
+		start := len(body.b)
+		encodeDataset(&body, d)
+		table = append(table, entry{name: name, off: uint64(start), len: uint64(len(body.b) - start)})
+	}
+
+	// Payload = section table + section bodies; body offsets are
+	// relative to the payload start, so shift them by the table size.
+	tableSize := uint64(32 * len(table))
+	var payload enc
+	payload.b = make([]byte, 0, int(tableSize)+len(body.b))
+	for _, ent := range table {
+		var name [16]byte
+		copy(name[:], ent.name)
+		payload.b = append(payload.b, name[:]...)
+		payload.u64(ent.off + tableSize)
+		payload.u64(ent.len)
+	}
+	payload.b = append(payload.b, body.b...)
+
+	var out enc
+	out.b = make([]byte, 0, headerSize+len(payload.b))
+	out.b = append(out.b, magic[:]...)
+	out.u32(Version)
+	out.u32(uint32(int32(s.Config.Preset)))
+	out.i64(s.Config.Seed)
+	out.u32(uint32(len(table)))
+	out.u32(0)
+	out.u64(uint64(len(payload.b)))
+	out.u64(crc64.Checksum(payload.b, crcTable))
+	out.u64(0)
+	out.u64(0)
+	out.b = append(out.b, payload.b...)
+	return out.b, nil
+}
+
+// --- decoding ---
+
+// dec is a bounds-checked little-endian reader.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) || n < 0 {
+		d.fail("truncated payload at offset %d (+%d of %d)", d.off, n, len(d.b))
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *dec) u8() uint8 {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (d *dec) u32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (d *dec) u64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) pad8() {
+	for d.off%8 != 0 && d.err == nil {
+		d.u8()
+	}
+}
+
+// sliceCount guards a count field against hostile or corrupt lengths:
+// every element occupies at least minBytes, so a count implying more
+// bytes than remain is rejected before allocation.
+func (d *dec) sliceCount(n uint32, minBytes int) int {
+	if d.err != nil {
+		return 0
+	}
+	if int(n) > (len(d.b)-d.off)/minBytes {
+		d.fail("implausible element count %d at offset %d", n, d.off)
+		return 0
+	}
+	return int(n)
+}
+
+// decodeDataset parses one dataset section.
+func decodeDataset(d *dec, name string) *dataset.Dataset {
+	nHosts := d.sliceCount(d.u32(), 8)
+	nPaths := d.sliceCount(d.u32(), 40)
+	nEpisodes := d.sliceCount(d.u32(), 16)
+	d.u32() // reserved
+	hosts := make([]topology.HostID, 0, nHosts)
+	for i := 0; i < nHosts; i++ {
+		hosts = append(hosts, topology.HostID(d.i64()))
+	}
+	paths := make(map[dataset.PairKey]*dataset.PathData, nPaths)
+	for i := 0; i < nPaths; i++ {
+		k := dataset.PairKey{Src: topology.HostID(d.i64()), Dst: topology.HostID(d.i64())}
+		p := &dataset.PathData{Key: k, Measurements: int(d.i64())}
+		nRTT := d.sliceCount(d.u32(), 16)
+		nLoss := d.sliceCount(d.u32(), 9)
+		nTransfers := d.sliceCount(d.u32(), 32)
+		nASPath := d.sliceCount(d.u32(), 8)
+		if nRTT > 0 {
+			p.RTT = make([]dataset.RTTSample, 0, nRTT)
+			for j := 0; j < nRTT; j++ {
+				p.RTT = append(p.RTT, dataset.RTTSample{At: netsim.Time(d.f64()), RTTMs: d.f64()})
+			}
+		}
+		if nLoss > 0 {
+			p.Loss = make([]dataset.LossSample, 0, nLoss)
+			for j := 0; j < nLoss; j++ {
+				p.Loss = append(p.Loss, dataset.LossSample{At: netsim.Time(d.f64()), Lost: d.u8() != 0})
+			}
+		}
+		d.pad8()
+		if nTransfers > 0 {
+			p.Transfers = make([]dataset.TransferSample, 0, nTransfers)
+			for j := 0; j < nTransfers; j++ {
+				p.Transfers = append(p.Transfers, dataset.TransferSample{
+					At: netsim.Time(d.f64()), MeanRTTMs: d.f64(), LossRate: d.f64(), Packets: int(d.i64()),
+				})
+			}
+		}
+		if nASPath > 0 {
+			p.ASPath = make([]topology.ASN, 0, nASPath)
+			for j := 0; j < nASPath; j++ {
+				p.ASPath = append(p.ASPath, topology.ASN(d.i64()))
+			}
+		}
+		if d.err != nil {
+			return nil
+		}
+		paths[k] = p
+	}
+	var episodes []*dataset.Episode
+	for i := 0; i < nEpisodes; i++ {
+		ep := &dataset.Episode{At: netsim.Time(d.f64())}
+		n := d.sliceCount(d.u32(), 24)
+		d.u32() // reserved
+		ep.RTTMs = make(map[dataset.PairKey]float64, n)
+		for j := 0; j < n; j++ {
+			k := dataset.PairKey{Src: topology.HostID(d.i64()), Dst: topology.HostID(d.i64())}
+			ep.RTTMs[k] = d.f64()
+		}
+		if d.err != nil {
+			return nil
+		}
+		episodes = append(episodes, ep)
+	}
+	if d.err != nil {
+		return nil
+	}
+	// Hosts were written from an already-sorted slice, so constructing
+	// the struct directly preserves the exact order and avoids the
+	// re-sort in dataset.New.
+	return &dataset.Dataset{Name: name, Hosts: hosts, Paths: paths, Episodes: episodes}
+}
+
+// Decode parses a snapshot produced by Encode, returning the suite
+// configuration (seed and preset; concurrency is a runtime knob, not
+// part of suite identity) and the primary datasets keyed by name.
+func Decode(data []byte) (experiments.Config, map[string]*dataset.Dataset, error) {
+	var cfg experiments.Config
+	if len(data) < headerSize {
+		return cfg, nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrMagic, len(data))
+	}
+	if [8]byte(data[:8]) != magic {
+		return cfg, nil, ErrMagic
+	}
+	h := &dec{b: data, off: 8}
+	version := h.u32()
+	preset := int32(h.u32())
+	seed := h.i64()
+	sections := h.u32()
+	h.u32()
+	payloadLen := h.u64()
+	sum := h.u64()
+	if version != Version {
+		return cfg, nil, fmt.Errorf("%w: file has version %d, this binary reads %d", ErrVersion, version, Version)
+	}
+	if uint64(len(data)-headerSize) != payloadLen {
+		return cfg, nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrChecksum, len(data)-headerSize, payloadLen)
+	}
+	payload := data[headerSize:]
+	if got := crc64.Checksum(payload, crcTable); got != sum {
+		return cfg, nil, fmt.Errorf("%w: computed %016x, header says %016x", ErrChecksum, got, sum)
+	}
+	cfg.Seed = seed
+	cfg.Preset = experiments.Preset(preset)
+
+	if int(sections) > len(payload)/32 {
+		return cfg, nil, fmt.Errorf("snapshot: implausible section count %d", sections)
+	}
+	out := make(map[string]*dataset.Dataset, sections)
+	t := &dec{b: payload}
+	for i := 0; i < int(sections); i++ {
+		nameBytes := t.take(16)
+		off := t.u64()
+		length := t.u64()
+		if t.err != nil {
+			return cfg, nil, t.err
+		}
+		name := string(trimZero(nameBytes))
+		if off > uint64(len(payload)) || off+length > uint64(len(payload)) || off+length < off {
+			return cfg, nil, fmt.Errorf("snapshot: section %q out of bounds (off %d len %d of %d)", name, off, length, len(payload))
+		}
+		sd := &dec{b: payload[off : off+length]}
+		ds := decodeDataset(sd, name)
+		if sd.err != nil {
+			return cfg, nil, fmt.Errorf("section %q: %w", name, sd.err)
+		}
+		out[name] = ds
+	}
+	return cfg, out, nil
+}
+
+// trimZero strips the zero padding of a fixed-width name field.
+func trimZero(b []byte) []byte {
+	for i, c := range b {
+		if c == 0 {
+			return b[:i]
+		}
+	}
+	return b
+}
+
+// Restore decodes a snapshot and reassembles the full suite: datasets
+// from the file, substrate regenerated from the embedded configuration.
+// concurrency is stamped into the restored suite's config (it is a
+// runtime knob, deliberately not part of the snapshot identity).
+func Restore(ctx context.Context, data []byte, concurrency int) (*experiments.Suite, error) {
+	cfg, primary, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Concurrency = concurrency
+	return experiments.Reassemble(ctx, cfg, primary)
+}
+
+// Write encodes the suite and persists it atomically (temp file, then
+// rename) under dir using the canonical FileName.
+func Write(dir string, s *experiments.Suite) (string, error) {
+	data, err := Encode(s)
+	if err != nil {
+		return "", err
+	}
+	path := dir + string(os.PathSeparator) + FileName(s.Config)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("snapshot: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("snapshot: rename %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// Load reads the snapshot for cfg from dir and restores the suite.
+// os.IsNotExist(err) distinguishes a cache miss from a corrupt file.
+func Load(ctx context.Context, dir string, cfg experiments.Config) (*experiments.Suite, error) {
+	data, err := os.ReadFile(dir + string(os.PathSeparator) + FileName(cfg))
+	if err != nil {
+		return nil, err
+	}
+	s, err := Restore(ctx, data, cfg.Concurrency)
+	if err != nil {
+		return nil, err
+	}
+	if s.Config.Seed != cfg.Seed || s.Config.Preset != cfg.Preset {
+		return nil, fmt.Errorf("snapshot: file is for seed %d preset %s, want seed %d preset %s",
+			s.Config.Seed, s.Config.Preset, cfg.Seed, cfg.Preset)
+	}
+	return s, nil
+}

@@ -1,0 +1,277 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pathsel/internal/experiments"
+)
+
+// quickSuite builds (once) the quick-preset suite shared by the tests.
+var quickSuite = sync.OnceValues(func() (*experiments.Suite, error) {
+	return experiments.Build(experiments.Config{Seed: 1, Preset: experiments.Quick})
+})
+
+func buildQuick(t *testing.T) *experiments.Suite {
+	t.Helper()
+	s, err := quickSuite()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+// TestEncodeCanonical: encoding the same suite twice yields identical
+// bytes (the format has no nondeterministic map walks or timestamps).
+func TestEncodeCanonical(t *testing.T) {
+	s := buildQuick(t)
+	a, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same suite differ")
+	}
+}
+
+// TestRoundTripReEncode: encode → decode → reassemble → re-encode is
+// byte-identical, so a snapshot survives arbitrarily many load/persist
+// cycles without drifting.
+func TestRoundTripReEncode(t *testing.T) {
+	s := buildQuick(t)
+	first, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(context.Background(), first, s.Config.Concurrency)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	second, err := Encode(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-encode differs: first %d bytes, second %d bytes", len(first), len(second))
+	}
+}
+
+// jsonBytes marshals v, failing the test on error.
+func jsonBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// compareSuites asserts that every table and figure driver produces
+// byte-identical output on the two suites.
+func compareSuites(t *testing.T, fresh, restored *experiments.Suite) {
+	t.Helper()
+	if got, want := jsonBytes(t, experiments.Table1(restored)), jsonBytes(t, experiments.Table1(fresh)); !bytes.Equal(got, want) {
+		t.Errorf("Table1 differs:\nfresh:    %s\nrestored: %s", want, got)
+	}
+	tables := map[string]func(*experiments.Suite) ([]experiments.VerdictRow, error){
+		"Table2": experiments.Table2, "Table3": experiments.Table3,
+	}
+	for name, fn := range tables {
+		w, err := fn(fresh)
+		if err != nil {
+			t.Fatalf("%s(fresh): %v", name, err)
+		}
+		g, err := fn(restored)
+		if err != nil {
+			t.Fatalf("%s(restored): %v", name, err)
+		}
+		if !bytes.Equal(jsonBytes(t, g), jsonBytes(t, w)) {
+			t.Errorf("%s differs", name)
+		}
+	}
+	figures := map[string]func(*experiments.Suite) ([]experiments.Series, error){
+		"Figure1": experiments.Figure1, "Figure2": experiments.Figure2,
+		"Figure3": experiments.Figure3, "Figure4": experiments.Figure4,
+		"Figure5": experiments.Figure5, "Figure6": experiments.Figure6,
+		"Figure9": experiments.Figure9, "Figure10": experiments.Figure10,
+		"Figure11": experiments.Figure11, "Figure15": experiments.Figure15,
+	}
+	for name, fn := range figures {
+		w, err := fn(fresh)
+		if err != nil {
+			t.Fatalf("%s(fresh): %v", name, err)
+		}
+		g, err := fn(restored)
+		if err != nil {
+			t.Fatalf("%s(restored): %v", name, err)
+		}
+		if !bytes.Equal(jsonBytes(t, g), jsonBytes(t, w)) {
+			t.Errorf("%s differs", name)
+		}
+	}
+}
+
+// TestRestoredSuiteFigureIdentity: every figure and table response from
+// a snapshot-restored quick suite is byte-identical to the freshly
+// built one — the acceptance invariant the serve warm path relies on.
+func TestRestoredSuiteFigureIdentity(t *testing.T) {
+	fresh := buildQuick(t)
+	data, err := Encode(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(context.Background(), data, fresh.Config.Concurrency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareSuites(t, fresh, restored)
+}
+
+// TestRestoredSuiteFigureIdentityFull repeats the identity check at the
+// full preset (the paper's real campaign sizes). Skipped under -short:
+// it pays one ~10 s cold build.
+func TestRestoredSuiteFigureIdentityFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-preset build takes ~10s")
+	}
+	fresh, err := experiments.Build(experiments.Config{Seed: 1, Preset: experiments.Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Encode(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(context.Background(), first, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Encode(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("full-preset re-encode differs")
+	}
+	compareSuites(t, fresh, restored)
+}
+
+func TestWriteLoad(t *testing.T) {
+	s := buildQuick(t)
+	dir := t.TempDir()
+	path, err := Write(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != FileName(s.Config) {
+		t.Errorf("wrote %s, want file name %s", path, FileName(s.Config))
+	}
+	got, err := Load(context.Background(), dir, s.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.Seed != s.Config.Seed || got.Config.Preset != s.Config.Preset {
+		t.Errorf("loaded config %+v, want %+v", got.Config, s.Config)
+	}
+	if len(got.UW3.Paths) != len(s.UW3.Paths) {
+		t.Errorf("restored UW3 has %d paths, want %d", len(got.UW3.Paths), len(s.UW3.Paths))
+	}
+	// A miss is os.IsNotExist, so callers can fall back to a build.
+	if _, err := Load(context.Background(), dir, experiments.Config{Seed: 99, Preset: experiments.Quick}); !os.IsNotExist(err) {
+		t.Errorf("missing snapshot gave %v, want IsNotExist", err)
+	}
+}
+
+// TestDecodeRejectsCorruption: magic, version and checksum failures are
+// the documented sentinel errors, and arbitrary corruption never
+// panics.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s := buildQuick(t)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, _, err := Decode(bad); err == nil || !isErr(err, ErrMagic) {
+		t.Errorf("bad magic gave %v, want ErrMagic", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[8:], Version+7)
+	if _, _, err := Decode(bad); err == nil || !isErr(err, ErrVersion) {
+		t.Errorf("version skew gave %v, want ErrVersion", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0xff
+	if _, _, err := Decode(bad); err == nil || !isErr(err, ErrChecksum) {
+		t.Errorf("payload corruption gave %v, want ErrChecksum", err)
+	}
+
+	if _, _, err := Decode(data[:40]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, _, err := Decode(data[:len(data)-9]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func isErr(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// TestReassembleMissingDataset: a snapshot that lost a section is
+// rejected instead of producing a suite with nil datasets.
+func TestReassembleMissingDataset(t *testing.T) {
+	s := buildQuick(t)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, primary, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(primary, "N2")
+	if _, err := experiments.Reassemble(context.Background(), s.Config, primary); err == nil {
+		t.Fatal("reassemble with a missing dataset succeeded")
+	}
+}
+
+// FuzzDecode drives the decoder with arbitrary bytes: it must reject or
+// accept but never panic or over-allocate.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("PSELSNAP"))
+	f.Add(make([]byte, 64))
+	f.Add([]byte("PSELSNAP\x01\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, ds, err := Decode(data)
+		if err == nil {
+			// Accepted input must at least carry a coherent config.
+			_ = cfg
+			_ = ds
+		}
+	})
+}
